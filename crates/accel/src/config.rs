@@ -1,0 +1,165 @@
+//! Accelerator configuration (the Sec 6 "Architecture Design").
+
+use serde::{Deserialize, Serialize};
+
+use crescent_kdtree::ElisionConfig;
+use crescent_memsim::{DramTiming, EnergyModel, SramConfig};
+
+/// Static configuration of the full point-cloud accelerator of Fig 12:
+/// neighbor-search engine + aggregation unit + systolic array, with the
+/// paper's SRAM partitioning.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct AcceleratorConfig {
+    /// Number of neighbor-search PEs (paper: 4).
+    pub num_pes: usize,
+    /// Tree buffer (paper: 6 KB, 4 banks) — holds the top tree or the
+    /// current sub-tree; supports selective elision.
+    pub tree_buffer: SramConfig,
+    /// Query buffer (paper: 3 KB, 1 bank, double-buffered).
+    pub query_buffer_bytes: usize,
+    /// Point buffer for aggregation (paper: 64 KB, 16 banks).
+    pub point_buffer: SramConfig,
+    /// Neighbor-index buffer (paper: 12 KB, single bank).
+    pub neighbor_index_buffer_bytes: usize,
+    /// Global buffer for weights/activations (paper: 1.5 MB).
+    pub global_buffer_bytes: usize,
+    /// Systolic MAC array dimensions (paper: 16 × 16, TPU-style).
+    pub systolic_rows: usize,
+    /// Systolic array columns.
+    pub systolic_cols: usize,
+    /// DRAM timing model.
+    pub dram: DramTiming,
+    /// Energy model.
+    pub energy: EnergyModel,
+    /// Bank-conflict elision in neighbor search (`None` = stall on every
+    /// conflict, the ANS-only variant).
+    pub search_elision: Option<ElisionConfig>,
+    /// Elide bank conflicts in aggregation (neighbor replication).
+    pub aggregation_elision: bool,
+}
+
+impl Default for AcceleratorConfig {
+    fn default() -> Self {
+        AcceleratorConfig {
+            num_pes: 4,
+            tree_buffer: SramConfig::tree_buffer(),
+            query_buffer_bytes: 3 << 10,
+            point_buffer: SramConfig::point_buffer(),
+            neighbor_index_buffer_bytes: 12 << 10,
+            global_buffer_bytes: 1536 << 10,
+            systolic_rows: 16,
+            systolic_cols: 16,
+            dram: DramTiming::default(),
+            energy: EnergyModel::default(),
+            search_elision: None,
+            aggregation_elision: false,
+        }
+    }
+}
+
+impl AcceleratorConfig {
+    /// The ANS configuration: approximate neighbor search, conflicts stall.
+    pub fn ans() -> Self {
+        AcceleratorConfig::default()
+    }
+
+    /// The ANS+BCE configuration with the paper's default knobs
+    /// (`h_e = 12`, tree-buffer banking).
+    pub fn ans_bce(elision_height: usize) -> Self {
+        let mut cfg = AcceleratorConfig::default();
+        cfg.search_elision = Some(ElisionConfig {
+            elision_height,
+            num_banks: cfg.tree_buffer.num_banks, descendant_reuse: false });
+        cfg.aggregation_elision = true;
+        cfg
+    }
+
+    /// Capacity of the tree buffer in tree nodes.
+    pub fn tree_buffer_nodes(&self) -> usize {
+        self.tree_buffer.capacity_bytes / crescent_kdtree::NODE_BYTES
+    }
+
+    /// Permissible top-tree height range `[lo, hi]` for a tree of height
+    /// `total_height` per the Sec 3.3 inequalities
+    /// `2^{h_t} − 1 ≤ S` and `2^{H − h_t + 1} − 1 ≤ S`,
+    /// where `S` is the tree-buffer capacity in nodes.
+    ///
+    /// Returns `None` if no height satisfies both (the buffer is too small
+    /// for this tree).
+    pub fn top_height_range(&self, total_height: usize) -> Option<(usize, usize)> {
+        let s = self.tree_buffer_nodes();
+        let cap_height = |n: usize| {
+            // largest h with 2^h - 1 <= n
+            let mut h = 0usize;
+            while (1usize << (h + 1)) - 1 <= n && h + 1 < 63 {
+                h += 1;
+            }
+            h
+        };
+        let hi = cap_height(s).min(total_height.saturating_sub(1));
+        // sub-tree height H - h_t must satisfy 2^{H-h_t+1} - 1 <= ... i.e.
+        // subtree (height H - h_t) has at most 2^{H-h_t} - 1 nodes; require
+        // that <= S  =>  H - h_t <= cap_height(S)
+        let lo = total_height.saturating_sub(cap_height(s));
+        (lo <= hi).then_some((lo, hi))
+    }
+
+    /// Total on-chip SRAM in bytes.
+    pub fn total_sram_bytes(&self) -> usize {
+        self.tree_buffer.capacity_bytes
+            + self.query_buffer_bytes
+            + self.point_buffer.capacity_bytes
+            + self.neighbor_index_buffer_bytes
+            + self.global_buffer_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_sizes() {
+        let c = AcceleratorConfig::default();
+        assert_eq!(c.num_pes, 4);
+        assert_eq!(c.tree_buffer.capacity_bytes, 6 << 10);
+        assert_eq!(c.tree_buffer.num_banks, 4);
+        assert_eq!(c.point_buffer.capacity_bytes, 64 << 10);
+        assert_eq!(c.point_buffer.num_banks, 16);
+        assert_eq!(c.systolic_rows * c.systolic_cols, 256);
+        assert!(c.total_sram_bytes() > 1536 << 10);
+    }
+
+    #[test]
+    fn ans_bce_enables_both_elisions() {
+        let c = AcceleratorConfig::ans_bce(12);
+        assert!(c.aggregation_elision);
+        let e = c.search_elision.expect("elision set");
+        assert_eq!(e.elision_height, 12);
+        assert_eq!(e.num_banks, 4);
+        assert!(!AcceleratorConfig::ans().aggregation_elision);
+    }
+
+    #[test]
+    fn top_height_range_respects_capacity() {
+        let c = AcceleratorConfig::default();
+        let s = c.tree_buffer_nodes(); // 6KB/16B = 384 nodes -> height 8 fits
+        assert_eq!(s, 384);
+        let (lo, hi) = c.top_height_range(14).expect("feasible");
+        // top tree of height hi must fit
+        assert!((1usize << hi) - 1 <= s);
+        // sub-trees of height 14 - lo must fit
+        assert!((1usize << (14 - lo)) - 1 <= s);
+        assert!(lo <= hi);
+        // an enormous tree cannot fit at all
+        assert!(c.top_height_range(40).is_none());
+    }
+
+    #[test]
+    fn top_height_range_small_tree() {
+        let c = AcceleratorConfig::default();
+        let (lo, hi) = c.top_height_range(5).expect("feasible");
+        assert_eq!(lo, 0, "whole tree fits on-chip");
+        assert_eq!(hi, 4, "top height below total height");
+    }
+}

@@ -1,0 +1,292 @@
+//! Neighbor-search engine timing (the Fig 7 hardware).
+//!
+//! The engine couples the algorithmic lock-step simulation from
+//! `crescent-kdtree` (which yields rounds, conflicts, elisions, and the
+//! neighbor results) with the DRAM timing model: all Crescent transfers are
+//! streaming and double-buffered, so engine latency is
+//! `max(compute, DMA) + pipeline fill`.
+
+use serde::{Deserialize, Serialize};
+
+use crescent_kdtree::{
+    crescent_dram_bytes, split_exhaustive_search, KdTree, SplitSearchConfig, SplitSearchStats,
+    SplitTree, NODE_BYTES,
+};
+use crescent_pointcloud::{Neighbor, Point3, POINT_BYTES};
+
+use crate::config::AcceleratorConfig;
+
+/// Depth of the PE pipeline (RS → FN → CD → SR → US, Fig 7).
+pub const PE_PIPELINE_DEPTH: u64 = 5;
+
+/// Timing + statistics of a neighbor-search engine run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SearchEngineReport {
+    /// Datapath cycles (lock-step rounds + pipeline fill).
+    pub compute_cycles: u64,
+    /// DMA cycles for all DRAM transfers.
+    pub dma_cycles: u64,
+    /// Engine latency with double buffering: `max(compute, dma)` plus the
+    /// pipeline fill.
+    pub cycles: u64,
+    /// Total DRAM bytes moved (all streaming for Crescent).
+    pub dram_streaming_bytes: u64,
+    /// DRAM bytes that are random accesses (0 for Crescent / Tigris).
+    pub dram_random_bytes: u64,
+    /// Tree-buffer reads (honored fetches).
+    pub tree_buffer_reads: u64,
+    /// Algorithmic statistics of the run.
+    pub stats: SplitSearchStats,
+}
+
+/// Runs the Crescent two-stage search on the engine and returns the
+/// neighbor results plus the timing report.
+///
+/// `top_height` is clamped into the feasible range for the tree and the
+/// configured tree buffer.
+pub fn run_crescent_search(
+    tree: &KdTree,
+    top_height: usize,
+    queries: &[Point3],
+    radius: f32,
+    max_neighbors: Option<usize>,
+    config: &AcceleratorConfig,
+) -> (Vec<Vec<Neighbor>>, SearchEngineReport) {
+    let ht = clamp_top_height(tree, top_height);
+    let split = SplitTree::new(tree, ht).expect("clamped top height is valid");
+    let search_cfg = SplitSearchConfig {
+        radius,
+        max_neighbors,
+        num_pes: config.num_pes,
+        elision: config.search_elision,
+    };
+    let (results, stats) = split.batch_search(queries, &search_cfg);
+
+    let dram_bytes = crescent_dram_bytes(&split, queries, radius);
+    let compute = stats.rounds as u64 + PE_PIPELINE_DEPTH;
+    let dma = config.dram.stream_cycles(dram_bytes);
+    let report = SearchEngineReport {
+        compute_cycles: compute,
+        dma_cycles: dma,
+        cycles: compute.max(dma) + PE_PIPELINE_DEPTH,
+        dram_streaming_bytes: dram_bytes,
+        dram_random_bytes: 0,
+        tree_buffer_reads: stats.nodes_visited as u64,
+        stats,
+    };
+    (results, report)
+}
+
+/// Runs the Tigris-style baseline search (split tree + exhaustive sub-tree
+/// scan + sub-tree reloading) — the neighbor-search component of the
+/// Mesorasi and Tigris+GPU baselines.
+///
+/// `queue_capacity` is the on-chip query-buffer capacity in queries
+/// (derived from the config's query buffer by default).
+pub fn run_tigris_search(
+    tree: &KdTree,
+    top_height: usize,
+    queries: &[Point3],
+    radius: f32,
+    max_neighbors: Option<usize>,
+    config: &AcceleratorConfig,
+) -> (Vec<Vec<Neighbor>>, SearchEngineReport) {
+    let ht = clamp_top_height(tree, top_height);
+    let split = SplitTree::new(tree, ht).expect("clamped top height is valid");
+    let queue_capacity = (config.query_buffer_bytes / POINT_BYTES / 2).max(1); // double-buffered
+    let base = split_exhaustive_search(&split, queries, radius, max_neighbors, queue_capacity);
+
+    // exhaustive scan streams the sub-tree through the PEs: one node per PE
+    // per cycle, no backtracking, no bank conflicts
+    let compute = (base.nodes_visited as u64).div_ceil(config.num_pes as u64) + PE_PIPELINE_DEPTH;
+    // Tigris/QuickNN flush partial query queues to scattered per-sub-tree
+    // regions whenever a buffer fills: those write-backs are random, unlike
+    // Crescent's phased staging (Sec 3.4)
+    let random_bytes = (queries.len() * POINT_BYTES) as u64;
+    let dma = config.dram.stream_cycles(base.dram_bytes)
+        + config.dram.random_cycles(random_bytes.div_ceil(config.dram.burst_bytes), 4);
+    let mut stats = SplitSearchStats::default();
+    stats.nodes_visited = base.nodes_visited;
+    let report = SearchEngineReport {
+        compute_cycles: compute,
+        dma_cycles: dma,
+        cycles: compute.max(dma) + PE_PIPELINE_DEPTH,
+        dram_streaming_bytes: base.dram_bytes,
+        dram_random_bytes: random_bytes,
+        tree_buffer_reads: base.nodes_visited as u64,
+        stats,
+    };
+    (base.results, report)
+}
+
+/// Exact (unsplit) K-d search with the tree resident in DRAM — what a
+/// GPU-style baseline does. Every node fetch beyond the on-chip working
+/// set is a random DRAM access (Fig 2/3 behaviour).
+pub fn run_unsplit_search(
+    tree: &KdTree,
+    queries: &[Point3],
+    radius: f32,
+    max_neighbors: Option<usize>,
+    config: &AcceleratorConfig,
+) -> (Vec<Vec<Neighbor>>, SearchEngineReport) {
+    let mut results = Vec::with_capacity(queries.len());
+    let mut visits: u64 = 0;
+    for &q in queries {
+        let (hits, stats) =
+            crescent_kdtree::radius_search_traced(tree, q, radius, max_neighbors, &mut |_| {});
+        visits += stats.nodes_visited as u64;
+        results.push(hits);
+    }
+    // on-chip buffer covers a fraction of the tree; the rest are random
+    // DRAM node fetches
+    let resident = config.tree_buffer_nodes() as u64;
+    let total_nodes = tree.len() as u64;
+    let hit_frac = if total_nodes == 0 { 1.0 } else { (resident as f64 / total_nodes as f64).min(1.0) };
+    let dram_fetches = ((visits as f64) * (1.0 - hit_frac)) as u64;
+    let dram_random_bytes = dram_fetches * NODE_BYTES as u64;
+    let compute = visits.div_ceil(config.num_pes as u64) + PE_PIPELINE_DEPTH;
+    let dma = config.dram.random_cycles(dram_fetches, config.num_pes as u64);
+    let mut stats = SplitSearchStats::default();
+    stats.nodes_visited = visits as usize;
+    let report = SearchEngineReport {
+        compute_cycles: compute,
+        dma_cycles: dma,
+        // random accesses stall the datapath: latencies add
+        cycles: compute + dma,
+        dram_streaming_bytes: (queries.len() * POINT_BYTES) as u64,
+        dram_random_bytes,
+        tree_buffer_reads: visits,
+        stats,
+    };
+    (results, report)
+}
+
+fn clamp_top_height(tree: &KdTree, requested: usize) -> usize {
+    if tree.is_empty() {
+        0
+    } else {
+        requested.min(tree.height().saturating_sub(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crescent_pointcloud::{Point3, PointCloud};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_cloud(n: usize, seed: u64) -> PointCloud {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Point3::new(
+                    rng.random::<f32>() * 2.0,
+                    rng.random::<f32>() * 2.0,
+                    rng.random::<f32>() * 2.0,
+                )
+            })
+            .collect()
+    }
+
+    fn queries(n: usize, seed: u64) -> Vec<Point3> {
+        random_cloud(n, seed).into_points()
+    }
+
+    #[test]
+    fn crescent_vs_tigris_results_match_without_elision() {
+        let cloud = random_cloud(2048, 40);
+        let tree = KdTree::build(&cloud);
+        let qs = queries(64, 41);
+        let cfg = AcceleratorConfig::ans();
+        let (a, _) = run_crescent_search(&tree, 4, &qs, 0.25, Some(16), &cfg);
+        let (b, _) = run_tigris_search(&tree, 4, &qs, 0.25, Some(16), &cfg);
+        for (x, y) in a.iter().zip(&b) {
+            let xi: Vec<usize> = x.iter().map(|n| n.index).collect();
+            let yi: Vec<usize> = y.iter().map(|n| n.index).collect();
+            assert_eq!(xi, yi);
+        }
+    }
+
+    #[test]
+    fn crescent_visits_fewer_nodes_than_tigris() {
+        let cloud = random_cloud(8192, 42);
+        let tree = KdTree::build(&cloud);
+        let qs = queries(2048, 43);
+        // small on-chip query buffer => the Tigris baseline must reload
+        // sub-trees many times (the Fig 24b effect)
+        let mut cfg = AcceleratorConfig::ans();
+        cfg.query_buffer_bytes = 8 * POINT_BYTES * 2;
+        let (_, ours) = run_crescent_search(&tree, 5, &qs, 0.15, None, &cfg);
+        let (_, tigris) = run_tigris_search(&tree, 5, &qs, 0.15, None, &cfg);
+        assert!(
+            ours.stats.nodes_visited < tigris.stats.nodes_visited,
+            "{} vs {}",
+            ours.stats.nodes_visited,
+            tigris.stats.nodes_visited
+        );
+        assert!(
+            ours.dram_streaming_bytes < tigris.dram_streaming_bytes,
+            "{} vs {}",
+            ours.dram_streaming_bytes,
+            tigris.dram_streaming_bytes
+        );
+    }
+
+    #[test]
+    fn bce_speeds_up_search() {
+        let cloud = random_cloud(8192, 44);
+        let tree = KdTree::build(&cloud);
+        let qs = queries(128, 45);
+        let ans = AcceleratorConfig::ans();
+        let bce = AcceleratorConfig::ans_bce(6);
+        let (_, a) = run_crescent_search(&tree, 4, &qs, 0.2, None, &ans);
+        let (_, b) = run_crescent_search(&tree, 4, &qs, 0.2, None, &bce);
+        assert!(b.stats.nodes_visited <= a.stats.nodes_visited);
+        assert!(b.compute_cycles <= a.compute_cycles);
+        assert!(b.stats.nodes_elided > 0);
+    }
+
+    #[test]
+    fn unsplit_search_pays_random_dram() {
+        let cloud = random_cloud(16384, 46);
+        let tree = KdTree::build(&cloud);
+        let qs = queries(64, 47);
+        let cfg = AcceleratorConfig::ans();
+        let (res, rep) = run_unsplit_search(&tree, &qs, 0.2, None, &cfg);
+        assert_eq!(res.len(), 64);
+        assert!(rep.dram_random_bytes > 0);
+        assert!(rep.cycles > rep.compute_cycles, "random DMA adds stall cycles");
+    }
+
+    #[test]
+    fn double_buffering_takes_max() {
+        let cloud = random_cloud(4096, 48);
+        let tree = KdTree::build(&cloud);
+        let qs = queries(64, 49);
+        let cfg = AcceleratorConfig::ans();
+        let (_, rep) = run_crescent_search(&tree, 4, &qs, 0.2, None, &cfg);
+        assert!(rep.cycles >= rep.compute_cycles.max(rep.dma_cycles));
+        assert!(rep.cycles <= rep.compute_cycles.max(rep.dma_cycles) + 2 * PE_PIPELINE_DEPTH);
+    }
+
+    #[test]
+    fn top_height_clamped() {
+        let cloud = random_cloud(100, 50); // height 7
+        let tree = KdTree::build(&cloud);
+        let qs = queries(4, 51);
+        let cfg = AcceleratorConfig::ans();
+        // requesting an absurd top height must not panic
+        let (res, _) = run_crescent_search(&tree, 30, &qs, 0.5, Some(4), &cfg);
+        assert_eq!(res.len(), 4);
+    }
+
+    #[test]
+    fn empty_workload() {
+        let tree = KdTree::build(&PointCloud::new());
+        let cfg = AcceleratorConfig::ans();
+        let (res, rep) = run_crescent_search(&tree, 3, &[], 0.2, None, &cfg);
+        assert!(res.is_empty());
+        assert_eq!(rep.stats.nodes_visited, 0);
+    }
+}

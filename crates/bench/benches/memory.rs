@@ -1,0 +1,66 @@
+//! Criterion benches of the memory-system models: the Fig 3 cache, the
+//! Fig 4/5 banked-SRAM arbitration, and DRAM trace classification (Fig 2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use crescent::memsim::{BankedSram, DramTraceAnalyzer, FullyAssociativeCache, SramConfig};
+
+fn xorshift_stream(n: usize, modulo: u64) -> Vec<u64> {
+    let mut x = 88172645463325252u64;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 9) % modulo
+        })
+        .collect()
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let addrs = xorshift_stream(100_000, 32 << 20);
+    c.bench_function("fa_cache_100k_random_accesses", |b| {
+        b.iter(|| {
+            let mut cache = FullyAssociativeCache::new(10 << 20, 64);
+            for &a in &addrs {
+                black_box(cache.access(a));
+            }
+            cache.stats().miss_rate()
+        })
+    });
+}
+
+fn bench_sram_arbitration(c: &mut Criterion) {
+    let addrs = xorshift_stream(16 * 10_000, 64 << 10);
+    c.bench_function("banked_sram_10k_rounds_16ports", |b| {
+        b.iter(|| {
+            let mut sram = BankedSram::new(SramConfig::point_buffer());
+            for chunk in addrs.chunks(16) {
+                let reqs: Vec<Option<u64>> = chunk.iter().map(|&a| Some(a)).collect();
+                black_box(sram.arbitrate(&reqs, true));
+            }
+            sram.counters().conflict_rate()
+        })
+    });
+}
+
+fn bench_dram_classification(c: &mut Criterion) {
+    let addrs = xorshift_stream(100_000, 1 << 30);
+    c.bench_function("dram_classify_100k_accesses", |b| {
+        b.iter(|| {
+            let mut dram = DramTraceAnalyzer::new();
+            for &a in &addrs {
+                dram.access(a, 16);
+            }
+            black_box(dram.counters().non_streaming_fraction())
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cache, bench_sram_arbitration, bench_dram_classification
+);
+criterion_main!(benches);

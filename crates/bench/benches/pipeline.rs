@@ -1,0 +1,56 @@
+//! Criterion benches of the end-to-end pipeline simulation (the Fig 14
+//! engine): simulator throughput per network and variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use crescent::accel::{run_network, AcceleratorConfig, CrescentKnobs, NetworkSpec, Variant};
+use crescent::pointcloud::datasets::{generate_scene, LidarSceneConfig};
+use crescent::pointcloud::PointCloud;
+
+fn cloud() -> PointCloud {
+    let mut scene = generate_scene(&LidarSceneConfig {
+        total_points: 8192,
+        num_cars: 8,
+        num_poles: 16,
+        num_walls: 4,
+        half_extent: 30.0,
+        seed: 0xB2,
+    });
+    scene.cloud.normalize_unit_sphere();
+    scene.cloud
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let cloud = cloud();
+    let cfg = AcceleratorConfig::default();
+    let knobs = CrescentKnobs { top_height: 4, elision_height: 9 };
+    let spec = NetworkSpec::pointnet2_classification();
+    let mut g = c.benchmark_group("simulate_pointnet2c");
+    for v in [Variant::Mesorasi, Variant::Ans, Variant::AnsBce] {
+        g.bench_with_input(BenchmarkId::from_parameter(v.name()), &v, |b, &v| {
+            b.iter(|| black_box(run_network(&spec, &cloud, v, knobs, &cfg)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_networks(c: &mut Criterion) {
+    let cloud = cloud();
+    let cfg = AcceleratorConfig::default();
+    let knobs = CrescentKnobs { top_height: 4, elision_height: 9 };
+    let mut g = c.benchmark_group("simulate_ans_bce");
+    for spec in NetworkSpec::evaluation_suite() {
+        g.bench_with_input(BenchmarkId::from_parameter(&spec.name), &spec, |b, spec| {
+            b.iter(|| black_box(run_network(spec, &cloud, Variant::AnsBce, knobs, &cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_variants, bench_networks
+);
+criterion_main!(benches);

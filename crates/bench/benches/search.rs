@@ -1,0 +1,92 @@
+//! Criterion benches of the neighbor-search kernels: tree construction,
+//! exact search, Crescent's two-stage approximate search (Fig 8/14
+//! kernels), and the Tigris-style exhaustive baseline (Fig 24).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use crescent::kdtree::{
+    radius_search, split_exhaustive_search, ElisionConfig, KdTree, SplitSearchConfig, SplitTree,
+};
+use crescent::pointcloud::datasets::{generate_scene, LidarSceneConfig};
+use crescent::pointcloud::{Point3, PointCloud};
+
+fn workload(n: usize) -> (PointCloud, Vec<Point3>) {
+    let mut scene = generate_scene(&LidarSceneConfig {
+        total_points: n,
+        num_cars: 8,
+        num_poles: 16,
+        num_walls: 4,
+        half_extent: 30.0,
+        seed: 0xB1,
+    });
+    scene.cloud.normalize_unit_sphere();
+    let queries: Vec<Point3> =
+        (0..256).map(|i| scene.cloud.point(i * scene.cloud.len() / 256)).collect();
+    (scene.cloud, queries)
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kdtree_build");
+    for n in [4096usize, 16384] {
+        let (cloud, _) = workload(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &cloud, |b, cloud| {
+            b.iter(|| KdTree::build(black_box(cloud)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_exact_search(c: &mut Criterion) {
+    let (cloud, queries) = workload(16384);
+    let tree = KdTree::build(&cloud);
+    c.bench_function("exact_radius_search_256q", |b| {
+        b.iter(|| {
+            for &q in &queries {
+                black_box(radius_search(&tree, q, 0.05, Some(32)));
+            }
+        })
+    });
+}
+
+fn bench_crescent_search(c: &mut Criterion) {
+    let (cloud, queries) = workload(16384);
+    let tree = KdTree::build(&cloud);
+    let split = SplitTree::new(&tree, 4).unwrap();
+    let mut g = c.benchmark_group("crescent_batch_search_256q");
+    g.bench_function("ans", |b| {
+        let cfg = SplitSearchConfig {
+            radius: 0.05,
+            max_neighbors: Some(32),
+            num_pes: 4,
+            elision: Some(ElisionConfig { elision_height: usize::MAX, num_banks: 4, descendant_reuse: false }),
+        };
+        b.iter(|| black_box(split.batch_search(&queries, &cfg)))
+    });
+    g.bench_function("ans_bce", |b| {
+        let cfg = SplitSearchConfig {
+            radius: 0.05,
+            max_neighbors: Some(32),
+            num_pes: 4,
+            elision: Some(ElisionConfig { elision_height: 9, num_banks: 4, descendant_reuse: false }),
+        };
+        b.iter(|| black_box(split.batch_search(&queries, &cfg)))
+    });
+    g.finish();
+}
+
+fn bench_tigris_baseline(c: &mut Criterion) {
+    let (cloud, queries) = workload(16384);
+    let tree = KdTree::build(&cloud);
+    let split = SplitTree::new(&tree, 4).unwrap();
+    c.bench_function("tigris_exhaustive_256q", |b| {
+        b.iter(|| black_box(split_exhaustive_search(&split, &queries, 0.05, Some(32), 64)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_build, bench_exact_search, bench_crescent_search, bench_tigris_baseline
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benches of approximation-aware training: the Sec 6 "training
+//! overhead" claim (the paper reports +38 % training time for simulating
+//! bank conflicts in the loop) measured as exact vs. approximate epochs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use crescent::models::{train_classifier, ApproxSetting, PointNet2Cls, TrainConfig};
+use crescent::pointcloud::datasets::{ClassificationConfig, ClassificationDataset};
+
+fn dataset() -> ClassificationDataset {
+    ClassificationDataset::generate(&ClassificationConfig {
+        points_per_cloud: 128,
+        train_per_class: 2,
+        test_per_class: 1,
+        jitter_sigma: 0.01,
+        seed: 0xB3,
+    })
+}
+
+fn bench_training_epoch(c: &mut Criterion) {
+    let ds = dataset();
+    let mut g = c.benchmark_group("train_epoch_20_samples");
+    g.bench_function("exact", |b| {
+        b.iter(|| {
+            let mut m = PointNet2Cls::new(ds.num_classes, 1);
+            black_box(train_classifier(&mut m, &ds.train, &TrainConfig::exact(1)))
+        })
+    });
+    g.bench_function("approximation_aware", |b| {
+        b.iter(|| {
+            let mut m = PointNet2Cls::new(ds.num_classes, 1);
+            let cfg = TrainConfig::dedicated(ApproxSetting::ans_bce(4, 5), 1);
+            black_box(train_classifier(&mut m, &ds.train, &cfg))
+        })
+    });
+    g.bench_function("mixed_sampling", |b| {
+        b.iter(|| {
+            let mut m = PointNet2Cls::new(ds.num_classes, 1);
+            let cfg = TrainConfig::mixed((1, 6), Some((4, 7)), 1);
+            black_box(train_classifier(&mut m, &ds.train, &cfg))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_training_epoch
+);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Regenerates the tables/figures of the Crescent (ISCA 2022) evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--quick] all            # every figure
+//! repro [--quick] fig14 fig24    # specific figures
+//! repro list                     # available ids
+//! ```
+//!
+//! `--quick` shrinks the workloads (seconds instead of minutes); the
+//! trends are unchanged. Run with `--release` — the accuracy figures
+//! train networks.
+
+use std::time::Instant;
+
+use crescent_bench::{run_figure, Scale, ALL_FIGURES};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = Scale::from_flag(quick);
+    let ids: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+
+    if ids.is_empty() || ids.contains(&"help") {
+        eprintln!("usage: repro [--quick] <all|list|fig ids...>");
+        eprintln!("figures: {}", ALL_FIGURES.join(" "));
+        return;
+    }
+    if ids.contains(&"list") {
+        println!("{}", ALL_FIGURES.join("\n"));
+        return;
+    }
+    let run_ids: Vec<&str> =
+        if ids.contains(&"all") { ALL_FIGURES.to_vec() } else { ids };
+
+    println!("# Crescent (ISCA 2022) figure reproduction — scale: {scale:?}");
+    for id in run_ids {
+        let start = Instant::now();
+        match run_figure(id, scale) {
+            Some(figs) => {
+                for fig in figs {
+                    println!("\n{}", fig.render());
+                }
+                println!("[{id} took {:.1?}]", start.elapsed());
+            }
+            None => eprintln!("unknown figure id: {id} (try `repro list`)"),
+        }
+    }
+}

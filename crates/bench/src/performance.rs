@@ -1,0 +1,412 @@
+//! Performance / energy experiments: Figs 14, 15, 16, 17, 22, 24.
+
+use std::collections::HashMap;
+
+use crescent::accel::{
+    run_crescent_search, run_network, run_tigris_search, AcceleratorConfig, CrescentKnobs,
+    NetworkSpec, PipelineReport, Variant,
+};
+use crescent::kdtree::{crescent_dram_bytes, split_exhaustive_search, KdTree, SplitTree};
+use crescent::memsim::SramConfig;
+use crescent::pointcloud::{Point3, PointCloud, POINT_BYTES};
+
+use crate::common::{pipeline_cloud, FigRow, Figure, Scale};
+
+/// Runs every network on every variant once and caches the reports.
+pub struct PerformanceSuite {
+    /// (network, variant) -> report
+    pub reports: HashMap<(String, Variant), PipelineReport>,
+    /// Network names in Tbl 1 order.
+    pub networks: Vec<String>,
+}
+
+impl std::fmt::Debug for PerformanceSuite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PerformanceSuite({} reports)", self.reports.len())
+    }
+}
+
+impl PerformanceSuite {
+    /// Simulates the full Fig 14 matrix.
+    pub fn run(scale: Scale) -> Self {
+        let cloud = pipeline_cloud(scale, 0xF16);
+        let base = AcceleratorConfig::default();
+        let knobs = CrescentKnobs { top_height: 4, elision_height: 9 };
+        let mut reports = HashMap::new();
+        let mut networks = Vec::new();
+        for spec in NetworkSpec::evaluation_suite() {
+            networks.push(spec.name.clone());
+            for variant in Variant::ALL {
+                let rep = run_network(&spec, &cloud, variant, knobs, &base);
+                reports.insert((spec.name.clone(), variant), rep);
+            }
+        }
+        PerformanceSuite { reports, networks }
+    }
+
+    fn get(&self, net: &str, v: Variant) -> &PipelineReport {
+        &self.reports[&(net.to_string(), v)]
+    }
+
+    /// Fig 14a: end-to-end speedup over Mesorasi.
+    pub fn fig14a(&self) -> Figure {
+        let mut rows = Vec::new();
+        let mut sums = vec![0.0f64; Variant::ALL.len()];
+        for net in &self.networks {
+            let meso = self.get(net, Variant::Mesorasi).total_cycles() as f64;
+            let values: Vec<f64> = Variant::ALL
+                .iter()
+                .map(|&v| meso / self.get(net, v).total_cycles() as f64)
+                .collect();
+            for (s, v) in sums.iter_mut().zip(&values) {
+                *s += v;
+            }
+            rows.push(FigRow { label: net.clone(), values });
+        }
+        let n = self.networks.len() as f64;
+        rows.push(FigRow { label: "AVG".into(), values: sums.iter().map(|s| s / n).collect() });
+        Figure {
+            id: "fig14a",
+            caption: "End-to-end speedup over Mesorasi (paper: ANS 1.7x, ANS+BCE 1.9x avg)",
+            columns: vec!["ANS", "ANS+BCE", "Mesorasi", "Tigris+GPU", "GPU"],
+            rows,
+        }
+    }
+
+    /// Fig 14b: energy normalized to Mesorasi.
+    pub fn fig14b(&self) -> Figure {
+        let mut rows = Vec::new();
+        let mut sums = vec![0.0f64; Variant::ALL.len()];
+        for net in &self.networks {
+            let meso = self.get(net, Variant::Mesorasi).energy.total();
+            let values: Vec<f64> = Variant::ALL
+                .iter()
+                .map(|&v| self.get(net, v).energy.total() / meso)
+                .collect();
+            for (s, v) in sums.iter_mut().zip(&values) {
+                *s += v;
+            }
+            rows.push(FigRow { label: net.clone(), values });
+        }
+        let n = self.networks.len() as f64;
+        rows.push(FigRow { label: "AVG".into(), values: sums.iter().map(|s| s / n).collect() });
+        Figure {
+            id: "fig14b",
+            caption: "Energy normalized to Mesorasi (paper: ANS 0.67, ANS+BCE 0.64 avg; GPU 38x)",
+            columns: vec!["ANS", "ANS+BCE", "Mesorasi", "Tigris+GPU", "GPU"],
+            rows,
+        }
+    }
+
+    /// Fig 15a: neighbor-search-only speedup and energy saving of ANS+BCE.
+    pub fn fig15a(&self) -> Figure {
+        let mut rows = Vec::new();
+        let mut s_sum = 0.0;
+        let mut e_sum = 0.0;
+        for net in &self.networks {
+            let meso = self.get(net, Variant::Mesorasi);
+            let bce = self.get(net, Variant::AnsBce);
+            let speedup = meso.cycles.search as f64 / bce.cycles.search.max(1) as f64;
+            let e_meso = meso.energy.sram_search + meso.energy.dram();
+            let e_bce = bce.energy.sram_search + bce.energy.dram();
+            let saving = (1.0 - e_bce / e_meso) * 100.0;
+            s_sum += speedup;
+            e_sum += saving;
+            rows.push(FigRow { label: net.clone(), values: vec![speedup, saving] });
+        }
+        let n = self.networks.len() as f64;
+        rows.push(FigRow { label: "AVG".into(), values: vec![s_sum / n, e_sum / n] });
+        Figure {
+            id: "fig15a",
+            caption: "Neighbor-search speedup / energy saving of ANS+BCE (paper: 4.9x avg)",
+            columns: vec!["speedup", "energy_saving_%"],
+            rows,
+        }
+    }
+
+    /// Fig 15b: aggregation-only speedup and energy saving of ANS+BCE.
+    pub fn fig15b(&self) -> Figure {
+        let mut rows = Vec::new();
+        let mut s_sum = 0.0;
+        let mut e_sum = 0.0;
+        for net in &self.networks {
+            let meso = self.get(net, Variant::Mesorasi);
+            let bce = self.get(net, Variant::AnsBce);
+            let speedup = meso.cycles.aggregation as f64 / bce.cycles.aggregation.max(1) as f64;
+            let saving = (1.0 - bce.energy.sram_aggregation / meso.energy.sram_aggregation.max(1e-9))
+                * 100.0;
+            s_sum += speedup;
+            e_sum += saving;
+            rows.push(FigRow { label: net.clone(), values: vec![speedup, saving] });
+        }
+        let n = self.networks.len() as f64;
+        rows.push(FigRow { label: "AVG".into(), values: vec![s_sum / n, e_sum / n] });
+        Figure {
+            id: "fig15b",
+            caption: "Aggregation speedup / energy saving of ANS+BCE (paper: 2.1x avg)",
+            columns: vec!["speedup", "energy_saving_%"],
+            rows,
+        }
+    }
+
+    /// Fig 16: memory-energy-saving contribution breakdown (ANS+BCE vs
+    /// Mesorasi).
+    pub fn fig16(&self) -> Figure {
+        let mut rows = Vec::new();
+        for net in &self.networks {
+            let meso = self.get(net, Variant::Mesorasi);
+            let bce = self.get(net, Variant::AnsBce);
+            // savings per category
+            let d_random = (meso.energy.dram_random - bce.energy.dram_random).max(0.0);
+            let d_stream = (meso.energy.dram_streaming - bce.energy.dram_streaming).max(0.0);
+            let d_search = (meso.energy.sram_search - bce.energy.sram_search).max(0.0);
+            let d_aggr = (meso.energy.sram_aggregation - bce.energy.sram_aggregation).max(0.0);
+            let total = (d_random + d_stream + d_search + d_aggr).max(1e-9);
+            rows.push(FigRow {
+                label: net.clone(),
+                values: vec![
+                    d_stream / total * 100.0,
+                    d_random / total * 100.0,
+                    d_search / total * 100.0,
+                    d_aggr / total * 100.0,
+                ],
+            });
+        }
+        Figure {
+            id: "fig16",
+            caption: "Memory energy-saving contributions (paper: SRAM neighbor search dominates)",
+            columns: vec![
+                "dram_traffic_red_%",
+                "dram_streaming_%",
+                "sram_search_%",
+                "sram_aggregation_%",
+            ],
+            rows,
+        }
+    }
+
+    /// Fig 17: bank-conflict reduction and tree-node-access reduction of
+    /// ANS+BCE over ANS.
+    pub fn fig17(&self) -> Figure {
+        let mut rows = Vec::new();
+        for net in &self.networks {
+            let ans = self.get(net, Variant::Ans);
+            let bce = self.get(net, Variant::AnsBce);
+            // ANS stalls on every conflict; BCE elides: compare observed
+            // conflict-stall counts and honored node fetches
+            let conf_red = (1.0
+                - bce.search.stats.conflict_stalls as f64
+                    / ans.search.stats.bank_conflicts.max(1) as f64)
+                * 100.0;
+            let node_red = (1.0
+                - bce.search.stats.nodes_visited as f64
+                    / ans.search.stats.nodes_visited.max(1) as f64)
+                * 100.0;
+            rows.push(FigRow { label: net.clone(), values: vec![conf_red, node_red] });
+        }
+        Figure {
+            id: "fig17",
+            caption: "BCE: bank-conflict reduction and tree-node-access reduction (paper: >45%, ~50%)",
+            columns: vec!["conflict_reduction_%", "node_access_reduction_%"],
+            rows,
+        }
+    }
+}
+
+/// Fig 22: speedup and normalized energy of ANS+BCE over Mesorasi across a
+/// PE-count × bank-count grid (PointNet++(c)).
+pub fn fig22(scale: Scale) -> (Figure, Figure) {
+    let cloud = pipeline_cloud(scale, 0xF22);
+    let spec = NetworkSpec::pointnet2_classification();
+    let knobs = CrescentKnobs { top_height: 4, elision_height: 9 };
+    let mut speed_rows = Vec::new();
+    let mut energy_rows = Vec::new();
+    let grid = [2usize, 4, 8, 16, 32];
+    for &banks in &grid {
+        let mut speeds = Vec::new();
+        let mut energies = Vec::new();
+        for &pes in &grid {
+            let mut cfg = AcceleratorConfig::default();
+            cfg.num_pes = pes;
+            cfg.tree_buffer = SramConfig { num_banks: banks, ..cfg.tree_buffer };
+            let meso = run_network(&spec, &cloud, Variant::Mesorasi, knobs, &cfg);
+            let bce = run_network(&spec, &cloud, Variant::AnsBce, knobs, &cfg);
+            speeds.push(meso.total_cycles() as f64 / bce.total_cycles() as f64);
+            energies.push(bce.energy.total() / meso.energy.total());
+        }
+        speed_rows.push(FigRow { label: format!("{banks}banks"), values: speeds });
+        energy_rows.push(FigRow { label: format!("{banks}banks"), values: energies });
+    }
+    (
+        Figure {
+            id: "fig22a",
+            caption: "Speedup sensitivity to #PE x #banks (paper: 2.1x @2/2 -> 1.1x @32/32)",
+            columns: vec!["2pe", "4pe", "8pe", "16pe", "32pe"],
+            rows: speed_rows,
+        },
+        Figure {
+            id: "fig22b",
+            caption: "Normalized energy sensitivity (paper: ~0.71-0.75 across the grid)",
+            columns: vec!["2pe", "4pe", "8pe", "16pe", "32pe"],
+            rows: energy_rows,
+        },
+    )
+}
+
+/// Fig 24: comparison with the prior neighbor-search accelerators:
+/// (a) tree-node-visit reduction vs Tigris, (b) DRAM-byte reduction vs
+/// QuickNN.
+pub fn fig24(scale: Scale) -> Figure {
+    let cloud = pipeline_cloud(scale, 0xF24);
+    let knobs = CrescentKnobs { top_height: 4, elision_height: 9 };
+    let mut cfg = AcceleratorConfig::default();
+    // QuickNN-style small on-chip query queue forces reloads
+    cfg.query_buffer_bytes = 32 * POINT_BYTES * 2;
+    let mut rows = Vec::new();
+    let mut v_sum = 0.0;
+    let mut d_sum = 0.0;
+    for spec in NetworkSpec::evaluation_suite() {
+        // use the first (largest) search layer of each network
+        let layer = &spec.layers[0];
+        let pts: PointCloud =
+            (0..layer.n_points).map(|i| cloud.point(i * cloud.len() / layer.n_points)).collect();
+        let queries: Vec<Point3> =
+            (0..layer.n_centroids).map(|i| pts.point(i * pts.len() / layer.n_centroids)).collect();
+        let tree = KdTree::build(&pts);
+        let (_, ours) =
+            run_crescent_search(&tree, knobs.top_height, &queries, layer.radius, None, &cfg);
+        let (_, tigris) =
+            run_tigris_search(&tree, knobs.top_height, &queries, layer.radius, None, &cfg);
+        let ht = knobs.top_height.min(tree.height().saturating_sub(1));
+        let split = SplitTree::new(&tree, ht).expect("valid split");
+        let quicknn = split_exhaustive_search(&split, &queries, layer.radius, None, 32);
+        let ours_dram = crescent_dram_bytes(&split, &queries, layer.radius);
+        let visit_red = (1.0
+            - ours.stats.nodes_visited as f64 / tigris.stats.nodes_visited.max(1) as f64)
+            * 100.0;
+        let dram_red = (1.0 - ours_dram as f64 / quicknn.dram_bytes.max(1) as f64) * 100.0;
+        v_sum += visit_red;
+        d_sum += dram_red;
+        rows.push(FigRow { label: spec.name.clone(), values: vec![visit_red, dram_red] });
+    }
+    rows.push(FigRow { label: "AVG".into(), values: vec![v_sum / 4.0, d_sum / 4.0] });
+    Figure {
+        id: "fig24",
+        caption: "Reduction vs prior accelerators (paper: 41% fewer node visits vs Tigris, 48% fewer DRAM bytes vs QuickNN)",
+        columns: vec!["node_visit_reduction_%", "dram_reduction_%"],
+        rows,
+    }
+}
+
+/// Ablation (beyond the paper): the Sec 4.2 future-work **descendant
+/// reuse** refinement vs. plain elision, across elision heights. Reports
+/// how many conflicted fetches are salvaged, how many tree nodes are no
+/// longer lost, and how many neighbor results are recovered — at zero
+/// extra stall cycles.
+pub fn ablation_reuse(scale: Scale) -> Figure {
+    let cloud = pipeline_cloud(scale, 0xAB1);
+    let pts: PointCloud =
+        (0..4096.min(cloud.len())).map(|i| cloud.point(i * cloud.len() / 4096)).collect();
+    let queries: Vec<Point3> = (0..512).map(|i| pts.point(i * pts.len() / 512)).collect();
+    let tree = KdTree::build(&pts);
+    let split = SplitTree::new(&tree, 2).expect("valid split");
+    let mut rows = Vec::new();
+    for he in [4usize, 6, 8, 10] {
+        let run = |reuse: bool| {
+            let cfg = crescent::kdtree::SplitSearchConfig {
+                radius: 0.08,
+                max_neighbors: None,
+                num_pes: 8,
+                elision: Some(if reuse {
+                    crescent::kdtree::ElisionConfig::with_descendant_reuse(he, 4)
+                } else {
+                    crescent::kdtree::ElisionConfig::new(he, 4)
+                }),
+            };
+            split.batch_search(&queries, &cfg)
+        };
+        let (r_plain, s_plain) = run(false);
+        let (r_reuse, s_reuse) = run(true);
+        let found = |rs: &[Vec<crescent::pointcloud::Neighbor>]| {
+            rs.iter().map(Vec::len).sum::<usize>() as f64
+        };
+        rows.push(FigRow {
+            label: he.to_string(),
+            values: vec![
+                s_reuse.descendant_reuses as f64,
+                s_plain.nodes_skipped as f64,
+                s_reuse.nodes_skipped as f64,
+                (found(&r_reuse) / found(&r_plain).max(1.0) - 1.0) * 100.0,
+            ],
+        });
+    }
+    Figure {
+        id: "ablation_reuse",
+        caption: "Descendant-reuse elision (Sec 4.2 future work) vs plain elision, by h_e",
+        columns: vec!["reuses", "skipped_plain", "skipped_reuse", "extra_neighbors_%"],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_reuse_salvages_nodes() {
+        let f = ablation_reuse(Scale::Quick);
+        let mut any_reuse = false;
+        for row in &f.rows {
+            // reuse must not lose ground beyond arbitration-dynamics noise
+            // (salvaging a fetch reshuffles later conflicts slightly)
+            assert!(row.values[2] <= row.values[1] * 1.05, "{row:?}");
+            assert!(row.values[3] >= -5.0, "{row:?}");
+            any_reuse |= row.values[0] > 0.0;
+        }
+        assert!(any_reuse, "some conflicts must be salvageable");
+    }
+
+    #[test]
+    fn suite_speedup_ordering() {
+        let suite = PerformanceSuite::run(Scale::Quick);
+        let f = suite.fig14a();
+        // AVG row: ANS+BCE >= ANS >= 1.0; GPU slowest
+        let avg = &f.rows.last().unwrap().values;
+        let (ans, bce, meso, tgpu, gpu) = (avg[0], avg[1], avg[2], avg[3], avg[4]);
+        assert!(bce >= ans * 0.98, "BCE {bce} vs ANS {ans}");
+        assert!(ans > 1.0, "ANS must beat Mesorasi: {ans}");
+        assert!((meso - 1.0).abs() < 1e-9);
+        assert!(gpu < 1.0 && tgpu < 1.0, "GPU variants slower: {gpu}, {tgpu}");
+        // energy: crescent saves, GPU burns
+        let e = suite.fig14b();
+        let avg = &e.rows.last().unwrap().values;
+        assert!(avg[1] <= avg[0] + 0.02, "BCE saves at least as much energy");
+        assert!(avg[0] < 1.0);
+        assert!(avg[4] > 3.0, "GPU energy {}", avg[4]);
+        // fig15: per-stage speedups >= 1
+        let s = suite.fig15a();
+        assert!(s.rows.last().unwrap().values[0] > 1.0);
+        let a = suite.fig15b();
+        assert!(a.rows.last().unwrap().values[0] >= 1.0);
+        // fig16 contributions sum to ~100
+        let c = suite.fig16();
+        for row in &c.rows {
+            let sum: f64 = row.values.iter().sum();
+            assert!((sum - 100.0).abs() < 1.0, "{}: {sum}", row.label);
+        }
+        // fig17: both reductions positive
+        let r = suite.fig17();
+        for row in &r.rows {
+            assert!(row.values[0] > 0.0, "{}: conflict reduction", row.label);
+            assert!(row.values[1] >= 0.0, "{}: node reduction", row.label);
+        }
+    }
+
+    #[test]
+    fn fig24_reductions_positive() {
+        let f = fig24(Scale::Quick);
+        let avg = f.rows.last().unwrap();
+        assert!(avg.values[0] > 20.0, "node visit reduction {:?}", avg.values);
+        assert!(avg.values[1] > 0.0, "dram reduction {:?}", avg.values);
+    }
+}

@@ -1,0 +1,272 @@
+//! Prior-work neighbor-search baselines: Tigris \[66\] and QuickNN \[44\].
+//!
+//! Both use a split-tree like Crescent but (per Sec 3.4) differ in two
+//! ways that Crescent improves on:
+//!
+//! 1. **exhaustive sub-tree search** — every point of the assigned sub-tree
+//!    is scanned, instead of K-d traversal (more search work; Fig 24a);
+//! 2. **sub-tree reloading** — a sub-tree is streamed from DRAM every time
+//!    its fixed-capacity query buffer fills, instead of staging all queries
+//!    in DRAM and loading each sub-tree exactly once (more DRAM traffic;
+//!    Fig 24b).
+//!
+//! The DRAM accounting here is shared with the Crescent-side model
+//! ([`crescent_dram_bytes`]) so the Fig 24 comparison is apples-to-apples.
+
+use crescent_pointcloud::{Neighbor, Point3, POINT_BYTES};
+
+use crate::split::SplitTree;
+use crate::tree::NODE_BYTES;
+
+/// Outcome of a baseline batch search.
+#[derive(Clone, Debug, Default)]
+pub struct BaselineReport {
+    /// Per-query neighbor lists (sorted ascending by distance).
+    pub results: Vec<Vec<Neighbor>>,
+    /// Total tree nodes / points inspected ("search load").
+    pub nodes_visited: usize,
+    /// Total DRAM traffic in bytes (tree loads + query movement).
+    pub dram_bytes: u64,
+    /// Number of sub-tree loads from DRAM.
+    pub subtree_loads: usize,
+}
+
+/// Tigris/QuickNN-style batch search: top-tree routing, then **exhaustive**
+/// scan of the assigned sub-tree, reloading a sub-tree whenever its
+/// `queue_capacity`-entry query buffer fills.
+///
+/// `queue_capacity` is the number of queries buffered on-chip per sub-tree
+/// between reloads (QuickNN's query-buffer size).
+///
+/// # Panics
+///
+/// Panics if `queue_capacity == 0`.
+pub fn split_exhaustive_search(
+    split: &SplitTree<'_>,
+    queries: &[Point3],
+    radius: f32,
+    max_neighbors: Option<usize>,
+    queue_capacity: usize,
+) -> BaselineReport {
+    assert!(queue_capacity > 0, "queue capacity must be positive");
+    let tree = split.tree();
+    let mut report = BaselineReport {
+        results: vec![Vec::new(); queries.len()],
+        ..BaselineReport::default()
+    };
+    if tree.is_empty() {
+        return report;
+    }
+    let r2 = radius * radius;
+
+    // stage 1: route every query through the top tree (streaming read)
+    let mut queues: Vec<Vec<usize>> = vec![Vec::new(); split.num_subtrees()];
+    for (qi, &q) in queries.iter().enumerate() {
+        let mut hits = Vec::new();
+        let mut fetches = 0usize;
+        if let Some(s) = split.route_query(q, radius, &mut hits, &mut |_| fetches += 1) {
+            queues[s].push(qi);
+        }
+        report.nodes_visited += fetches;
+        report.results[qi] = hits;
+    }
+
+    // stage 2: exhaustive scan per sub-tree, one load per queue_capacity
+    // queries (the reload behavior Crescent eliminates)
+    let mut subtree_nodes: Vec<usize> = Vec::new();
+    for (s, queue) in queues.iter().enumerate() {
+        if queue.is_empty() {
+            continue;
+        }
+        let root = split.subtree_roots()[s];
+        collect_subtree(tree, root, &mut subtree_nodes);
+        let loads = queue.len().div_ceil(queue_capacity);
+        report.subtree_loads += loads;
+        report.dram_bytes += (loads * subtree_nodes.len() * NODE_BYTES) as u64;
+        for &qi in queue {
+            let q = queries[qi];
+            for &idx in &subtree_nodes {
+                report.nodes_visited += 1;
+                let node = tree.node(idx);
+                let d2 = node.point.dist2(q);
+                if d2 <= r2 {
+                    report.results[qi].push(Neighbor { index: node.point_index as usize, dist2: d2 });
+                }
+            }
+        }
+        subtree_nodes.clear();
+    }
+
+    // query movement: each query read for stage 1 and again for stage 2
+    report.dram_bytes += (2 * queries.len() * POINT_BYTES) as u64;
+    // top tree loaded once
+    report.dram_bytes += (split.top_len() * NODE_BYTES) as u64;
+
+    for hits in &mut report.results {
+        hits.sort_by(|a, b| a.dist2.partial_cmp(&b.dist2).unwrap_or(std::cmp::Ordering::Equal));
+        hits.dedup_by_key(|n| n.index);
+        if let Some(k) = max_neighbors {
+            hits.truncate(k);
+        }
+    }
+    report
+}
+
+/// Pure brute-force search load (the GPU baseline's strategy): every query
+/// scans every point.
+pub fn exhaustive_visits(num_points: usize, num_queries: usize) -> usize {
+    num_points * num_queries
+}
+
+/// DRAM bytes of the Crescent schedule for the same workload: every query
+/// read in stage 1, written back to its sub-tree queue, and read again in
+/// stage 2; the top tree and **each non-empty sub-tree loaded exactly
+/// once** (Sec 3.4).
+pub fn crescent_dram_bytes(split: &SplitTree<'_>, queries: &[Point3], radius: f32) -> u64 {
+    let assignments = split.assign_queries(queries, radius);
+    let mut used = vec![false; split.num_subtrees()];
+    for a in assignments.into_iter().flatten() {
+        used[a] = true;
+    }
+    let mut bytes = (3 * queries.len() * POINT_BYTES) as u64;
+    bytes += (split.top_len() * NODE_BYTES) as u64;
+    for (s, &u) in used.iter().enumerate() {
+        if u {
+            bytes += (split.subtree_len(s) * NODE_BYTES) as u64;
+        }
+    }
+    bytes
+}
+
+fn collect_subtree(tree: &crate::tree::KdTree, root: usize, out: &mut Vec<usize>) {
+    let mut stack = vec![root];
+    while let Some(i) = stack.pop() {
+        out.push(i);
+        if let Some(l) = tree.left(i) {
+            stack.push(l);
+        }
+        if let Some(r) = tree.right(i) {
+            stack.push(r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split::{SplitSearchConfig, SplitTree};
+    use crate::tree::KdTree;
+    use crescent_pointcloud::PointCloud;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_cloud(n: usize, seed: u64) -> PointCloud {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Point3::new(
+                    rng.random::<f32>() * 2.0,
+                    rng.random::<f32>() * 2.0,
+                    rng.random::<f32>() * 2.0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exhaustive_split_matches_crescent_results() {
+        // same split tree, same confinement: identical neighbor sets
+        let cloud = random_cloud(600, 21);
+        let tree = KdTree::build(&cloud);
+        let split = SplitTree::new(&tree, 3).unwrap();
+        let queries: Vec<Point3> = random_cloud(40, 22).into_points();
+        let base = split_exhaustive_search(&split, &queries, 0.3, Some(16), 8);
+        let cfg = SplitSearchConfig {
+            radius: 0.3,
+            max_neighbors: Some(16),
+            num_pes: 4,
+            elision: None,
+        };
+        let (ours, _) = split.batch_search(&queries, &cfg);
+        for (a, b) in base.results.iter().zip(&ours) {
+            let ai: Vec<usize> = a.iter().map(|n| n.index).collect();
+            let bi: Vec<usize> = b.iter().map(|n| n.index).collect();
+            assert_eq!(ai, bi);
+        }
+    }
+
+    #[test]
+    fn kd_subtree_search_visits_fewer_nodes() {
+        // Fig 24a: Crescent's in-sub-tree K-d traversal beats exhaustive
+        let cloud = random_cloud(8192, 23);
+        let tree = KdTree::build(&cloud);
+        let split = SplitTree::new(&tree, 4).unwrap();
+        let queries: Vec<Point3> = random_cloud(64, 24).into_points();
+        let base = split_exhaustive_search(&split, &queries, 0.15, None, 16);
+        let cfg = SplitSearchConfig {
+            radius: 0.15,
+            max_neighbors: None,
+            num_pes: 4,
+            elision: None,
+        };
+        let (_, stats) = split.batch_search(&queries, &cfg);
+        assert!(
+            (stats.nodes_visited as f64) < 0.8 * base.nodes_visited as f64,
+            "crescent {} vs exhaustive {}",
+            stats.nodes_visited,
+            base.nodes_visited
+        );
+    }
+
+    #[test]
+    fn reloads_inflate_dram_traffic() {
+        // Fig 24b: small queue capacity -> many reloads -> more DRAM bytes
+        let cloud = random_cloud(4096, 25);
+        let tree = KdTree::build(&cloud);
+        let split = SplitTree::new(&tree, 3).unwrap();
+        let queries: Vec<Point3> = random_cloud(256, 26).into_points();
+        let quicknn = split_exhaustive_search(&split, &queries, 0.2, None, 8);
+        let ours = crescent_dram_bytes(&split, &queries, 0.2);
+        assert!(
+            ours < quicknn.dram_bytes,
+            "crescent {ours} vs quicknn {}",
+            quicknn.dram_bytes
+        );
+        assert!(quicknn.subtree_loads > split.num_subtrees());
+    }
+
+    #[test]
+    fn big_queue_capacity_converges_to_single_loads() {
+        let cloud = random_cloud(1024, 27);
+        let tree = KdTree::build(&cloud);
+        let split = SplitTree::new(&tree, 2).unwrap();
+        let queries: Vec<Point3> = random_cloud(64, 28).into_points();
+        let r = split_exhaustive_search(&split, &queries, 0.2, None, usize::MAX >> 1);
+        // one load per non-empty sub-tree
+        assert!(r.subtree_loads <= split.num_subtrees());
+    }
+
+    #[test]
+    fn exhaustive_visits_formula() {
+        assert_eq!(exhaustive_visits(1000, 10), 10_000);
+        assert_eq!(exhaustive_visits(0, 10), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue capacity")]
+    fn zero_queue_capacity_panics() {
+        let cloud = random_cloud(64, 29);
+        let tree = KdTree::build(&cloud);
+        let split = SplitTree::new(&tree, 1).unwrap();
+        let _ = split_exhaustive_search(&split, &[], 0.2, None, 0);
+    }
+
+    #[test]
+    fn empty_tree_report() {
+        let tree = KdTree::build(&PointCloud::new());
+        let split = SplitTree::new(&tree, 0).unwrap();
+        let r = split_exhaustive_search(&split, &[Point3::ZERO], 1.0, None, 4);
+        assert_eq!(r.nodes_visited, 0);
+        assert!(r.results[0].is_empty());
+    }
+}

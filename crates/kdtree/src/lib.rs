@@ -1,0 +1,53 @@
+//! K-d tree and approximate neighbor search for the Crescent (ISCA 2022)
+//! reproduction.
+//!
+//! Layers:
+//!
+//! * [`KdTree`] — flat, left-balanced K-d tree whose heap layout is a dense
+//!   array (the accelerator's streaming DRAM image);
+//! * [`radius_search`] / [`knn_search`] — exact traversal with optional
+//!   per-fetch instrumentation for the memory-trace experiments;
+//! * [`SplitTree`] — the paper's two-level top-tree/sub-tree structure with
+//!   the fully-streaming two-stage search (Sec 3) and the lock-step
+//!   bank-conflict elision model (Sec 4);
+//! * [`baselines`] — Tigris/QuickNN-style split-exhaustive search with
+//!   sub-tree reloading, used by the Fig 24 comparison.
+//!
+//! # Example
+//!
+//! ```
+//! use crescent_kdtree::{KdTree, SplitSearchConfig, SplitTree};
+//! use crescent_pointcloud::{Point3, PointCloud};
+//!
+//! let cloud: PointCloud = (0..1000)
+//!     .map(|i| Point3::new((i % 10) as f32, ((i / 10) % 10) as f32, (i / 100) as f32))
+//!     .collect();
+//! let tree = KdTree::build(&cloud);
+//! let split = SplitTree::new(&tree, 4)?;
+//! let queries = [Point3::new(5.0, 5.0, 5.0)];
+//! let (results, stats) = split.batch_search(&queries, &SplitSearchConfig {
+//!     radius: 1.5,
+//!     ..SplitSearchConfig::default()
+//! });
+//! assert!(!results[0].is_empty());
+//! assert!(stats.nodes_visited < cloud.len());
+//! # Ok::<(), crescent_kdtree::SplitTreeError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod baselines;
+pub mod search;
+pub mod split;
+pub mod tree;
+
+pub use baselines::{
+    crescent_dram_bytes, exhaustive_visits, split_exhaustive_search, BaselineReport,
+};
+pub use search::{knn_search, radius_search, radius_search_traced, TraversalStats};
+pub use split::{
+    subtree_radius_search, ElisionConfig, SplitSearchConfig, SplitSearchStats, SplitTree,
+    SplitTreeError,
+};
+pub use tree::{height_for, left_subtree_size, KdNode, KdTree, NODE_BYTES};

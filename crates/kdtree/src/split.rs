@@ -1,0 +1,1041 @@
+//! Two-level split-tree and the Crescent approximate neighbor search
+//! (Sec 3), including the selective bank-conflict elision model (Sec 4).
+//!
+//! The K-d tree is split into a *top tree* (levels `0..h_t`) and a set of
+//! *sub-trees* (the subtrees rooted at level `h_t`). A query first descends
+//! the top tree with no backtracking and is assigned to exactly one
+//! sub-tree; in the second stage each sub-tree answers its queue of queries
+//! with backtracking **confined to the sub-tree**. Both stages stream their
+//! DRAM accesses (queries in arrival order, sub-trees as dense arrays).
+//!
+//! Approximation knobs (Sec 3.3, 4.4):
+//!
+//! * `h_t` (top-tree height): taller ⇒ smaller sub-trees ⇒ fewer nodes
+//!   visited in backtracking ⇒ faster but less accurate;
+//! * `h_e` (elision height): tree level at and below which a bank-conflicted
+//!   tree-buffer fetch is *dropped* (the subtree beneath it is skipped)
+//!   instead of stalling the PE. Smaller ⇒ more drops ⇒ faster but less
+//!   accurate.
+
+use serde::{Deserialize, Serialize};
+
+use crescent_pointcloud::{Neighbor, Point3};
+
+use crate::tree::KdTree;
+
+/// Error building a [`SplitTree`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SplitTreeError {
+    /// `top_height` must be `< tree.height()` (a sub-tree level must exist).
+    TopHeightTooLarge {
+        /// Requested top-tree height.
+        requested: usize,
+        /// Height of the underlying tree.
+        tree_height: usize,
+    },
+}
+
+impl std::fmt::Display for SplitTreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SplitTreeError::TopHeightTooLarge { requested, tree_height } => write!(
+                f,
+                "top-tree height {requested} leaves no sub-tree level in a tree of height {tree_height}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SplitTreeError {}
+
+/// A K-d tree split into a top tree and sub-trees, per Sec 3.1.
+///
+/// # Examples
+///
+/// ```
+/// use crescent_kdtree::{KdTree, SplitTree};
+/// use crescent_pointcloud::{Point3, PointCloud};
+///
+/// let cloud: PointCloud = (0..255).map(|i| Point3::new(i as f32, 0.0, 0.0)).collect();
+/// let tree = KdTree::build(&cloud);
+/// let split = SplitTree::new(&tree, 3)?;
+/// assert_eq!(split.num_subtrees(), 8);
+/// # Ok::<(), crescent_kdtree::SplitTreeError>(())
+/// ```
+#[derive(Debug)]
+pub struct SplitTree<'a> {
+    tree: &'a KdTree,
+    top_height: usize,
+    subtree_roots: Vec<usize>,
+}
+
+impl<'a> SplitTree<'a> {
+    /// Splits `tree` below a top tree of height `top_height`.
+    ///
+    /// `top_height == 0` yields a degenerate split with a single sub-tree
+    /// (the whole tree) — i.e. exact search.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SplitTreeError::TopHeightTooLarge`] if no sub-tree level
+    /// would remain.
+    pub fn new(tree: &'a KdTree, top_height: usize) -> Result<Self, SplitTreeError> {
+        if !tree.is_empty() && top_height >= tree.height() {
+            return Err(SplitTreeError::TopHeightTooLarge {
+                requested: top_height,
+                tree_height: tree.height(),
+            });
+        }
+        let subtree_roots = tree.subtree_roots(top_height);
+        Ok(SplitTree { tree, top_height, subtree_roots })
+    }
+
+    /// The underlying tree.
+    #[inline]
+    pub fn tree(&self) -> &KdTree {
+        self.tree
+    }
+
+    /// The top-tree height `h_t`.
+    #[inline]
+    pub fn top_height(&self) -> usize {
+        self.top_height
+    }
+
+    /// Number of sub-trees (≤ `2^h_t`; fewer in non-perfect trees).
+    #[inline]
+    pub fn num_subtrees(&self) -> usize {
+        self.subtree_roots.len()
+    }
+
+    /// Heap slots of the sub-tree roots.
+    #[inline]
+    pub fn subtree_roots(&self) -> &[usize] {
+        &self.subtree_roots
+    }
+
+    /// Number of nodes in sub-tree `s`.
+    pub fn subtree_len(&self, s: usize) -> usize {
+        self.tree.subtree_len(self.subtree_roots[s])
+    }
+
+    /// Number of nodes in the top tree.
+    pub fn top_len(&self) -> usize {
+        ((1usize << self.top_height) - 1).min(self.tree.len())
+    }
+
+    /// Height of the tallest sub-tree.
+    pub fn subtree_height(&self) -> usize {
+        self.tree.height().saturating_sub(self.top_height)
+    }
+
+    /// Stage 1 for a single query: descends the top tree (no backtracking)
+    /// and returns the sub-tree index the query is assigned to, reporting
+    /// candidate neighbors found among the top-tree nodes to `hits` and
+    /// each node fetch to `on_fetch`.
+    ///
+    /// Returns `None` for an empty tree.
+    pub fn route_query(
+        &self,
+        query: Point3,
+        radius: f32,
+        hits: &mut Vec<Neighbor>,
+        on_fetch: &mut dyn FnMut(usize),
+    ) -> Option<usize> {
+        if self.tree.is_empty() {
+            return None;
+        }
+        let r2 = radius * radius;
+        let mut idx = 0usize;
+        loop {
+            let level = self.tree.level_of(idx);
+            if level == self.top_height {
+                // reached a sub-tree root
+                let s = idx - self.subtree_roots[0];
+                return Some(s);
+            }
+            on_fetch(idx);
+            let node = self.tree.node(idx);
+            let d2 = node.point.dist2(query);
+            if d2 <= r2 {
+                hits.push(Neighbor { index: node.point_index as usize, dist2: d2 });
+            }
+            let axis = node.axis as usize;
+            let next = if query.coord(axis) - node.point.coord(axis) <= 0.0 {
+                self.tree.left(idx)
+            } else {
+                self.tree.right(idx)
+            };
+            match next {
+                Some(n) => idx = n,
+                // ragged bottom of a non-perfect tree: clamp to the last
+                // existing sub-tree (its queue absorbs the query)
+                None => return Some(self.nearest_subtree_for(idx)),
+            }
+        }
+    }
+
+    fn nearest_subtree_for(&self, idx: usize) -> usize {
+        // map a top-tree slot with a missing child onto the sub-tree whose
+        // root shares the longest path prefix; clamp into range
+        let first = self.subtree_roots[0];
+        let mut i = idx;
+        while i < first {
+            i = 2 * i + 1;
+        }
+        (i - first).min(self.subtree_roots.len() - 1)
+    }
+
+    /// Full two-stage approximate search for one query (no bank-conflict
+    /// modeling): top-tree descent, then exact search confined to the
+    /// assigned sub-tree. Node fetches are reported to `on_fetch`.
+    pub fn search_one_traced(
+        &self,
+        query: Point3,
+        radius: f32,
+        max_neighbors: Option<usize>,
+        on_fetch: &mut dyn FnMut(usize),
+    ) -> Vec<Neighbor> {
+        let mut hits = Vec::new();
+        let Some(s) = self.route_query(query, radius, &mut hits, on_fetch) else {
+            return hits;
+        };
+        let root = self.subtree_roots[s];
+        subtree_radius_search(self.tree, root, query, radius, &mut hits, on_fetch);
+        finalize(&mut hits, max_neighbors);
+        hits
+    }
+
+    /// [`SplitTree::search_one_traced`] without instrumentation.
+    pub fn search_one(
+        &self,
+        query: Point3,
+        radius: f32,
+        max_neighbors: Option<usize>,
+    ) -> Vec<Neighbor> {
+        self.search_one_traced(query, radius, max_neighbors, &mut |_| {})
+    }
+
+    /// Stage-1 routing for a whole batch: returns the sub-tree assignment
+    /// of each query (usable for DRAM-traffic accounting) without running
+    /// stage 2.
+    pub fn assign_queries(&self, queries: &[Point3], radius: f32) -> Vec<Option<usize>> {
+        queries
+            .iter()
+            .map(|&q| {
+                let mut hits = Vec::new();
+                self.route_query(q, radius, &mut hits, &mut |_| {})
+            })
+            .collect()
+    }
+
+    /// Batch two-stage search with the lock-step PE / banked-tree-buffer
+    /// model, implementing selective bank-conflict elision (Sec 4).
+    ///
+    /// Queries are routed in stage 1, grouped per sub-tree, and each
+    /// sub-tree's queue is processed `config.num_pes` queries at a time.
+    /// Every simulated cycle, each active PE issues a fetch for its
+    /// stack-top node; fetches that lose bank arbitration either **stall**
+    /// (node level < `h_e`) or are **elided** (level ≥ `h_e`), skipping the
+    /// node and the whole subtree beneath it.
+    ///
+    /// Returns one neighbor list per query plus the aggregate statistics.
+    pub fn batch_search(
+        &self,
+        queries: &[Point3],
+        config: &SplitSearchConfig,
+    ) -> (Vec<Vec<Neighbor>>, SplitSearchStats) {
+        let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); queries.len()];
+        let mut stats = SplitSearchStats::new(self.num_subtrees());
+        if self.tree.is_empty() || queries.is_empty() {
+            return (results, stats);
+        }
+
+        // ---- stage 1: top-tree descent (lock-step, conflicts modeled) ----
+        let assignments =
+            self.run_top_stage(queries, config, &mut results, &mut stats);
+
+        // ---- group queries per sub-tree, preserving arrival order ----
+        let mut queues: Vec<Vec<usize>> = vec![Vec::new(); self.num_subtrees()];
+        for (qi, a) in assignments.iter().enumerate() {
+            if let Some(s) = a {
+                queues[*s].push(qi);
+            } else {
+                stats.queries_dropped += 1;
+            }
+        }
+        for (s, q) in queues.iter().enumerate() {
+            stats.queries_per_subtree[s] = q.len();
+        }
+
+        // ---- stage 2: per-sub-tree confined search ----
+        for (s, queue) in queues.iter().enumerate() {
+            let root = self.subtree_roots[s];
+            self.run_subtree_queue(root, queue, queries, config, &mut results, &mut stats);
+        }
+
+        for hits in &mut results {
+            finalize(hits, config.max_neighbors);
+        }
+        (results, stats)
+    }
+
+    /// Stage-1 simulation: PEs pull queries from the head of the batch as
+    /// they go idle (each PE executes queries independently, Fig 7) and
+    /// descend the top tree cycle by cycle. Returns each query's sub-tree.
+    fn run_top_stage(
+        &self,
+        queries: &[Point3],
+        config: &SplitSearchConfig,
+        results: &mut [Vec<Neighbor>],
+        stats: &mut SplitSearchStats,
+    ) -> Vec<Option<usize>> {
+        let r2 = config.radius * config.radius;
+        let mut assignments: Vec<Option<usize>> = vec![None; queries.len()];
+        if self.top_height == 0 {
+            for a in assignments.iter_mut() {
+                *a = Some(0);
+            }
+            return assignments;
+        }
+        let num_pes = config.num_pes.max(1);
+        let mut next_query = 0usize;
+        // per-PE (query index, cursor); None = idle
+        let mut pe_state: Vec<Option<(usize, usize)>> = vec![None; num_pes];
+        loop {
+            // issue new queries to idle PEs
+            for slot in pe_state.iter_mut() {
+                if slot.is_none() && next_query < queries.len() {
+                    *slot = Some((next_query, 0));
+                    next_query += 1;
+                }
+            }
+            if pe_state.iter().all(Option::is_none) {
+                break;
+            }
+            stats.rounds += 1;
+            let requests: Vec<Option<usize>> = pe_state
+                .iter()
+                .map(|s| s.map(|(_, idx)| idx))
+                .collect();
+            let honored = self.arbitrate(&requests, config, stats);
+            for (pe, slot) in pe_state.iter_mut().enumerate() {
+                let Some((qi, idx)) = *slot else { continue };
+                match honored[pe] {
+                    Arbitration::Honored => {
+                        stats.top_tree_visits += 1;
+                        stats.nodes_visited += 1;
+                        let node = self.tree.node(idx);
+                        let q = queries[qi];
+                        let d2 = node.point.dist2(q);
+                        if d2 <= r2 {
+                            results[qi]
+                                .push(Neighbor { index: node.point_index as usize, dist2: d2 });
+                        }
+                        let axis = node.axis as usize;
+                        let next = if q.coord(axis) - node.point.coord(axis) <= 0.0 {
+                            self.tree.left(idx)
+                        } else {
+                            self.tree.right(idx)
+                        };
+                        match next {
+                            Some(n) if self.tree.level_of(n) >= self.top_height => {
+                                assignments[qi] = Some(n - self.subtree_roots[0]);
+                                *slot = None;
+                            }
+                            Some(n) => *slot = Some((qi, n)),
+                            None => {
+                                assignments[qi] = Some(self.nearest_subtree_for(idx));
+                                *slot = None;
+                            }
+                        }
+                    }
+                    Arbitration::Reused(w) if w != idx => {
+                        // continue routing from the winner's (top-tree)
+                        // node — routing stays on a valid downward path
+                        stats.descendant_reuses += 1;
+                        stats.nodes_skipped +=
+                            self.tree.subtree_len(idx) - self.tree.subtree_len(w);
+                        if self.tree.level_of(w) >= self.top_height {
+                            assignments[qi] = Some(w - self.subtree_roots[0]);
+                            *slot = None;
+                        } else {
+                            *slot = Some((qi, w));
+                        }
+                    }
+                    Arbitration::Reused(_) => {
+                        // same node: multicast data, proceed as honored
+                        // next round without re-requesting
+                        stats.descendant_reuses += 1;
+                    }
+                    Arbitration::Stalled => { /* retry next round */ }
+                    Arbitration::Elided => {
+                        // routing fetch lost and dropped: the query never
+                        // reaches a sub-tree
+                        stats.nodes_elided += 1;
+                        stats.nodes_skipped += self.tree.subtree_len(idx);
+                        *slot = None;
+                    }
+                }
+            }
+        }
+        assignments
+    }
+
+    /// Stage-2 simulation of one sub-tree's query queue: idle PEs pull the
+    /// next queued query and traverse independently, stalling only on
+    /// tree-buffer bank conflicts.
+    fn run_subtree_queue(
+        &self,
+        root: usize,
+        queue: &[usize],
+        queries: &[Point3],
+        config: &SplitSearchConfig,
+        results: &mut [Vec<Neighbor>],
+        stats: &mut SplitSearchStats,
+    ) {
+        if queue.is_empty() {
+            return;
+        }
+        let r2 = config.radius * config.radius;
+        let num_pes = config.num_pes.max(1);
+        let mut next = 0usize;
+        let mut pe_query: Vec<Option<usize>> = vec![None; num_pes];
+        let mut stacks: Vec<Vec<usize>> = vec![Vec::new(); num_pes];
+        loop {
+            for (slot, stack) in pe_query.iter_mut().zip(&mut stacks) {
+                if slot.is_none() && next < queue.len() {
+                    *slot = Some(queue[next]);
+                    next += 1;
+                    stack.push(root);
+                }
+            }
+            if pe_query.iter().all(Option::is_none) {
+                break;
+            }
+            stats.rounds += 1;
+            let tops: Vec<Option<usize>> = stacks.iter().map(|s| s.last().copied()).collect();
+            let honored = self.arbitrate(&tops, config, stats);
+            for pe in 0..num_pes {
+                let Some(qi) = pe_query[pe] else { continue };
+                let Some(idx) = tops[pe] else { continue };
+                let mut visit: Option<usize> = None;
+                match honored[pe] {
+                    Arbitration::Honored => {
+                        stacks[pe].pop();
+                        visit = Some(idx);
+                    }
+                    Arbitration::Reused(w) => {
+                        stacks[pe].pop();
+                        stats.descendant_reuses += 1;
+                        if w == idx {
+                            // same node: the multicast data is exactly
+                            // what this PE asked for
+                            visit = Some(idx);
+                        } else {
+                            // continue beneath the winner; the bypassed
+                            // part of this subtree is skipped
+                            stats.nodes_skipped +=
+                                self.tree.subtree_len(idx) - self.tree.subtree_len(w);
+                            stacks[pe].push(w);
+                        }
+                    }
+                    Arbitration::Stalled => { /* keep stack top, retry */ }
+                    Arbitration::Elided => {
+                        // drop the node and everything beneath it
+                        stacks[pe].pop();
+                        stats.nodes_elided += 1;
+                        stats.nodes_skipped += self.tree.subtree_len(idx);
+                    }
+                }
+                if let Some(idx) = visit {
+                    stats.nodes_visited += 1;
+                    stats.subtree_visits += 1;
+                    let node = self.tree.node(idx);
+                    let q = queries[qi];
+                    let d2 = node.point.dist2(q);
+                    if d2 <= r2 {
+                        results[qi]
+                            .push(Neighbor { index: node.point_index as usize, dist2: d2 });
+                    }
+                    let axis = node.axis as usize;
+                    let delta = q.coord(axis) - node.point.coord(axis);
+                    let (near, far) = if delta <= 0.0 {
+                        (self.tree.left(idx), self.tree.right(idx))
+                    } else {
+                        (self.tree.right(idx), self.tree.left(idx))
+                    };
+                    if delta * delta <= r2 {
+                        if let Some(f) = far {
+                            stacks[pe].push(f);
+                        }
+                    }
+                    if let Some(n) = near {
+                        stacks[pe].push(n);
+                    }
+                }
+                if stacks[pe].is_empty() {
+                    pe_query[pe] = None;
+                }
+            }
+        }
+    }
+
+    /// Bank arbitration for one lock-step round. `requests[pe]` is the
+    /// node each PE wants to fetch (None = idle).
+    fn arbitrate(
+        &self,
+        requests: &[Option<usize>],
+        config: &SplitSearchConfig,
+        stats: &mut SplitSearchStats,
+    ) -> Vec<Arbitration> {
+        let mut out = vec![Arbitration::Honored; requests.len()];
+        let Some(el) = &config.elision else {
+            // no banking model: every request is honored
+            for (pe, r) in requests.iter().enumerate() {
+                if r.is_some() {
+                    stats.fetch_attempts += 1;
+                } else {
+                    out[pe] = Arbitration::Stalled; // unused for idle PEs
+                }
+            }
+            return out;
+        };
+        let banks = el.num_banks.max(1);
+        // winner per bank: the node whose data the bank will return
+        let mut winner_of_bank: Vec<Option<usize>> = vec![None; banks];
+        for (pe, r) in requests.iter().enumerate() {
+            let Some(idx) = *r else {
+                out[pe] = Arbitration::Stalled; // idle; value unused
+                continue;
+            };
+            stats.fetch_attempts += 1;
+            let bank = idx % banks;
+            match winner_of_bank[bank] {
+                None => {
+                    winner_of_bank[bank] = Some(idx);
+                    out[pe] = Arbitration::Honored;
+                }
+                Some(winner_node) => {
+                    stats.bank_conflicts += 1;
+                    if self.tree.level_of(idx) >= el.elision_height {
+                        if el.descendant_reuse && is_ancestor(idx, winner_node) {
+                            // the winner's data lies beneath the lost
+                            // node: continuing from it terminates and
+                            // skips fewer nodes (Sec 4.2 refinement)
+                            out[pe] = Arbitration::Reused(winner_node);
+                        } else {
+                            out[pe] = Arbitration::Elided;
+                        }
+                    } else {
+                        stats.conflict_stalls += 1;
+                        out[pe] = Arbitration::Stalled;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Arbitration {
+    Honored,
+    Stalled,
+    Elided,
+    /// Conflict elided, but the winner's node is beneath the requested
+    /// node: continue the traversal from the carried slot (Sec 4.2
+    /// future-work refinement).
+    Reused(usize),
+}
+
+/// Configuration of [`SplitTree::batch_search`].
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SplitSearchConfig {
+    /// Search radius.
+    pub radius: f32,
+    /// Cap on returned neighbors per query (None = unbounded).
+    pub max_neighbors: Option<usize>,
+    /// Number of PEs searching in lock-step (paper: 4; Fig 4 uses 8).
+    pub num_pes: usize,
+    /// Bank-conflict model; `None` disables conflict modeling (pure ANS).
+    pub elision: Option<ElisionConfig>,
+}
+
+impl Default for SplitSearchConfig {
+    fn default() -> Self {
+        SplitSearchConfig { radius: 0.2, max_neighbors: Some(32), num_pes: 4, elision: None }
+    }
+}
+
+/// Bank-conflict elision parameters (Sec 4.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ElisionConfig {
+    /// Tree level at and below which conflicted fetches are dropped
+    /// (`h_e`). Conflicts above this level stall instead.
+    pub elision_height: usize,
+    /// Number of tree-buffer banks (low-order interleaved).
+    pub num_banks: usize,
+    /// Descendant-reuse refinement — the optimization Sec 4.2 leaves as
+    /// future work: when the winning request's node lies *beneath* the
+    /// losing request's node in the tree, the loser continues its
+    /// traversal from the winner's node instead of dropping its whole
+    /// subtree. Fewer nodes are skipped (higher accuracy) at no extra
+    /// hardware cost beyond an ancestor check on the two indices.
+    #[serde(default)]
+    pub descendant_reuse: bool,
+}
+
+impl ElisionConfig {
+    /// The paper's elision scheme: conflicted fetches at level ≥ `h_e`
+    /// are dropped outright.
+    pub fn new(elision_height: usize, num_banks: usize) -> Self {
+        ElisionConfig { elision_height, num_banks, descendant_reuse: false }
+    }
+
+    /// Elision with the Sec 4.2 future-work descendant-reuse refinement.
+    pub fn with_descendant_reuse(elision_height: usize, num_banks: usize) -> Self {
+        ElisionConfig { elision_height, num_banks, descendant_reuse: true }
+    }
+}
+
+/// Whether heap slot `ancestor` is a (strict or equal) ancestor of `node`.
+#[inline]
+fn is_ancestor(ancestor: usize, node: usize) -> bool {
+    let la = usize::BITS - (ancestor + 1).leading_zeros();
+    let ln = usize::BITS - (node + 1).leading_zeros();
+    ln >= la && ((node + 1) >> (ln - la)) == ancestor + 1
+}
+
+/// Aggregate statistics of a [`SplitTree::batch_search`] run.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SplitSearchStats {
+    /// Honored node fetches (tree-buffer reads that returned data).
+    pub nodes_visited: usize,
+    /// Fetches dropped by bank-conflict elision.
+    pub nodes_elided: usize,
+    /// Tree nodes made unreachable by elision: each dropped fetch skips the
+    /// node plus its whole subtree (the Fig 9 "# of nodes skipped" metric).
+    pub nodes_skipped: usize,
+    /// Fetches that lost arbitration and stalled (level < `h_e`).
+    pub conflict_stalls: usize,
+    /// Conflicted fetches salvaged by descendant reuse (the Sec 4.2
+    /// future-work refinement; 0 unless
+    /// [`ElisionConfig::descendant_reuse`] is enabled).
+    pub descendant_reuses: usize,
+    /// Total bank conflicts observed (stalled + elided).
+    pub bank_conflicts: usize,
+    /// Total fetch attempts issued to the tree buffer.
+    pub fetch_attempts: usize,
+    /// Lock-step rounds executed (a cycle-count proxy; the accel crate
+    /// refines it with pipeline latencies).
+    pub rounds: usize,
+    /// Node fetches during stage 1 (top-tree descent).
+    pub top_tree_visits: usize,
+    /// Node fetches during stage 2 (sub-tree search).
+    pub subtree_visits: usize,
+    /// Queries dropped entirely (routing fetch elided).
+    pub queries_dropped: usize,
+    /// Stage-2 queue length per sub-tree.
+    pub queries_per_subtree: Vec<usize>,
+}
+
+impl SplitSearchStats {
+    fn new(num_subtrees: usize) -> Self {
+        SplitSearchStats {
+            queries_per_subtree: vec![0; num_subtrees],
+            ..SplitSearchStats::default()
+        }
+    }
+
+    /// Fraction of fetch attempts that bank-conflicted.
+    pub fn conflict_rate(&self) -> f64 {
+        if self.fetch_attempts == 0 {
+            0.0
+        } else {
+            self.bank_conflicts as f64 / self.fetch_attempts as f64
+        }
+    }
+}
+
+/// Exact radius search confined to the sub-tree rooted at `root`,
+/// appending to `hits`.
+pub fn subtree_radius_search(
+    tree: &KdTree,
+    root: usize,
+    query: Point3,
+    radius: f32,
+    hits: &mut Vec<Neighbor>,
+    on_fetch: &mut dyn FnMut(usize),
+) {
+    let r2 = radius * radius;
+    let mut stack = vec![root];
+    while let Some(idx) = stack.pop() {
+        on_fetch(idx);
+        let node = tree.node(idx);
+        let d2 = node.point.dist2(query);
+        if d2 <= r2 {
+            hits.push(Neighbor { index: node.point_index as usize, dist2: d2 });
+        }
+        let axis = node.axis as usize;
+        let delta = query.coord(axis) - node.point.coord(axis);
+        let (near, far) = if delta <= 0.0 {
+            (tree.left(idx), tree.right(idx))
+        } else {
+            (tree.right(idx), tree.left(idx))
+        };
+        if delta * delta <= r2 {
+            if let Some(f) = far {
+                stack.push(f);
+            }
+        }
+        if let Some(n) = near {
+            stack.push(n);
+        }
+    }
+}
+
+fn finalize(hits: &mut Vec<Neighbor>, max_neighbors: Option<usize>) {
+    hits.sort_by(|a, b| a.dist2.partial_cmp(&b.dist2).unwrap_or(std::cmp::Ordering::Equal));
+    hits.dedup_by_key(|n| n.index);
+    if let Some(k) = max_neighbors {
+        hits.truncate(k);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::radius_search;
+    use crescent_pointcloud::PointCloud;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_cloud(n: usize, seed: u64) -> PointCloud {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Point3::new(
+                    rng.random::<f32>() * 2.0,
+                    rng.random::<f32>() * 2.0,
+                    rng.random::<f32>() * 2.0,
+                )
+            })
+            .collect()
+    }
+
+    fn random_queries(n: usize, seed: u64) -> Vec<Point3> {
+        random_cloud(n, seed).into_points()
+    }
+
+    #[test]
+    fn new_rejects_oversized_top() {
+        let cloud = random_cloud(100, 1); // height 7
+        let tree = KdTree::build(&cloud);
+        assert!(SplitTree::new(&tree, 6).is_ok());
+        let err = SplitTree::new(&tree, 7).unwrap_err();
+        assert!(matches!(err, SplitTreeError::TopHeightTooLarge { .. }));
+        assert!(err.to_string().contains("height 7"));
+    }
+
+    #[test]
+    fn zero_top_height_is_exact() {
+        let cloud = random_cloud(200, 2);
+        let tree = KdTree::build(&cloud);
+        let split = SplitTree::new(&tree, 0).unwrap();
+        assert_eq!(split.num_subtrees(), 1);
+        for &q in &random_queries(20, 3) {
+            let mut got: Vec<usize> =
+                split.search_one(q, 0.4, None).iter().map(|n| n.index).collect();
+            let mut want: Vec<usize> =
+                radius_search(&tree, q, 0.4, None).iter().map(|n| n.index).collect();
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn split_counts_partition_tree() {
+        let cloud = random_cloud(1000, 4);
+        let tree = KdTree::build(&cloud);
+        for ht in 1..5 {
+            let split = SplitTree::new(&tree, ht).unwrap();
+            let total: usize =
+                (0..split.num_subtrees()).map(|s| split.subtree_len(s)).sum::<usize>()
+                    + split.top_len();
+            assert_eq!(total, 1000, "ht = {ht}");
+        }
+    }
+
+    #[test]
+    fn approximate_results_subset_of_exact() {
+        // approximate search may miss neighbors (cross-sub-tree) but must
+        // never invent one
+        let cloud = random_cloud(500, 5);
+        let tree = KdTree::build(&cloud);
+        let split = SplitTree::new(&tree, 3).unwrap();
+        for &q in &random_queries(30, 6) {
+            let approx: Vec<usize> = split.search_one(q, 0.3, None).iter().map(|n| n.index).collect();
+            let exact: Vec<usize> =
+                radius_search(&tree, q, 0.3, None).iter().map(|n| n.index).collect();
+            for idx in &approx {
+                assert!(exact.contains(idx), "approx returned non-neighbor {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn higher_top_tree_visits_fewer_nodes() {
+        // Fig 8: nodes visited per query decreases with h_t
+        let cloud = random_cloud(4096, 7);
+        let tree = KdTree::build(&cloud);
+        let queries = random_queries(64, 8);
+        let mut prev = usize::MAX;
+        for ht in [0usize, 2, 4, 6, 8] {
+            let split = SplitTree::new(&tree, ht).unwrap();
+            let mut visits = 0usize;
+            for &q in &queries {
+                split.search_one_traced(q, 0.25, None, &mut |_| visits += 1);
+            }
+            assert!(visits <= prev, "ht {ht}: visits {visits} > prev {prev}");
+            prev = visits;
+        }
+    }
+
+    #[test]
+    fn batch_matches_search_one_without_elision() {
+        let cloud = random_cloud(300, 9);
+        let tree = KdTree::build(&cloud);
+        let split = SplitTree::new(&tree, 2).unwrap();
+        let queries = random_queries(40, 10);
+        let cfg = SplitSearchConfig {
+            radius: 0.35,
+            max_neighbors: Some(16),
+            num_pes: 4,
+            elision: None,
+        };
+        let (batch, stats) = split.batch_search(&queries, &cfg);
+        for (qi, &q) in queries.iter().enumerate() {
+            let single = split.search_one(q, 0.35, Some(16));
+            let a: Vec<usize> = batch[qi].iter().map(|n| n.index).collect();
+            let b: Vec<usize> = single.iter().map(|n| n.index).collect();
+            assert_eq!(a, b, "query {qi}");
+        }
+        assert_eq!(stats.nodes_elided, 0);
+        assert_eq!(stats.bank_conflicts, 0);
+        assert!(stats.nodes_visited > 0);
+        assert_eq!(
+            stats.queries_per_subtree.iter().sum::<usize>(),
+            queries.len()
+        );
+    }
+
+    #[test]
+    fn elision_skips_nodes_and_subsets_results() {
+        let cloud = random_cloud(2048, 11);
+        let tree = KdTree::build(&cloud);
+        let split = SplitTree::new(&tree, 2).unwrap();
+        let queries = random_queries(64, 12);
+        let exact_cfg = SplitSearchConfig {
+            radius: 0.3,
+            max_neighbors: None,
+            num_pes: 8,
+            elision: None,
+        };
+        let elide_cfg = SplitSearchConfig {
+            elision: Some(ElisionConfig { elision_height: 4, num_banks: 4, descendant_reuse: false }),
+            ..exact_cfg
+        };
+        let (full, _) = split.batch_search(&queries, &exact_cfg);
+        let (approx, stats) = split.batch_search(&queries, &elide_cfg);
+        assert!(stats.nodes_elided > 0, "aggressive elision must drop nodes");
+        assert!(stats.bank_conflicts >= stats.nodes_elided);
+        let full_count: usize = full.iter().map(Vec::len).sum();
+        let approx_count: usize = approx.iter().map(Vec::len).sum();
+        assert!(approx_count <= full_count);
+        for (a, f) in approx.iter().zip(&full) {
+            let fset: Vec<usize> = f.iter().map(|n| n.index).collect();
+            for n in a {
+                assert!(fset.contains(&n.index));
+            }
+        }
+    }
+
+    #[test]
+    fn elision_monotone_in_height() {
+        // Fig 9: raising h_e (eliding deeper only) skips fewer nodes
+        let cloud = random_cloud(4096, 13);
+        let tree = KdTree::build(&cloud);
+        let split = SplitTree::new(&tree, 2).unwrap();
+        let queries = random_queries(64, 14);
+        let mut prev_skipped = usize::MAX;
+        for he in [2usize, 5, 8, 11] {
+            let cfg = SplitSearchConfig {
+                radius: 0.3,
+                max_neighbors: None,
+                num_pes: 8,
+                elision: Some(ElisionConfig { elision_height: he, num_banks: 4, descendant_reuse: false }),
+            };
+            let (_, stats) = split.batch_search(&queries, &cfg);
+            // eliding only deeper in the tree makes each drop cheaper;
+            // allow small slack for arbitration dynamics
+            assert!(
+                stats.nodes_skipped <= prev_skipped.saturating_add(prev_skipped / 10),
+                "he {he}: skipped {} > prev {prev_skipped}",
+                stats.nodes_skipped
+            );
+            assert!(stats.nodes_skipped >= stats.nodes_elided);
+            prev_skipped = stats.nodes_skipped;
+        }
+    }
+
+    #[test]
+    fn more_banks_fewer_conflicts() {
+        // Fig 4 trend
+        let cloud = random_cloud(4096, 15);
+        let tree = KdTree::build(&cloud);
+        let split = SplitTree::new(&tree, 2).unwrap();
+        let queries = random_queries(64, 16);
+        let mut prev_rate = 1.1_f64;
+        for banks in [2usize, 8, 32] {
+            let cfg = SplitSearchConfig {
+                radius: 0.3,
+                max_neighbors: None,
+                num_pes: 8,
+                // h_e above tree height: all conflicts stall, none elided,
+                // so results stay exact while conflicts are counted
+                elision: Some(ElisionConfig { elision_height: 64, num_banks: banks, descendant_reuse: false }),
+            };
+            let (_, stats) = split.batch_search(&queries, &cfg);
+            let rate = stats.conflict_rate();
+            assert!(rate <= prev_rate + 1e-9, "banks {banks}: {rate} > {prev_rate}");
+            prev_rate = rate;
+        }
+    }
+
+    #[test]
+    fn descendant_reuse_recovers_results() {
+        // the Sec 4.2 future-work refinement: reusing the winner's data
+        // when it lies beneath the lost node must (a) never invent
+        // neighbors, (b) skip at most as many nodes as plain elision,
+        // and (c) recover at least as many results
+        let cloud = random_cloud(4096, 31);
+        let tree = KdTree::build(&cloud);
+        let split = SplitTree::new(&tree, 2).unwrap();
+        let queries = random_queries(96, 32);
+        let plain = SplitSearchConfig {
+            radius: 0.3,
+            max_neighbors: None,
+            num_pes: 8,
+            elision: Some(ElisionConfig::new(4, 4)),
+        };
+        let reuse = SplitSearchConfig {
+            elision: Some(ElisionConfig::with_descendant_reuse(4, 4)),
+            ..plain
+        };
+        let exact = SplitSearchConfig { elision: None, ..plain };
+        let (full, _) = split.batch_search(&queries, &exact);
+        let (r_plain, s_plain) = split.batch_search(&queries, &plain);
+        let (r_reuse, s_reuse) = split.batch_search(&queries, &reuse);
+        assert!(s_plain.nodes_elided > 0, "workload must trigger elision");
+        assert!(s_reuse.descendant_reuses > 0, "reuse opportunities must arise");
+        assert_eq!(s_plain.descendant_reuses, 0);
+        // (a) subset of exact
+        for (a, f) in r_reuse.iter().zip(&full) {
+            let fidx: Vec<usize> = f.iter().map(|n| n.index).collect();
+            for n in a {
+                assert!(fidx.contains(&n.index));
+            }
+        }
+        // (b) fewer nodes lost
+        assert!(
+            s_reuse.nodes_skipped <= s_plain.nodes_skipped,
+            "reuse skipped {} vs plain {}",
+            s_reuse.nodes_skipped,
+            s_plain.nodes_skipped
+        );
+        // (c) at least as many neighbors survive overall
+        let count = |rs: &[Vec<Neighbor>]| rs.iter().map(Vec::len).sum::<usize>();
+        assert!(
+            count(&r_reuse) >= count(&r_plain),
+            "reuse found {} vs plain {}",
+            count(&r_reuse),
+            count(&r_plain)
+        );
+    }
+
+    #[test]
+    fn is_ancestor_heap_relation() {
+        assert!(is_ancestor(0, 0));
+        assert!(is_ancestor(0, 1));
+        assert!(is_ancestor(0, 6));
+        assert!(is_ancestor(1, 3));
+        assert!(is_ancestor(1, 4));
+        assert!(is_ancestor(1, 9));
+        assert!(!is_ancestor(1, 2));
+        assert!(!is_ancestor(1, 5));
+        assert!(!is_ancestor(3, 1), "not symmetric");
+        assert!(!is_ancestor(2, 3));
+        assert!(is_ancestor(2, 5));
+    }
+
+    #[test]
+    fn stall_only_elision_preserves_results() {
+        let cloud = random_cloud(512, 17);
+        let tree = KdTree::build(&cloud);
+        let split = SplitTree::new(&tree, 2).unwrap();
+        let queries = random_queries(32, 18);
+        let base = SplitSearchConfig {
+            radius: 0.4,
+            max_neighbors: Some(8),
+            num_pes: 8,
+            elision: None,
+        };
+        let stall_all = SplitSearchConfig {
+            elision: Some(ElisionConfig { elision_height: usize::MAX, num_banks: 2, descendant_reuse: false }),
+            ..base
+        };
+        let (a, _) = split.batch_search(&queries, &base);
+        let (b, stats) = split.batch_search(&queries, &stall_all);
+        assert_eq!(stats.nodes_elided, 0);
+        assert!(stats.conflict_stalls > 0);
+        for (x, y) in a.iter().zip(&b) {
+            let xi: Vec<usize> = x.iter().map(|n| n.index).collect();
+            let yi: Vec<usize> = y.iter().map(|n| n.index).collect();
+            assert_eq!(xi, yi);
+        }
+    }
+
+    #[test]
+    fn stats_accounting_consistent() {
+        let cloud = random_cloud(1024, 19);
+        let tree = KdTree::build(&cloud);
+        let split = SplitTree::new(&tree, 3).unwrap();
+        let queries = random_queries(48, 20);
+        let cfg = SplitSearchConfig {
+            radius: 0.3,
+            max_neighbors: None,
+            num_pes: 8,
+            elision: Some(ElisionConfig { elision_height: 6, num_banks: 4, descendant_reuse: false }),
+        };
+        let (_, s) = split.batch_search(&queries, &cfg);
+        assert_eq!(s.nodes_visited, s.top_tree_visits + s.subtree_visits);
+        assert_eq!(s.bank_conflicts, s.conflict_stalls + s.nodes_elided);
+        assert_eq!(
+            s.fetch_attempts,
+            s.nodes_visited + s.bank_conflicts,
+            "every attempt either visits, stalls, or elides"
+        );
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let tree = KdTree::build(&PointCloud::new());
+        let split = SplitTree::new(&tree, 0).unwrap();
+        let (res, stats) = split.batch_search(&[], &SplitSearchConfig::default());
+        assert!(res.is_empty());
+        assert_eq!(stats.nodes_visited, 0);
+        assert!(split.search_one(Point3::ZERO, 1.0, None).is_empty());
+    }
+}

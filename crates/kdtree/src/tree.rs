@@ -1,0 +1,374 @@
+//! Flat-array K-d tree.
+//!
+//! The tree is **left-balanced / complete**: node `i`'s children live at
+//! heap slots `2i+1` and `2i+2`, and all `n` nodes occupy slots `0..n`
+//! contiguously. This is exactly the layout the Crescent hardware assumes:
+//! a tree (or sub-tree) is a dense array that can be DMA-ed on-chip as one
+//! streaming transfer, and the Sec 3.3 capacity inequalities
+//! `2^{h_t} − 1 ≤ S` / `2^{H−h_t+1} − 1 ≤ S` hold with equality-tight
+//! bounds.
+
+use serde::{Deserialize, Serialize};
+
+use crescent_pointcloud::{Point3, PointCloud};
+
+/// Size of one tree node in the accelerator's DRAM layout: 12 B point +
+/// 4 B packed (axis, original point index).
+pub const NODE_BYTES: usize = 16;
+
+/// One K-d tree node.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct KdNode {
+    /// The splitting point stored at this node.
+    pub point: Point3,
+    /// Split axis (0, 1, or 2); cycles with depth.
+    pub axis: u8,
+    /// Index of `point` in the original point cloud.
+    pub point_index: u32,
+}
+
+/// A left-balanced K-d tree over a point cloud.
+///
+/// # Examples
+///
+/// ```
+/// use crescent_kdtree::KdTree;
+/// use crescent_pointcloud::{Point3, PointCloud};
+///
+/// let cloud: PointCloud = (0..100).map(|i| Point3::new(i as f32, 0.0, 0.0)).collect();
+/// let tree = KdTree::build(&cloud);
+/// assert_eq!(tree.len(), 100);
+/// assert_eq!(tree.height(), 7); // ceil(log2(101))
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct KdTree {
+    nodes: Vec<KdNode>,
+    height: usize,
+}
+
+/// Number of nodes in the left subtree of a complete (left-balanced) binary
+/// tree of `n` nodes.
+pub fn left_subtree_size(n: usize) -> usize {
+    if n <= 1 {
+        return 0;
+    }
+    // height of the tree: h = ceil(log2(n+1))
+    let h = usize::BITS as usize - (n).leading_zeros() as usize;
+    let full_above_last = (1usize << (h - 1)) - 1; // nodes in levels 0..h-1
+    let last = n - full_above_last; // 1..=2^(h-1) nodes on the last level
+    let half_cap = 1usize << (h - 2); // last-level capacity of the left subtree
+    ((1usize << (h - 2)) - 1) + last.min(half_cap)
+}
+
+impl KdTree {
+    /// Builds a K-d tree over `cloud`, cycling split axes with depth and
+    /// splitting at the left-balanced median so the flat layout is
+    /// complete.
+    ///
+    /// Building an empty cloud yields an empty tree.
+    pub fn build(cloud: &PointCloud) -> Self {
+        let n = cloud.len();
+        let mut entries: Vec<(Point3, u32)> = cloud
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (*p, i as u32))
+            .collect();
+        let mut nodes = vec![
+            KdNode { point: Point3::ZERO, axis: 0, point_index: u32::MAX };
+            n
+        ];
+        if n > 0 {
+            build_recursive(&mut entries, 0, 0, &mut nodes);
+        }
+        let height = height_for(n);
+        KdTree { nodes, height }
+    }
+
+    /// Number of nodes (== number of points).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Tree height `H = ceil(log2(n+1))`; 0 for an empty tree.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// All nodes in heap (level) order.
+    #[inline]
+    pub fn nodes(&self) -> &[KdNode] {
+        &self.nodes
+    }
+
+    /// The node at heap slot `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.len()`.
+    #[inline]
+    pub fn node(&self, idx: usize) -> &KdNode {
+        &self.nodes[idx]
+    }
+
+    /// Heap slot of the left child, if present.
+    #[inline]
+    pub fn left(&self, idx: usize) -> Option<usize> {
+        let c = 2 * idx + 1;
+        (c < self.nodes.len()).then_some(c)
+    }
+
+    /// Heap slot of the right child, if present.
+    #[inline]
+    pub fn right(&self, idx: usize) -> Option<usize> {
+        let c = 2 * idx + 2;
+        (c < self.nodes.len()).then_some(c)
+    }
+
+    /// The depth (level) of heap slot `idx`; the root is level 0.
+    #[inline]
+    pub fn level_of(&self, idx: usize) -> usize {
+        (usize::BITS as usize) - (idx + 1).leading_zeros() as usize - 1
+    }
+
+    /// Byte address of node `idx` in the accelerator's flat DRAM image.
+    #[inline]
+    pub fn node_addr(&self, idx: usize) -> u64 {
+        (idx * NODE_BYTES) as u64
+    }
+
+    /// Total size of the tree image in bytes.
+    #[inline]
+    pub fn size_bytes(&self) -> usize {
+        self.nodes.len() * NODE_BYTES
+    }
+
+    /// Heap slots of the sub-tree roots when the tree is split below a top
+    /// tree of height `top_height` (i.e. all slots at level `top_height`).
+    ///
+    /// Returns an empty vector if `top_height >= self.height()`.
+    pub fn subtree_roots(&self, top_height: usize) -> Vec<usize> {
+        if top_height >= self.height {
+            return Vec::new();
+        }
+        let first = (1usize << top_height) - 1;
+        let last = (1usize << (top_height + 1)) - 1;
+        (first..last.min(self.nodes.len())).collect()
+    }
+
+    /// Number of nodes in the sub-tree rooted at heap slot `root`.
+    pub fn subtree_len(&self, root: usize) -> usize {
+        let n = self.nodes.len();
+        if root >= n {
+            return 0;
+        }
+        let mut count = 0;
+        let mut level_first = root;
+        let mut level_width = 1usize;
+        loop {
+            if level_first >= n {
+                break;
+            }
+            count += (level_first + level_width).min(n) - level_first;
+            level_first = 2 * level_first + 1;
+            level_width *= 2;
+        }
+        count
+    }
+
+    /// Verifies the K-d ordering invariant (debug aid / test hook): every
+    /// node's left descendants are `<=` and right descendants `>=` on the
+    /// node's split axis.
+    pub fn check_invariants(&self) -> bool {
+        fn check(tree: &KdTree, idx: usize) -> bool {
+            let node = tree.node(idx);
+            let axis = node.axis as usize;
+            let split = node.point.coord(axis);
+            let mut ok = true;
+            if let Some(l) = tree.left(idx) {
+                ok &= all_in_subtree(tree, l, &mut |p| p.coord(axis) <= split);
+                ok &= check(tree, l);
+            }
+            if let Some(r) = tree.right(idx) {
+                ok &= all_in_subtree(tree, r, &mut |p| p.coord(axis) >= split);
+                ok &= check(tree, r);
+            }
+            ok
+        }
+        fn all_in_subtree(tree: &KdTree, idx: usize, pred: &mut dyn FnMut(Point3) -> bool) -> bool {
+            let mut stack = vec![idx];
+            while let Some(i) = stack.pop() {
+                if !pred(tree.node(i).point) {
+                    return false;
+                }
+                if let Some(l) = tree.left(i) {
+                    stack.push(l);
+                }
+                if let Some(r) = tree.right(i) {
+                    stack.push(r);
+                }
+            }
+            true
+        }
+        self.is_empty() || check(self, 0)
+    }
+}
+
+/// Height of a complete tree with `n` nodes.
+pub fn height_for(n: usize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        usize::BITS as usize - n.leading_zeros() as usize
+    }
+}
+
+fn build_recursive(entries: &mut [(Point3, u32)], heap_idx: usize, depth: usize, out: &mut [KdNode]) {
+    let n = entries.len();
+    if n == 0 {
+        return;
+    }
+    let axis = (depth % 3) as u8;
+    let mid = left_subtree_size(n);
+    entries.select_nth_unstable_by(mid, |a, b| {
+        a.0.coord(axis as usize)
+            .partial_cmp(&b.0.coord(axis as usize))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let (point, point_index) = entries[mid];
+    out[heap_idx] = KdNode { point, axis, point_index };
+    let (lo, rest) = entries.split_at_mut(mid);
+    let hi = &mut rest[1..];
+    build_recursive(lo, 2 * heap_idx + 1, depth + 1, out);
+    build_recursive(hi, 2 * heap_idx + 2, depth + 1, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_cloud(n: usize, seed: u64) -> PointCloud {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Point3::new(
+                    rng.random::<f32>() * 10.0,
+                    rng.random::<f32>() * 10.0,
+                    rng.random::<f32>() * 10.0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn left_subtree_sizes() {
+        // n -> (left, right) must satisfy left + right + 1 == n and both
+        // subtrees must be valid complete trees.
+        assert_eq!(left_subtree_size(0), 0);
+        assert_eq!(left_subtree_size(1), 0);
+        assert_eq!(left_subtree_size(2), 1);
+        assert_eq!(left_subtree_size(3), 1);
+        assert_eq!(left_subtree_size(4), 2);
+        assert_eq!(left_subtree_size(6), 3);
+        assert_eq!(left_subtree_size(7), 3);
+        assert_eq!(left_subtree_size(15), 7);
+    }
+
+    #[test]
+    fn heights() {
+        assert_eq!(height_for(0), 0);
+        assert_eq!(height_for(1), 1);
+        assert_eq!(height_for(2), 2);
+        assert_eq!(height_for(3), 2);
+        assert_eq!(height_for(4), 3);
+        assert_eq!(height_for(7), 3);
+        assert_eq!(height_for(8), 4);
+    }
+
+    #[test]
+    fn build_full_layout() {
+        for n in [1, 2, 3, 5, 8, 17, 64, 100, 257] {
+            let tree = KdTree::build(&random_cloud(n, n as u64));
+            assert_eq!(tree.len(), n);
+            // every slot filled with a real point index
+            let mut seen = vec![false; n];
+            for node in tree.nodes() {
+                let pi = node.point_index as usize;
+                assert!(pi < n, "sentinel leaked into layout");
+                assert!(!seen[pi], "duplicate point index");
+                seen[pi] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn build_respects_kd_invariant() {
+        for n in [3, 10, 33, 100] {
+            let tree = KdTree::build(&random_cloud(n, 100 + n as u64));
+            assert!(tree.check_invariants(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn axis_cycles_with_depth() {
+        let tree = KdTree::build(&random_cloud(31, 3));
+        for idx in 0..tree.len() {
+            assert_eq!(tree.node(idx).axis as usize, tree.level_of(idx) % 3);
+        }
+    }
+
+    #[test]
+    fn levels_and_children() {
+        let tree = KdTree::build(&random_cloud(7, 1));
+        assert_eq!(tree.level_of(0), 0);
+        assert_eq!(tree.level_of(1), 1);
+        assert_eq!(tree.level_of(2), 1);
+        assert_eq!(tree.level_of(3), 2);
+        assert_eq!(tree.level_of(6), 2);
+        assert_eq!(tree.left(0), Some(1));
+        assert_eq!(tree.right(2), Some(6));
+        assert_eq!(tree.left(3), None);
+    }
+
+    #[test]
+    fn subtree_roots_and_sizes() {
+        let tree = KdTree::build(&random_cloud(15, 2)); // perfect, height 4
+        assert_eq!(tree.subtree_roots(0), vec![0]);
+        assert_eq!(tree.subtree_roots(2), vec![3, 4, 5, 6]);
+        assert_eq!(tree.subtree_len(0), 15);
+        assert_eq!(tree.subtree_len(3), 3);
+        assert!(tree.subtree_roots(4).is_empty());
+        // non-perfect tree: sizes still partition the nodes
+        let tree = KdTree::build(&random_cloud(100, 5));
+        let roots = tree.subtree_roots(3);
+        let total: usize = roots.iter().map(|&r| tree.subtree_len(r)).sum();
+        assert_eq!(total + 7, 100); // 7 top-tree nodes at levels 0..3
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = KdTree::build(&PointCloud::new());
+        assert!(tree.is_empty());
+        assert_eq!(tree.height(), 0);
+        assert!(tree.check_invariants());
+        assert!(tree.subtree_roots(0).is_empty());
+    }
+
+    #[test]
+    fn node_addresses_are_contiguous() {
+        let tree = KdTree::build(&random_cloud(10, 7));
+        for i in 0..tree.len() {
+            assert_eq!(tree.node_addr(i), (i * NODE_BYTES) as u64);
+        }
+        assert_eq!(tree.size_bytes(), 10 * NODE_BYTES);
+    }
+}

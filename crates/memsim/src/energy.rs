@@ -1,0 +1,226 @@
+//! Energy model and accounting ledger.
+//!
+//! The paper's energy numbers come from post-synthesis power annotated with
+//! switching activity plus Micron's DRAM power calculators; what the
+//! evaluation actually *uses* are the resulting ratios (Sec 6):
+//!
+//! * random DRAM access : streaming DRAM access ≈ **3 : 1**
+//! * random DRAM access : SRAM access ≈ **25 : 1**
+//!
+//! We adopt those ratios directly (per 4-byte word) and add a small MAC
+//! energy so compute is non-zero but memory-dominated, which is the regime
+//! the paper characterizes. All values are in arbitrary "energy units";
+//! every figure reports energy *normalized to a baseline*, so only ratios
+//! matter.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Per-event energy costs (arbitrary units).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Energy per byte of a random DRAM access.
+    pub dram_random_per_byte: f64,
+    /// Energy per byte of a streaming DRAM access.
+    pub dram_streaming_per_byte: f64,
+    /// Energy per byte of an SRAM access.
+    pub sram_per_byte: f64,
+    /// Energy per MAC operation.
+    pub mac_op: f64,
+    /// Static/leakage energy per cycle for the whole accelerator.
+    pub leakage_per_cycle: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        // normalized to SRAM word (4 B) = 1 unit
+        EnergyModel {
+            sram_per_byte: 0.25,
+            dram_random_per_byte: 6.25,         // 25x SRAM
+            dram_streaming_per_byte: 6.25 / 3.0, // 3:1 random:streaming
+            mac_op: 0.05,
+            leakage_per_cycle: 0.02,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Checks that the model preserves the paper's published ratios.
+    pub fn ratios(&self) -> (f64, f64) {
+        (
+            self.dram_random_per_byte / self.dram_streaming_per_byte,
+            self.dram_random_per_byte / self.sram_per_byte,
+        )
+    }
+}
+
+/// Energy consumption broken down by the categories of Fig 16.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyLedger {
+    /// Random DRAM traffic energy.
+    pub dram_random: f64,
+    /// Streaming DRAM traffic energy.
+    pub dram_streaming: f64,
+    /// Tree-buffer (neighbor search) SRAM energy.
+    pub sram_search: f64,
+    /// Point-buffer (aggregation) SRAM energy.
+    pub sram_aggregation: f64,
+    /// Global-buffer (weights/activations) SRAM energy.
+    pub sram_global: f64,
+    /// MAC / datapath energy.
+    pub compute: f64,
+    /// Leakage.
+    pub leakage: f64,
+}
+
+impl EnergyLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        EnergyLedger::default()
+    }
+
+    /// Total energy across all categories.
+    pub fn total(&self) -> f64 {
+        self.dram_random
+            + self.dram_streaming
+            + self.sram_search
+            + self.sram_aggregation
+            + self.sram_global
+            + self.compute
+            + self.leakage
+    }
+
+    /// Total DRAM energy.
+    pub fn dram(&self) -> f64 {
+        self.dram_random + self.dram_streaming
+    }
+
+    /// Total SRAM energy.
+    pub fn sram(&self) -> f64 {
+        self.sram_search + self.sram_aggregation + self.sram_global
+    }
+
+    /// Adds another ledger's entries.
+    pub fn merge(&mut self, other: &EnergyLedger) {
+        self.dram_random += other.dram_random;
+        self.dram_streaming += other.dram_streaming;
+        self.sram_search += other.sram_search;
+        self.sram_aggregation += other.sram_aggregation;
+        self.sram_global += other.sram_global;
+        self.compute += other.compute;
+        self.leakage += other.leakage;
+    }
+
+    /// Charges random DRAM traffic.
+    pub fn charge_dram_random(&mut self, model: &EnergyModel, bytes: u64) {
+        self.dram_random += model.dram_random_per_byte * bytes as f64;
+    }
+
+    /// Charges streaming DRAM traffic.
+    pub fn charge_dram_streaming(&mut self, model: &EnergyModel, bytes: u64) {
+        self.dram_streaming += model.dram_streaming_per_byte * bytes as f64;
+    }
+
+    /// Charges tree-buffer SRAM traffic (neighbor search).
+    pub fn charge_sram_search(&mut self, model: &EnergyModel, bytes: u64) {
+        self.sram_search += model.sram_per_byte * bytes as f64;
+    }
+
+    /// Charges point-buffer SRAM traffic (aggregation).
+    pub fn charge_sram_aggregation(&mut self, model: &EnergyModel, bytes: u64) {
+        self.sram_aggregation += model.sram_per_byte * bytes as f64;
+    }
+
+    /// Charges global-buffer SRAM traffic (weights / activations).
+    pub fn charge_sram_global(&mut self, model: &EnergyModel, bytes: u64) {
+        self.sram_global += model.sram_per_byte * bytes as f64;
+    }
+
+    /// Charges MAC operations.
+    pub fn charge_macs(&mut self, model: &EnergyModel, macs: u64) {
+        self.compute += model.mac_op * macs as f64;
+    }
+
+    /// Charges leakage for a cycle count.
+    pub fn charge_leakage(&mut self, model: &EnergyModel, cycles: u64) {
+        self.leakage += model.leakage_per_cycle * cycles as f64;
+    }
+}
+
+impl fmt::Display for EnergyLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "energy[total={:.1} dram_rand={:.1} dram_stream={:.1} sram_search={:.1} sram_aggr={:.1} sram_global={:.1} compute={:.1} leak={:.1}]",
+            self.total(),
+            self.dram_random,
+            self.dram_streaming,
+            self.sram_search,
+            self.sram_aggregation,
+            self.sram_global,
+            self.compute,
+            self.leakage
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_model_preserves_paper_ratios() {
+        let (rand_stream, rand_sram) = EnergyModel::default().ratios();
+        assert!((rand_stream - 3.0).abs() < 1e-9);
+        assert!((rand_sram - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ledger_totals() {
+        let m = EnergyModel::default();
+        let mut l = EnergyLedger::new();
+        l.charge_dram_random(&m, 100);
+        l.charge_dram_streaming(&m, 300);
+        l.charge_sram_search(&m, 400);
+        l.charge_sram_aggregation(&m, 400);
+        l.charge_sram_global(&m, 800);
+        l.charge_macs(&m, 1000);
+        l.charge_leakage(&m, 500);
+        assert!(l.total() > 0.0);
+        assert!((l.dram() - (100.0 * 6.25 + 300.0 * 6.25 / 3.0)).abs() < 1e-6);
+        assert!((l.sram() - 0.25 * 1600.0).abs() < 1e-6);
+        assert!((l.compute - 50.0).abs() < 1e-9);
+        assert!((l.leakage - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_dram_dominates_equal_bytes() {
+        // the premise of the whole paper: same bytes, 3x the energy
+        let m = EnergyModel::default();
+        let mut random = EnergyLedger::new();
+        let mut streaming = EnergyLedger::new();
+        random.charge_dram_random(&m, 1 << 20);
+        streaming.charge_dram_streaming(&m, 1 << 20);
+        assert!((random.total() / streaming.total() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_categories() {
+        let m = EnergyModel::default();
+        let mut a = EnergyLedger::new();
+        a.charge_macs(&m, 10);
+        let mut b = EnergyLedger::new();
+        b.charge_macs(&m, 20);
+        b.charge_sram_global(&m, 4);
+        a.merge(&b);
+        assert!((a.compute - 1.5).abs() < 1e-9);
+        assert!((a.sram_global - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_total() {
+        let l = EnergyLedger::new();
+        assert!(format!("{l}").contains("total=0.0"));
+    }
+}

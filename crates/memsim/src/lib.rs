@@ -1,0 +1,41 @@
+//! Memory-system models for the Crescent (ISCA 2022) reproduction.
+//!
+//! * [`DramTraceAnalyzer`] / [`DramTiming`] — streaming/random access
+//!   classification (Fig 2) and LPDDR3-1600-class bandwidth timing;
+//! * [`FullyAssociativeCache`] — the 10 MB fully-associative LRU cache of
+//!   the Fig 3 motivation experiment;
+//! * [`BankedSram`] — bank-conflict detection, serialization, and the
+//!   Fig 10 selective-elision augmentation (Figs 4, 5);
+//! * [`EnergyModel`] / [`EnergyLedger`] — the paper's published energy
+//!   ratios (random : streaming DRAM = 3 : 1, random DRAM : SRAM = 25 : 1)
+//!   and the per-category ledger behind Fig 16.
+//!
+//! # Example
+//!
+//! ```
+//! use crescent_memsim::{BankedSram, DramTraceAnalyzer, SramConfig};
+//!
+//! // classify a DMA stream followed by a pointer chase
+//! let mut dram = DramTraceAnalyzer::new();
+//! dram.stream(0, 4096, 64);
+//! dram.access(1 << 20, 16);
+//! assert!(dram.counters().non_streaming_fraction() < 0.1);
+//!
+//! // arbitrate 4 concurrent requests over a 4-banked SRAM
+//! let mut sram = BankedSram::new(SramConfig::tree_buffer());
+//! let rounds = sram.gather_serializing(&[0, 4, 8, 16]);
+//! assert_eq!(rounds, 2); // addresses 0 and 16 share bank 0
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod dram;
+pub mod energy;
+pub mod sram;
+
+pub use cache::{CacheStats, FullyAssociativeCache};
+pub use dram::{DramCounters, DramTiming, DramTraceAnalyzer};
+pub use energy::{EnergyLedger, EnergyModel};
+pub use sram::{crossbar_relative_area, BankedSram, PortOutcome, SramConfig, SramCounters};

@@ -1,0 +1,325 @@
+//! Banked on-chip SRAM with conflict detection and selective elision.
+//!
+//! Models the arbitration-and-crossbar structure of Fig 10: `P` ports issue
+//! word addresses each cycle; addresses are low-order interleaved across
+//! `B` banks; when several ports hit the same bank, one wins and the rest
+//! either **stall** (baseline behaviour — the request is re-issued) or are
+//! **elided** (Crescent — the port is handed the winner's data, or the
+//! request is dropped, depending on the pipeline mode; see Sec 4.2).
+//!
+//! The module also carries the crossbar-cost observation of Sec 2.2: the
+//! crossbar area grows quadratically with the bank count, which is why
+//! simply adding banks is not an acceptable fix for conflicts.
+
+use serde::{Deserialize, Serialize};
+
+/// Static configuration of a banked SRAM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SramConfig {
+    /// Number of banks (low-order interleaved on word address).
+    pub num_banks: usize,
+    /// Word size in bytes (bank port width).
+    pub word_bytes: usize,
+    /// Total capacity in bytes.
+    pub capacity_bytes: usize,
+}
+
+impl SramConfig {
+    /// The paper's 64 KB, 16-bank Point Buffer (Sec 6).
+    pub fn point_buffer() -> Self {
+        SramConfig { num_banks: 16, word_bytes: 4, capacity_bytes: 64 << 10 }
+    }
+
+    /// The paper's 6 KB, 4-bank Tree Buffer (Sec 6).
+    pub fn tree_buffer() -> Self {
+        SramConfig { num_banks: 4, word_bytes: 4, capacity_bytes: 6 << 10 }
+    }
+
+    /// Bank index of a byte address.
+    #[inline]
+    pub fn bank_of(&self, addr: u64) -> usize {
+        ((addr / self.word_bytes as u64) % self.num_banks as u64) as usize
+    }
+}
+
+/// Outcome of one port's request in an arbitration round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PortOutcome {
+    /// The request won (or had no contention) and data was returned.
+    Granted,
+    /// The request lost arbitration and must be re-issued (baseline).
+    Conflict,
+    /// The request lost arbitration and was elided: the port proceeds with
+    /// the winning request's data (aggregation) or drops the access
+    /// (neighbor search).
+    Elided,
+}
+
+/// Counter block for a banked SRAM.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SramCounters {
+    /// Requests issued across all rounds (including re-issues).
+    pub requests: u64,
+    /// Requests granted.
+    pub grants: u64,
+    /// Requests that lost arbitration (conflicted), whether stalled or elided.
+    pub conflicts: u64,
+    /// Conflicted requests that were elided instead of stalled.
+    pub elided: u64,
+    /// Arbitration rounds executed.
+    pub rounds: u64,
+}
+
+impl SramCounters {
+    /// Fraction of requests that conflicted — the Fig 4 / Fig 5 metric.
+    pub fn conflict_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.conflicts as f64 / self.requests as f64
+        }
+    }
+}
+
+/// A banked SRAM arbiter.
+///
+/// The model is stateless w.r.t. data (only addresses matter) but keeps
+/// running counters.
+///
+/// # Examples
+///
+/// ```
+/// use crescent_memsim::{BankedSram, PortOutcome, SramConfig};
+///
+/// let mut sram = BankedSram::new(SramConfig { num_banks: 2, word_bytes: 4, capacity_bytes: 1024 });
+/// // two requests to bank 0, one to bank 1
+/// let out = sram.arbitrate(&[Some(0), Some(8), Some(4)], false);
+/// assert_eq!(out, vec![PortOutcome::Granted, PortOutcome::Conflict, PortOutcome::Granted]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BankedSram {
+    config: SramConfig,
+    counters: SramCounters,
+    bank_winner: Vec<Option<usize>>, // scratch, reused across rounds
+}
+
+impl BankedSram {
+    /// Creates an arbiter for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero banks or a zero word size.
+    pub fn new(config: SramConfig) -> Self {
+        assert!(config.num_banks > 0, "SRAM needs at least one bank");
+        assert!(config.word_bytes > 0, "SRAM word size must be positive");
+        BankedSram {
+            config,
+            counters: SramCounters::default(),
+            bank_winner: vec![None; config.num_banks],
+        }
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &SramConfig {
+        &self.config
+    }
+
+    /// Arbitrates one cycle of port requests (`None` = idle port).
+    ///
+    /// With `elide == false`, losers get [`PortOutcome::Conflict`] (the
+    /// baseline serializing SRAM). With `elide == true`, losers get
+    /// [`PortOutcome::Elided`] — the Fig 10 AND gate lowering the conflict
+    /// signal.
+    pub fn arbitrate(&mut self, requests: &[Option<u64>], elide: bool) -> Vec<PortOutcome> {
+        self.counters.rounds += 1;
+        for w in &mut self.bank_winner {
+            *w = None;
+        }
+        let mut out = vec![PortOutcome::Granted; requests.len()];
+        for (port, req) in requests.iter().enumerate() {
+            let Some(addr) = *req else { continue };
+            self.counters.requests += 1;
+            let bank = self.config.bank_of(addr);
+            match self.bank_winner[bank] {
+                None => {
+                    self.bank_winner[bank] = Some(port);
+                    self.counters.grants += 1;
+                    out[port] = PortOutcome::Granted;
+                }
+                Some(_) => {
+                    self.counters.conflicts += 1;
+                    if elide {
+                        self.counters.elided += 1;
+                        out[port] = PortOutcome::Elided;
+                    } else {
+                        out[port] = PortOutcome::Conflict;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Runs a gather of `addrs` to completion under baseline (serializing)
+    /// arbitration: conflicted requests re-issue on subsequent rounds.
+    /// Returns the number of rounds the gather took.
+    pub fn gather_serializing(&mut self, addrs: &[u64]) -> u64 {
+        let mut pending: Vec<Option<u64>> = addrs.iter().copied().map(Some).collect();
+        let mut rounds = 0;
+        while pending.iter().any(Option::is_some) {
+            rounds += 1;
+            let outcomes = self.arbitrate(&pending, false);
+            for (slot, outcome) in outcomes.iter().enumerate() {
+                if pending[slot].is_some() && *outcome == PortOutcome::Granted {
+                    pending[slot] = None;
+                }
+            }
+        }
+        rounds
+    }
+
+    /// Runs a gather of `addrs` in a single round with elision: conflicted
+    /// requests return the winner's data immediately (Sec 4.2 aggregation
+    /// behaviour). Returns, per address, whether the access was elided.
+    pub fn gather_eliding(&mut self, addrs: &[u64]) -> Vec<bool> {
+        let reqs: Vec<Option<u64>> = addrs.iter().copied().map(Some).collect();
+        self.arbitrate(&reqs, true)
+            .into_iter()
+            .map(|o| o == PortOutcome::Elided)
+            .collect()
+    }
+
+    /// Accumulated counters.
+    pub fn counters(&self) -> &SramCounters {
+        &self.counters
+    }
+
+    /// Resets the counters (configuration is kept).
+    pub fn reset_counters(&mut self) {
+        self.counters = SramCounters::default();
+    }
+}
+
+/// Relative crossbar area of a `banks × ports` SRAM crossbar, normalized to
+/// a 2-bank, 2-port design.
+///
+/// The paper (Sec 2.2) reports crossbar area growing quadratically with
+/// bank count — with 32 banks the crossbar is twice the area of the memory
+/// arrays themselves. This helper exists for the Fig 22 discussion (why
+/// "just add banks" is not free).
+pub fn crossbar_relative_area(num_banks: usize, num_ports: usize) -> f64 {
+    (num_banks as f64 * num_ports as f64) / 4.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sram(banks: usize) -> BankedSram {
+        BankedSram::new(SramConfig { num_banks: banks, word_bytes: 4, capacity_bytes: 4096 })
+    }
+
+    #[test]
+    fn bank_mapping_is_low_order() {
+        let cfg = SramConfig { num_banks: 4, word_bytes: 4, capacity_bytes: 1024 };
+        assert_eq!(cfg.bank_of(0), 0);
+        assert_eq!(cfg.bank_of(4), 1);
+        assert_eq!(cfg.bank_of(8), 2);
+        assert_eq!(cfg.bank_of(12), 3);
+        assert_eq!(cfg.bank_of(16), 0);
+        assert_eq!(cfg.bank_of(6), 1); // within-word offset ignored
+    }
+
+    #[test]
+    fn no_conflict_when_banks_differ() {
+        let mut s = sram(4);
+        let out = s.arbitrate(&[Some(0), Some(4), Some(8), Some(12)], false);
+        assert!(out.iter().all(|o| *o == PortOutcome::Granted));
+        assert_eq!(s.counters().conflicts, 0);
+    }
+
+    #[test]
+    fn conflict_first_port_wins() {
+        let mut s = sram(4);
+        let out = s.arbitrate(&[Some(0), Some(16)], false);
+        assert_eq!(out[0], PortOutcome::Granted);
+        assert_eq!(out[1], PortOutcome::Conflict);
+        assert_eq!(s.counters().conflict_rate(), 0.5);
+    }
+
+    #[test]
+    fn elide_mode_marks_losers_elided() {
+        let mut s = sram(2);
+        let out = s.arbitrate(&[Some(0), Some(8), Some(16)], true);
+        assert_eq!(out[0], PortOutcome::Granted);
+        assert_eq!(out[1], PortOutcome::Elided);
+        assert_eq!(out[2], PortOutcome::Elided);
+        assert_eq!(s.counters().elided, 2);
+    }
+
+    #[test]
+    fn idle_ports_ignored() {
+        let mut s = sram(2);
+        let out = s.arbitrate(&[None, Some(0), None], false);
+        assert_eq!(out[1], PortOutcome::Granted);
+        assert_eq!(s.counters().requests, 1);
+    }
+
+    #[test]
+    fn serializing_gather_rounds() {
+        let mut s = sram(2);
+        // 4 requests, 2 to each bank -> 2 rounds
+        assert_eq!(s.gather_serializing(&[0, 4, 8, 12]), 2);
+        // all 4 to the same bank -> 4 rounds
+        assert_eq!(s.gather_serializing(&[0, 8, 16, 24]), 4);
+        // no requests -> 0 rounds
+        assert_eq!(s.gather_serializing(&[]), 0);
+    }
+
+    #[test]
+    fn eliding_gather_single_round() {
+        let mut s = sram(2);
+        let before = s.counters().rounds;
+        let elided = s.gather_eliding(&[0, 8, 4, 12]);
+        assert_eq!(s.counters().rounds, before + 1);
+        assert_eq!(elided, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn more_banks_reduce_conflicts_statistically() {
+        // Fig 4 shape: same pseudo-random request stream, increasing banks
+        let mut rates = Vec::new();
+        for banks in [2usize, 4, 8, 16, 32] {
+            let mut s = sram(banks);
+            let mut x = 99u64;
+            for _ in 0..2_000 {
+                let reqs: Vec<Option<u64>> = (0..8)
+                    .map(|_| {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        Some((x >> 13) % 4096)
+                    })
+                    .collect();
+                s.arbitrate(&reqs, false);
+            }
+            rates.push(s.counters().conflict_rate());
+        }
+        for w in rates.windows(2) {
+            assert!(w[1] < w[0], "rates not decreasing: {rates:?}");
+        }
+        // 32 banks vs 8 requests: conflicts should be rare
+        assert!(rates[4] < 0.15, "32-bank rate {}", rates[4]);
+    }
+
+    #[test]
+    fn crossbar_area_quadratic() {
+        assert_eq!(crossbar_relative_area(2, 2), 1.0);
+        assert_eq!(crossbar_relative_area(4, 4), 4.0);
+        assert_eq!(crossbar_relative_area(32, 32), 256.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bank")]
+    fn zero_banks_panics() {
+        let _ = BankedSram::new(SramConfig { num_banks: 0, word_bytes: 4, capacity_bytes: 64 });
+    }
+}

@@ -1,0 +1,158 @@
+//! F-PointNet-style frustum detection network: per-point car/background
+//! segmentation plus amodal box estimation.
+
+use crescent_nn::{Layer, Mlp, Param, Tensor};
+use crescent_pointcloud::{Aabb, Point3, PointCloud};
+
+use crate::fp::FeaturePropagation;
+use crate::sa::{GlobalFeature, SetAbstraction};
+use crate::search::ApproxSetting;
+
+/// Box parameterization width: center (3) + size (3).
+pub const BOX_PARAMS: usize = 6;
+
+/// Scaled-down F-PointNet: an SA + FP trunk produces per-point features;
+/// a segmentation head classifies car vs. background and a box head
+/// regresses the amodal box from the pooled features.
+#[derive(Debug)]
+pub struct FPointNetDet {
+    sa1: SetAbstraction,
+    fp1: FeaturePropagation,
+    seg_head: Mlp,
+    box_global: GlobalFeature,
+    box_head: Mlp,
+}
+
+impl FPointNetDet {
+    /// Builds the network.
+    pub fn new(seed: u64) -> Self {
+        FPointNetDet {
+            sa1: SetAbstraction::new(Some(64), 12, 0.3, &[3, 24, 48], seed),
+            fp1: FeaturePropagation::new(0, 48, &[48, 64], seed + 1),
+            seg_head: Mlp::new(&[64, 32, 2], false, seed + 2),
+            box_global: GlobalFeature::new(&[67, 64, 96], seed + 3),
+            box_head: Mlp::new(&[96, 64, BOX_PARAMS], false, seed + 4),
+        }
+    }
+
+    /// Computes `(mask_logits [n, 2], box_params [1, 6])`.
+    pub fn forward(
+        &mut self,
+        cloud: &PointCloud,
+        setting: &ApproxSetting,
+        train: bool,
+    ) -> (Tensor, Tensor) {
+        let (p1, f1) = self.sa1.forward(cloud, None, setting, train);
+        let u0 = self.fp1.forward(cloud, None, &p1, &f1, train);
+        let mask_logits = self.seg_head.forward(&u0, train);
+        let g = self.box_global.forward(cloud, Some(&u0), train);
+        let box_params = self.box_head.forward(&g, train);
+        (mask_logits, box_params)
+    }
+
+    /// Backpropagates both heads' gradients.
+    pub fn backward(&mut self, grad_mask: &Tensor, grad_box: &Tensor) {
+        let g_box_feat = self.box_head.backward(grad_box);
+        let g_u0_box = self.box_global.backward(&g_box_feat);
+        let g_u0_seg = self.seg_head.backward(grad_mask);
+        let g_u0 = g_u0_box.add(&g_u0_seg);
+        let (_, g_f1) = self.fp1.backward(&g_u0);
+        let _ = self.sa1.backward(&g_f1);
+    }
+
+    /// Visits all trainable parameters.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.sa1.visit_params(f);
+        self.fp1.visit_params(f);
+        self.seg_head.visit_params(f);
+        self.box_global.visit_params(f);
+        self.box_head.visit_params(f);
+    }
+
+    /// Zeroes all gradients.
+    pub fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Predicts the car box of one frustum sample.
+    pub fn predict_box(&mut self, cloud: &PointCloud, setting: &ApproxSetting) -> Aabb {
+        let (_, params) = self.forward(cloud, setting, false);
+        box_from_params(&params)
+    }
+
+    /// Predicts the per-point car mask.
+    pub fn predict_mask(&mut self, cloud: &PointCloud, setting: &ApproxSetting) -> Vec<usize> {
+        let (mask, _) = self.forward(cloud, setting, false);
+        mask.argmax_rows()
+    }
+}
+
+/// Converts a `[1, 6]` parameter row to a box (sizes pass through a
+/// softplus-like floor to stay positive).
+pub fn box_from_params(params: &Tensor) -> Aabb {
+    let p = params.row(0);
+    let center = Point3::new(p[0], p[1], p[2]);
+    let size = Point3::new(p[3].max(0.05), p[4].max(0.05), p[5].max(0.05));
+    Aabb::from_center_size(center, size)
+}
+
+/// Builds the `[1, 6]` regression target from a ground-truth box.
+pub fn params_from_box(b: &Aabb) -> Tensor {
+    let c = b.center();
+    let s = b.size();
+    Tensor::from_rows(&[&[c.x, c.y, c.z, s.x, s.y, s.z]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crescent_pointcloud::datasets::{generate_frustum_sample, DetectionConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample() -> crescent_pointcloud::datasets::DetectionSample {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = DetectionConfig { points_per_sample: 96, ..DetectionConfig::default() };
+        generate_frustum_sample(&mut rng, &cfg)
+    }
+
+    #[test]
+    fn forward_backward_shapes() {
+        let s = sample();
+        let mut net = FPointNetDet::new(1);
+        let (mask, bx) = net.forward(&s.cloud, &ApproxSetting::exact(), true);
+        assert_eq!(mask.shape(), (96, 2));
+        assert_eq!(bx.shape(), (1, BOX_PARAMS));
+        net.zero_grad();
+        net.backward(&Tensor::full(96, 2, 0.01), &Tensor::full(1, BOX_PARAMS, 0.1));
+        let mut g = 0.0;
+        net.visit_params(&mut |p| g += p.grad.sq_norm());
+        assert!(g > 0.0);
+    }
+
+    #[test]
+    fn box_param_roundtrip() {
+        let b = Aabb::from_center_size(Point3::new(1.0, -2.0, 0.5), Point3::new(4.0, 2.0, 1.5));
+        let params = params_from_box(&b);
+        let back = box_from_params(&params);
+        assert!((back.center() - b.center()).norm() < 1e-5);
+        assert!((back.size() - b.size()).norm() < 1e-5);
+    }
+
+    #[test]
+    fn sizes_clamped_positive() {
+        let params = Tensor::from_rows(&[&[0.0, 0.0, 0.0, -5.0, 0.0, 2.0]]);
+        let b = box_from_params(&params);
+        assert!(b.size().x > 0.0 && b.size().y > 0.0);
+    }
+
+    #[test]
+    fn predictions_have_expected_shapes() {
+        let s = sample();
+        let mut net = FPointNetDet::new(2);
+        let mask = net.predict_mask(&s.cloud, &ApproxSetting::exact());
+        assert_eq!(mask.len(), s.cloud.len());
+        let bx = net.predict_box(&s.cloud, &ApproxSetting::ans(3));
+        assert!(bx.volume() > 0.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Feature propagation (the PointNet++ segmentation decoder).
+//!
+//! Features computed on a sparse centroid set are interpolated back onto a
+//! denser point set with inverse-distance-weighted 3-NN interpolation,
+//! concatenated with the dense set's skip features, and refined by a unit
+//! MLP. The interpolation weights are pure geometry (non-differentiable
+//! inputs); gradients flow through the feature values.
+
+use crescent_nn::{Layer, Mlp, Param, Tensor};
+use crescent_pointcloud::{knn_bruteforce, PointCloud};
+
+/// Number of source centroids blended per destination point.
+pub const INTERP_K: usize = 3;
+
+/// A feature-propagation layer.
+#[derive(Debug)]
+pub struct FeaturePropagation {
+    mlp: Mlp,
+    skip_channels: usize,
+    src_channels: usize,
+    // caches
+    weights: Vec<[(usize, f32); INTERP_K]>, // per dst point: (src idx, weight)
+    src_rows: usize,
+}
+
+impl FeaturePropagation {
+    /// Creates a layer; `mlp_dims[0]` must equal `skip_channels +
+    /// src_channels`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths are inconsistent.
+    pub fn new(skip_channels: usize, src_channels: usize, mlp_dims: &[usize], seed: u64) -> Self {
+        assert_eq!(
+            mlp_dims.first().copied(),
+            Some(skip_channels + src_channels),
+            "MLP input must be skip + interpolated width"
+        );
+        FeaturePropagation {
+            mlp: Mlp::new(mlp_dims, true, seed),
+            skip_channels,
+            src_channels,
+            weights: Vec::new(),
+            src_rows: 0,
+        }
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.mlp.out_dim()
+    }
+
+    /// Interpolates `src_features` (aligned with `src_points`) onto
+    /// `dst_points`, concatenates `dst_skip` features, and applies the
+    /// unit MLP. Returns `[n_dst, C']`.
+    pub fn forward(
+        &mut self,
+        dst_points: &PointCloud,
+        dst_skip: Option<&Tensor>,
+        src_points: &PointCloud,
+        src_features: &Tensor,
+        train: bool,
+    ) -> Tensor {
+        let n = dst_points.len();
+        let skip_c = dst_skip.map_or(0, Tensor::cols);
+        assert_eq!(skip_c, self.skip_channels, "skip width mismatch");
+        assert_eq!(src_features.cols(), self.src_channels, "source width mismatch");
+        assert_eq!(src_features.rows(), src_points.len(), "source rows mismatch");
+        self.src_rows = src_points.len();
+
+        self.weights.clear();
+        let mut rows = Tensor::zeros(n, skip_c + self.src_channels);
+        for (i, &dp) in dst_points.iter().enumerate() {
+            let nn = knn_bruteforce(src_points, dp, INTERP_K);
+            let mut w = [(0usize, 0.0f32); INTERP_K];
+            let mut total = 0.0f32;
+            for (slot, hit) in nn.iter().enumerate() {
+                let wi = 1.0 / (hit.dist2 + 1e-8);
+                w[slot] = (hit.index, wi);
+                total += wi;
+            }
+            // pad when src has fewer than K points
+            for slot in nn.len()..INTERP_K {
+                w[slot] = (nn.first().map_or(0, |h| h.index), 0.0);
+            }
+            if total > 0.0 {
+                for e in &mut w {
+                    e.1 /= total;
+                }
+            }
+            let row = rows.row_mut(i);
+            if let Some(skip) = dst_skip {
+                row[..skip_c].copy_from_slice(skip.row(i));
+            }
+            for &(src, wi) in &w {
+                for (acc, v) in row[skip_c..].iter_mut().zip(src_features.row(src)) {
+                    *acc += wi * v;
+                }
+            }
+            self.weights.push(w);
+        }
+        self.mlp.forward(&rows, train)
+    }
+
+    /// Backward pass: returns `(grad_skip, grad_src_features)`.
+    pub fn backward(&mut self, grad: &Tensor) -> (Tensor, Tensor) {
+        let g_rows = self.mlp.backward(grad);
+        let (g_skip, g_interp) = g_rows.split_cols(self.skip_channels);
+        let mut g_src = Tensor::zeros(self.src_rows, self.src_channels);
+        for (i, w) in self.weights.iter().enumerate() {
+            for &(src, wi) in w {
+                for (acc, g) in g_src.row_mut(src).iter_mut().zip(g_interp.row(i)) {
+                    *acc += wi * g;
+                }
+            }
+        }
+        (g_skip, g_src)
+    }
+
+    /// Visits the MLP parameters.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.mlp.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crescent_pointcloud::Point3;
+
+    fn line(n: usize) -> PointCloud {
+        (0..n).map(|i| Point3::new(i as f32, 0.0, 0.0)).collect()
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let dst = line(10);
+        let src = line(4);
+        let src_f = Tensor::he_init(4, 8, 1);
+        let mut fp = FeaturePropagation::new(0, 8, &[8, 16], 2);
+        let out = fp.forward(&dst, None, &src, &src_f, true);
+        assert_eq!(out.shape(), (10, 16));
+        let (g_skip, g_src) = fp.backward(&Tensor::full(10, 16, 1.0));
+        assert_eq!(g_skip.shape(), (10, 0));
+        assert_eq!(g_src.shape(), (4, 8));
+        assert!(g_src.sq_norm() > 0.0);
+    }
+
+    #[test]
+    fn interpolation_is_exact_at_source_points() {
+        // a destination point sitting on a source point should inherit
+        // (almost exactly) that source's features
+        let dst: PointCloud = [Point3::new(2.0, 0.0, 0.0)].into_iter().collect();
+        let src = line(5);
+        let mut src_f = Tensor::zeros(5, 1);
+        for i in 0..5 {
+            src_f[(i, 0)] = i as f32 * 10.0;
+        }
+        // identity-ish MLP probe: check the interpolated input row via a
+        // 1-layer MLP with identity init is overkill; instead verify via
+        // weights cache after forward
+        let mut fp = FeaturePropagation::new(0, 1, &[1, 4], 3);
+        let _ = fp.forward(&dst, None, &src, &src_f, false);
+        let w = &fp.weights[0];
+        // nearest source is index 2 with weight ~1
+        assert_eq!(w[0].0, 2);
+        assert!(w[0].1 > 0.99, "weight {w:?}");
+    }
+
+    #[test]
+    fn with_skip_features() {
+        let dst = line(6);
+        let skip = Tensor::he_init(6, 4, 5);
+        let src = line(3);
+        let src_f = Tensor::he_init(3, 2, 6);
+        let mut fp = FeaturePropagation::new(4, 2, &[6, 8], 7);
+        let out = fp.forward(&dst, Some(&skip), &src, &src_f, true);
+        assert_eq!(out.shape(), (6, 8));
+        let (g_skip, g_src) = fp.backward(&Tensor::full(6, 8, 0.5));
+        assert_eq!(g_skip.shape(), (6, 4));
+        assert_eq!(g_src.shape(), (3, 2));
+    }
+
+    #[test]
+    fn src_feature_gradient_check() {
+        let dst = line(5);
+        let src = line(3);
+        let mut src_f = Tensor::he_init(3, 2, 8);
+        let mut fp = FeaturePropagation::new(0, 2, &[2, 3], 9);
+        let loss_of = |fp: &mut FeaturePropagation, f: &Tensor| {
+            fp.forward(&dst, None, &src, f, false).data().iter().sum::<f32>()
+        };
+        let out = fp.forward(&dst, None, &src, &src_f, false);
+        let (_, g) = fp.backward(&Tensor::full(out.rows(), out.cols(), 1.0));
+        let eps = 1e-2;
+        for idx in [(0usize, 0usize), (1, 1), (2, 0)] {
+            src_f[idx] += eps;
+            let lp = loss_of(&mut fp, &src_f);
+            src_f[idx] -= 2.0 * eps;
+            let lm = loss_of(&mut fp, &src_f);
+            src_f[idx] += eps;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (g[idx] - numeric).abs() < 0.05 * numeric.abs().max(1.0),
+                "at {idx:?}: {} vs {numeric}",
+                g[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn fewer_sources_than_k() {
+        let dst = line(4);
+        let src = line(2); // fewer than INTERP_K
+        let src_f = Tensor::he_init(2, 3, 10);
+        let mut fp = FeaturePropagation::new(0, 3, &[3, 4], 11);
+        let out = fp.forward(&dst, None, &src, &src_f, false);
+        assert_eq!(out.shape(), (4, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "MLP input")]
+    fn inconsistent_widths_panic() {
+        let _ = FeaturePropagation::new(4, 2, &[5, 8], 12);
+    }
+}

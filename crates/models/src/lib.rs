@@ -1,0 +1,56 @@
+//! Point-cloud networks and approximation-aware training for the Crescent
+//! (ISCA 2022) reproduction.
+//!
+//! The crate holds the accuracy side of the evaluation (Tbl 1):
+//!
+//! * [`PointNet2Cls`] / [`DensePointCls`] — classification (ModelNet-like);
+//! * [`PointNet2Seg`] — part segmentation (ShapeNet-like, mIoU);
+//! * [`FPointNetDet`] — frustum detection (KITTI-like, box IoU);
+//! * [`ApproxSetting`] / [`SettingSampler`] — the approximation knobs
+//!   `h = <h_t, h_e>` and the per-input sampling of Sec 5;
+//! * [`train`] — the approximation-aware trainers behind Figs 13, 18–21.
+//!
+//! All networks run their neighbor searches through the same split-tree +
+//! bank-conflict model as the hardware simulator, so a model trained here
+//! is "conditioned upon a specific approximate setting" exactly as the
+//! paper describes.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use crescent_models::{
+//!     eval_classifier, train_classifier, ApproxSetting, Classifier, PointNet2Cls, TrainConfig,
+//! };
+//! use crescent_pointcloud::datasets::{ClassificationConfig, ClassificationDataset};
+//!
+//! let ds = ClassificationDataset::generate(&ClassificationConfig::default());
+//! let mut model = PointNet2Cls::new(ds.num_classes, 42);
+//! // train with the ANS+BCE approximations in the loop
+//! let setting = ApproxSetting::ans_bce(4, 6);
+//! train_classifier(&mut model, &ds.train, &TrainConfig::dedicated(setting, 30));
+//! let acc = eval_classifier(&mut model, &ds.test, &setting);
+//! println!("accuracy under approximation: {acc:.3}");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cls;
+pub mod det;
+pub mod fp;
+pub mod sa;
+pub mod search;
+pub mod seg;
+pub mod train;
+
+pub use cls::{Classifier, DensePointCls, PointNet2Cls};
+pub use det::{box_from_params, params_from_box, FPointNetDet, BOX_PARAMS};
+pub use fp::{FeaturePropagation, INTERP_K};
+pub use sa::{GlobalFeature, SetAbstraction};
+pub use search::{
+    apply_aggregation_elision, neighbor_lists, ApproxSetting, SettingSampler,
+};
+pub use seg::PointNet2Seg;
+pub use train::{
+    eval_classifier, eval_detector, eval_segmenter, loss_decreased, train_classifier,
+    train_detector, train_segmenter, TrainConfig, TrainReport,
+};

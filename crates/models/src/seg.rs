@@ -1,0 +1,126 @@
+//! PointNet++ (s): part-segmentation network with a set-abstraction
+//! encoder and a feature-propagation decoder.
+
+use crescent_nn::{Layer, Mlp, Param, Tensor};
+use crescent_pointcloud::PointCloud;
+
+use crate::fp::FeaturePropagation;
+use crate::sa::SetAbstraction;
+use crate::search::ApproxSetting;
+
+/// Scaled-down PointNet++ segmentation network.
+#[derive(Debug)]
+pub struct PointNet2Seg {
+    sa1: SetAbstraction,
+    sa2: SetAbstraction,
+    fp2: FeaturePropagation,
+    fp1: FeaturePropagation,
+    head: Mlp,
+    num_parts: usize,
+}
+
+impl PointNet2Seg {
+    /// Builds the network for `num_parts` part labels.
+    pub fn new(num_parts: usize, seed: u64) -> Self {
+        PointNet2Seg {
+            sa1: SetAbstraction::new(Some(64), 12, 0.25, &[3, 24, 48], seed),
+            sa2: SetAbstraction::new(Some(16), 8, 0.5, &[51, 48, 96], seed + 1),
+            // fp2: propagate sa2 features (96) onto sa1 points with their
+            // skip features (48)
+            fp2: FeaturePropagation::new(48, 96, &[144, 96], seed + 2),
+            // fp1: propagate fp2 output (96) onto the raw points (no skip)
+            fp1: FeaturePropagation::new(0, 96, &[96, 64], seed + 3),
+            head: Mlp::new(&[64, 48, num_parts], false, seed + 4),
+            num_parts,
+        }
+    }
+
+    /// Number of part labels.
+    pub fn num_parts(&self) -> usize {
+        self.num_parts
+    }
+
+    /// Computes per-point part logits `[n, num_parts]`.
+    pub fn forward(&mut self, cloud: &PointCloud, setting: &ApproxSetting, train: bool) -> Tensor {
+        let (p1, f1) = self.sa1.forward(cloud, None, setting, train);
+        let (p2, f2) = self.sa2.forward(&p1, Some(&f1), setting, train);
+        let u1 = self.fp2.forward(&p1, Some(&f1), &p2, &f2, train);
+        let u0 = self.fp1.forward(cloud, None, &p1, &u1, train);
+        self.head.forward(&u0, train)
+    }
+
+    /// Backpropagates the per-point logit gradient.
+    pub fn backward(&mut self, grad: &Tensor) {
+        let g_u0 = self.head.backward(grad);
+        let (_, g_u1) = self.fp1.backward(&g_u0);
+        let (g_f1_skip, g_f2) = self.fp2.backward(&g_u1);
+        let g_f1_sa = self.sa2.backward(&g_f2);
+        let g_f1 = g_f1_skip.add(&g_f1_sa);
+        let _ = self.sa1.backward(&g_f1);
+    }
+
+    /// Visits all trainable parameters.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.sa1.visit_params(f);
+        self.sa2.visit_params(f);
+        self.fp2.visit_params(f);
+        self.fp1.visit_params(f);
+        self.head.visit_params(f);
+    }
+
+    /// Zeroes all gradients.
+    pub fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Predicted part label per point.
+    pub fn predict(&mut self, cloud: &PointCloud, setting: &ApproxSetting) -> Vec<usize> {
+        self.forward(cloud, setting, false).argmax_rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crescent_pointcloud::datasets::{generate_segmentation_sample, SegCategory};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample() -> (PointCloud, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(9);
+        let s = generate_segmentation_sample(&mut rng, SegCategory::Table, 96);
+        (s.cloud, s.labels)
+    }
+
+    #[test]
+    fn forward_backward_shapes() {
+        let (cloud, _) = sample();
+        let mut net = PointNet2Seg::new(4, 1);
+        let logits = net.forward(&cloud, &ApproxSetting::exact(), true);
+        assert_eq!(logits.shape(), (cloud.len(), 4));
+        net.zero_grad();
+        net.backward(&Tensor::full(cloud.len(), 4, 0.01));
+        let mut g = 0.0;
+        net.visit_params(&mut |p| g += p.grad.sq_norm());
+        assert!(g > 0.0);
+    }
+
+    #[test]
+    fn predict_one_label_per_point() {
+        let (cloud, labels) = sample();
+        let mut net = PointNet2Seg::new(4, 2);
+        let pred = net.predict(&cloud, &ApproxSetting::exact());
+        assert_eq!(pred.len(), labels.len());
+        assert!(pred.iter().all(|&l| l < 4));
+    }
+
+    #[test]
+    fn approximate_inference_changes_logits() {
+        let (cloud, _) = sample();
+        let mut net = PointNet2Seg::new(4, 3);
+        let exact = net.forward(&cloud, &ApproxSetting::exact(), false);
+        let approx = net.forward(&cloud, &ApproxSetting::ans_bce(3, 4), false);
+        assert_eq!(exact.shape(), approx.shape());
+        assert_ne!(exact, approx);
+    }
+}

@@ -1,0 +1,52 @@
+//! Minimal neural-network stack for the Crescent (ISCA 2022) reproduction.
+//!
+//! Provides exactly what the paper's point-cloud networks need, with
+//! hand-written backward passes (no autograd dependency):
+//!
+//! * [`Tensor`] — dense row-major 2D `f32` tensor;
+//! * [`Linear`], [`Relu`], [`BatchNorm1d`], [`Dropout`], [`Mlp`] — the
+//!   shared-MLP blocks of Sec 2.1's feature computation;
+//! * [`GroupMaxPool`] / [`global_max_pool`] — the symmetric aggregation
+//!   whose error tolerance Crescent's approximations exploit;
+//! * [`softmax_cross_entropy`], [`mse_loss`], [`huber_loss`] — task losses;
+//! * [`Adam`] / [`Sgd`] — optimizers.
+//!
+//! Neighbor search and aggregation index construction are **not** here:
+//! they are non-differentiable and live in `crescent-kdtree` /
+//! `crescent-models`, matching Fig 11's gradient-flow diagram (gradients
+//! flow only through the MLPs).
+//!
+//! # Example
+//!
+//! ```
+//! use crescent_nn::{softmax_cross_entropy, Adam, Layer, Mlp, Tensor};
+//!
+//! let mut net = Mlp::new(&[2, 16, 2], false, 42);
+//! let mut opt = Adam::new(0.01);
+//! let x = Tensor::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+//! let labels = [0usize, 1];
+//! for _ in 0..50 {
+//!     let logits = net.forward(&x, true);
+//!     let (_, grad) = softmax_cross_entropy(&logits, &labels);
+//!     net.zero_grad();
+//!     net.backward(&grad);
+//!     opt.begin_step();
+//!     net.visit_params(&mut |p| opt.update(p));
+//! }
+//! let logits = net.forward(&x, false);
+//! assert_eq!(logits.argmax_rows(), vec![0, 1]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod layers;
+pub mod loss;
+pub mod optim;
+pub mod pool;
+pub mod tensor;
+
+pub use layers::{BatchNorm1d, Dropout, Layer, Linear, Mlp, Relu, Sequential};
+pub use loss::{huber_loss, mse_loss, softmax, softmax_cross_entropy};
+pub use optim::{Adam, Param, Sgd};
+pub use pool::{global_max_pool, global_max_pool_backward, group_mean_pool, GroupMaxPool};
+pub use tensor::Tensor;

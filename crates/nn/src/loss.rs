@@ -1,0 +1,183 @@
+//! Loss functions (value + gradient w.r.t. predictions).
+
+use crate::tensor::Tensor;
+
+/// Softmax cross-entropy over rows.
+///
+/// Returns `(mean loss, dL/dlogits)`.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()` or a label is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use crescent_nn::{softmax_cross_entropy, Tensor};
+///
+/// let logits = Tensor::from_rows(&[&[10.0, -10.0]]);
+/// let (confident, _) = softmax_cross_entropy(&logits, &[0]);
+/// let (wrong, _) = softmax_cross_entropy(&logits, &[1]);
+/// assert!(confident < 0.01 && wrong > 5.0);
+/// ```
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let (n, c) = logits.shape();
+    assert_eq!(labels.len(), n, "one label per row");
+    let mut grad = Tensor::zeros(n, c);
+    let mut loss = 0.0f32;
+    for r in 0..n {
+        let row = logits.row(r);
+        let label = labels[r];
+        assert!(label < c, "label {label} out of range for {c} classes");
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        loss -= (exps[label] / sum).max(1e-12).ln();
+        for ch in 0..c {
+            let p = exps[ch] / sum;
+            grad[(r, ch)] = (p - if ch == label { 1.0 } else { 0.0 }) / n as f32;
+        }
+    }
+    (loss / n as f32, grad)
+}
+
+/// Row-wise softmax probabilities (no gradient).
+pub fn softmax(logits: &Tensor) -> Tensor {
+    let (n, c) = logits.shape();
+    let mut out = Tensor::zeros(n, c);
+    for r in 0..n {
+        let row = logits.row(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        for ch in 0..c {
+            out[(r, ch)] = exps[ch] / sum;
+        }
+    }
+    out
+}
+
+/// Mean-squared-error loss. Returns `(mean loss, dL/dpred)`.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn mse_loss(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "MSE shape mismatch");
+    let n = pred.len().max(1) as f32;
+    let mut grad = Tensor::zeros(pred.rows(), pred.cols());
+    let mut loss = 0.0f32;
+    for i in 0..pred.len() {
+        let d = pred.data()[i] - target.data()[i];
+        loss += d * d;
+        grad.data_mut()[i] = 2.0 * d / n;
+    }
+    (loss / n, grad)
+}
+
+/// Huber (smooth-L1) loss with threshold `delta`, the standard box-
+/// regression loss. Returns `(mean loss, dL/dpred)`.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or non-positive `delta`.
+pub fn huber_loss(pred: &Tensor, target: &Tensor, delta: f32) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "Huber shape mismatch");
+    assert!(delta > 0.0, "delta must be positive");
+    let n = pred.len().max(1) as f32;
+    let mut grad = Tensor::zeros(pred.rows(), pred.cols());
+    let mut loss = 0.0f32;
+    for i in 0..pred.len() {
+        let d = pred.data()[i] - target.data()[i];
+        if d.abs() <= delta {
+            loss += 0.5 * d * d;
+            grad.data_mut()[i] = d / n;
+        } else {
+            loss += delta * (d.abs() - 0.5 * delta);
+            grad.data_mut()[i] = delta * d.signum() / n;
+        }
+    }
+    (loss / n, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ce_uniform_logits() {
+        let logits = Tensor::zeros(2, 4);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0, 3]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+        // gradient sums to zero per row
+        for r in 0..2 {
+            let s: f32 = grad.row(r).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn ce_gradient_finite_difference() {
+        let mut logits = Tensor::from_rows(&[&[0.3, -0.7, 1.2]]);
+        let labels = [2usize];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3;
+        for i in 0..3 {
+            logits[(0, i)] += eps;
+            let (lp, _) = softmax_cross_entropy(&logits, &labels);
+            logits[(0, i)] -= 2.0 * eps;
+            let (lm, _) = softmax_cross_entropy(&logits, &labels);
+            logits[(0, i)] += eps;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((grad[(0, i)] - numeric).abs() < 1e-3, "logit {i}");
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let p = softmax(&Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[-5.0, 0.0, 5.0]]));
+        for r in 0..2 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+            assert!(p.row(r).iter().all(|&v| v >= 0.0));
+        }
+        // larger logit -> larger probability
+        assert!(p[(0, 2)] > p[(0, 0)]);
+    }
+
+    #[test]
+    fn mse_zero_at_target() {
+        let t = Tensor::from_rows(&[&[1.0, 2.0]]);
+        let (loss, grad) = mse_loss(&t, &t);
+        assert_eq!(loss, 0.0);
+        assert_eq!(grad.sq_norm(), 0.0);
+        let (loss2, _) = mse_loss(&Tensor::zeros(1, 2), &t);
+        assert!((loss2 - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn huber_matches_mse_inside_delta() {
+        let pred = Tensor::from_rows(&[&[0.1, -0.2]]);
+        let target = Tensor::zeros(1, 2);
+        let (h, hg) = huber_loss(&pred, &target, 1.0);
+        let (m, mg) = mse_loss(&pred, &target);
+        assert!((h - m / 2.0).abs() < 1e-6);
+        for i in 0..2 {
+            assert!((hg.data()[i] - mg.data()[i] / 2.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn huber_linear_outside_delta() {
+        let pred = Tensor::from_rows(&[&[10.0]]);
+        let target = Tensor::zeros(1, 1);
+        let (_, g) = huber_loss(&pred, &target, 1.0);
+        assert!((g[(0, 0)] - 1.0).abs() < 1e-6); // clipped gradient
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn ce_bad_label_panics() {
+        let _ = softmax_cross_entropy(&Tensor::zeros(1, 2), &[5]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Brute-force (exhaustive) neighbor search.
+//!
+//! This is the correctness reference for every tree-based search in the
+//! workspace, and also the search strategy that Tigris and QuickNN apply
+//! *within* their sub-trees (Sec 3.4) — so the baseline accelerators reuse
+//! it for their search-load accounting.
+
+use crate::cloud::PointCloud;
+use crate::point::Point3;
+
+/// Result of a neighbor query: index into the searched cloud plus squared
+/// distance to the query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Neighbor {
+    /// Index of the neighbor in the searched point cloud.
+    pub index: usize,
+    /// Squared Euclidean distance from the query.
+    pub dist2: f32,
+}
+
+/// Returns all points of `cloud` within `radius` of `query`, sorted by
+/// ascending distance, capped at `max_neighbors` if `Some`.
+///
+/// # Examples
+///
+/// ```
+/// use crescent_pointcloud::{radius_search_bruteforce, Point3, PointCloud};
+///
+/// let cloud: PointCloud = (0..5).map(|i| Point3::new(i as f32, 0.0, 0.0)).collect();
+/// let hits = radius_search_bruteforce(&cloud, Point3::ZERO, 1.5, None);
+/// assert_eq!(hits.len(), 2); // points at x = 0 and x = 1
+/// assert_eq!(hits[0].index, 0);
+/// ```
+pub fn radius_search_bruteforce(
+    cloud: &PointCloud,
+    query: Point3,
+    radius: f32,
+    max_neighbors: Option<usize>,
+) -> Vec<Neighbor> {
+    let r2 = radius * radius;
+    let mut hits: Vec<Neighbor> = cloud
+        .iter()
+        .enumerate()
+        .filter_map(|(i, p)| {
+            let d2 = p.dist2(query);
+            (d2 <= r2).then_some(Neighbor { index: i, dist2: d2 })
+        })
+        .collect();
+    hits.sort_by(|a, b| a.dist2.partial_cmp(&b.dist2).unwrap_or(std::cmp::Ordering::Equal));
+    if let Some(k) = max_neighbors {
+        hits.truncate(k);
+    }
+    hits
+}
+
+/// Returns the `k` nearest points of `cloud` to `query`, ascending by
+/// distance. Returns fewer if the cloud has fewer than `k` points.
+pub fn knn_bruteforce(cloud: &PointCloud, query: Point3, k: usize) -> Vec<Neighbor> {
+    let mut all: Vec<Neighbor> = cloud
+        .iter()
+        .enumerate()
+        .map(|(i, p)| Neighbor { index: i, dist2: p.dist2(query) })
+        .collect();
+    all.sort_by(|a, b| a.dist2.partial_cmp(&b.dist2).unwrap_or(std::cmp::Ordering::Equal));
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> PointCloud {
+        let mut pts = Vec::new();
+        for x in 0..4 {
+            for y in 0..4 {
+                pts.push(Point3::new(x as f32, y as f32, 0.0));
+            }
+        }
+        PointCloud::from_points(pts)
+    }
+
+    #[test]
+    fn radius_search_finds_exact_ball() {
+        let c = grid();
+        let hits = radius_search_bruteforce(&c, Point3::new(1.0, 1.0, 0.0), 1.0, None);
+        // center + 4 axis neighbors
+        assert_eq!(hits.len(), 5);
+        assert_eq!(hits[0].dist2, 0.0);
+        for h in &hits {
+            assert!(h.dist2 <= 1.0);
+        }
+    }
+
+    #[test]
+    fn radius_search_sorted_and_capped() {
+        let c = grid();
+        let hits = radius_search_bruteforce(&c, Point3::new(1.0, 1.0, 0.0), 2.0, Some(3));
+        assert_eq!(hits.len(), 3);
+        assert!(hits.windows(2).all(|w| w[0].dist2 <= w[1].dist2));
+    }
+
+    #[test]
+    fn radius_search_empty_result() {
+        let c = grid();
+        let hits = radius_search_bruteforce(&c, Point3::splat(100.0), 1.0, None);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn knn_returns_k_sorted() {
+        let c = grid();
+        let hits = knn_bruteforce(&c, Point3::new(0.2, 0.1, 0.0), 4);
+        assert_eq!(hits.len(), 4);
+        assert_eq!(hits[0].index, 0);
+        assert!(hits.windows(2).all(|w| w[0].dist2 <= w[1].dist2));
+    }
+
+    #[test]
+    fn knn_small_cloud() {
+        let c: PointCloud = [Point3::ZERO].into_iter().collect();
+        assert_eq!(knn_bruteforce(&c, Point3::splat(1.0), 5).len(), 1);
+        assert!(knn_bruteforce(&PointCloud::new(), Point3::ZERO, 3).is_empty());
+    }
+}

@@ -1,0 +1,315 @@
+//! Parametric surface samplers for the synthetic datasets.
+//!
+//! Each sampler draws `n` points on the surface of a canonical shape. These
+//! are the building blocks of the ModelNet-like classification dataset
+//! (distinct shape classes) and the ShapeNet-like segmentation dataset
+//! (shapes assembled from labelled parts).
+
+use rand::{Rng, RngExt};
+
+use crate::point::Point3;
+use crate::sampling::gaussian;
+
+/// Samples `n` points uniformly on a sphere of `radius` centered at `center`.
+pub fn sphere<R: Rng + ?Sized>(rng: &mut R, n: usize, center: Point3, radius: f32) -> Vec<Point3> {
+    (0..n)
+        .map(|_| {
+            let v = Point3::new(gaussian(rng), gaussian(rng), gaussian(rng)).normalized();
+            center + v * radius
+        })
+        .collect()
+}
+
+/// Samples `n` points uniformly on the surface of an axis-aligned box.
+pub fn cuboid<R: Rng + ?Sized>(rng: &mut R, n: usize, center: Point3, size: Point3) -> Vec<Point3> {
+    let h = size / 2.0;
+    // face areas: +-x, +-y, +-z
+    let ax = size.y * size.z;
+    let ay = size.x * size.z;
+    let az = size.x * size.y;
+    let total = 2.0 * (ax + ay + az);
+    (0..n)
+        .map(|_| {
+            let mut t = rng.random::<f32>() * total;
+            let u = rng.random::<f32>() * 2.0 - 1.0;
+            let v = rng.random::<f32>() * 2.0 - 1.0;
+            let sgn = if rng.random::<bool>() { 1.0 } else { -1.0 };
+            let p = if t < 2.0 * ax {
+                Point3::new(sgn * h.x, u * h.y, v * h.z)
+            } else if {
+                t -= 2.0 * ax;
+                t < 2.0 * ay
+            } {
+                Point3::new(u * h.x, sgn * h.y, v * h.z)
+            } else {
+                Point3::new(u * h.x, v * h.y, sgn * h.z)
+            };
+            center + p
+        })
+        .collect()
+}
+
+/// Samples `n` points on the lateral surface of a z-aligned cylinder
+/// (no caps).
+pub fn cylinder<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    center: Point3,
+    radius: f32,
+    height: f32,
+) -> Vec<Point3> {
+    (0..n)
+        .map(|_| {
+            let theta = rng.random::<f32>() * std::f32::consts::TAU;
+            let z = (rng.random::<f32>() - 0.5) * height;
+            center + Point3::new(radius * theta.cos(), radius * theta.sin(), z)
+        })
+        .collect()
+}
+
+/// Samples `n` points on the lateral surface of a z-aligned cone with apex
+/// up.
+pub fn cone<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    center: Point3,
+    radius: f32,
+    height: f32,
+) -> Vec<Point3> {
+    (0..n)
+        .map(|_| {
+            // area-uniform in slant height: radius shrinks linearly with z
+            let t = rng.random::<f32>().sqrt(); // bias toward the wide base
+            let theta = rng.random::<f32>() * std::f32::consts::TAU;
+            let r = radius * t;
+            let z = height * (1.0 - t) - height / 2.0;
+            center + Point3::new(r * theta.cos(), r * theta.sin(), z)
+        })
+        .collect()
+}
+
+/// Samples `n` points on a torus in the xy-plane.
+pub fn torus<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    center: Point3,
+    major: f32,
+    minor: f32,
+) -> Vec<Point3> {
+    (0..n)
+        .map(|_| {
+            let u = rng.random::<f32>() * std::f32::consts::TAU;
+            let v = rng.random::<f32>() * std::f32::consts::TAU;
+            let r = major + minor * v.cos();
+            center + Point3::new(r * u.cos(), r * u.sin(), minor * v.sin())
+        })
+        .collect()
+}
+
+/// Samples `n` points on a flat disk in the xy-plane.
+pub fn disk<R: Rng + ?Sized>(rng: &mut R, n: usize, center: Point3, radius: f32) -> Vec<Point3> {
+    (0..n)
+        .map(|_| {
+            let r = radius * rng.random::<f32>().sqrt();
+            let theta = rng.random::<f32>() * std::f32::consts::TAU;
+            center + Point3::new(r * theta.cos(), r * theta.sin(), 0.0)
+        })
+        .collect()
+}
+
+/// Samples `n` points on an axis-aligned rectangle in the xy-plane.
+pub fn plane_patch<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    center: Point3,
+    size_x: f32,
+    size_y: f32,
+) -> Vec<Point3> {
+    (0..n)
+        .map(|_| {
+            let x = (rng.random::<f32>() - 0.5) * size_x;
+            let y = (rng.random::<f32>() - 0.5) * size_y;
+            center + Point3::new(x, y, 0.0)
+        })
+        .collect()
+}
+
+/// Samples `n` points on a helix winding around the z axis — an elongated,
+/// highly non-convex shape that stresses neighbor search locality.
+pub fn helix<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    center: Point3,
+    radius: f32,
+    height: f32,
+    turns: f32,
+) -> Vec<Point3> {
+    (0..n)
+        .map(|_| {
+            let t = rng.random::<f32>();
+            let theta = t * turns * std::f32::consts::TAU;
+            let thickness = 0.05 * radius;
+            center
+                + Point3::new(
+                    radius * theta.cos() + gaussian(rng) * thickness,
+                    radius * theta.sin() + gaussian(rng) * thickness,
+                    (t - 0.5) * height + gaussian(rng) * thickness,
+                )
+        })
+        .collect()
+}
+
+/// Samples `n` points on an ellipsoid with the given semi-axes.
+pub fn ellipsoid<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    center: Point3,
+    semi: Point3,
+) -> Vec<Point3> {
+    (0..n)
+        .map(|_| {
+            let v = Point3::new(gaussian(rng), gaussian(rng), gaussian(rng)).normalized();
+            center + Point3::new(v.x * semi.x, v.y * semi.y, v.z * semi.z)
+        })
+        .collect()
+}
+
+/// Samples `n` points along a line segment with small lateral spread.
+pub fn segment<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    from: Point3,
+    to: Point3,
+    spread: f32,
+) -> Vec<Point3> {
+    (0..n)
+        .map(|_| {
+            let t = rng.random::<f32>();
+            from + (to - from) * t
+                + Point3::new(gaussian(rng), gaussian(rng), gaussian(rng)) * spread
+        })
+        .collect()
+}
+
+/// Samples `n` points on two stacked spheres, a snowman-like two-lobe shape.
+pub fn two_lobes<R: Rng + ?Sized>(rng: &mut R, n: usize, center: Point3, radius: f32) -> Vec<Point3> {
+    let half = n / 2;
+    let mut pts = sphere(rng, half, center + Point3::new(0.0, 0.0, radius * 0.8), radius * 0.6);
+    pts.extend(sphere(rng, n - half, center - Point3::new(0.0, 0.0, radius * 0.4), radius));
+    pts
+}
+
+/// Samples `n` points on a plus-sign / cross of three orthogonal bars.
+pub fn cross<R: Rng + ?Sized>(rng: &mut R, n: usize, center: Point3, arm: f32) -> Vec<Point3> {
+    let per = n / 3;
+    let thin = arm * 0.18;
+    let mut pts = cuboid(rng, per, center, Point3::new(2.0 * arm, thin, thin));
+    pts.extend(cuboid(rng, per, center, Point3::new(thin, 2.0 * arm, thin)));
+    pts.extend(cuboid(rng, n - 2 * per, center, Point3::new(thin, thin, 2.0 * arm)));
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn sphere_points_on_surface() {
+        let mut r = rng();
+        let c = Point3::new(1.0, 2.0, 3.0);
+        for p in sphere(&mut r, 200, c, 2.0) {
+            assert!((p.dist(c) - 2.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn cuboid_points_on_faces() {
+        let mut r = rng();
+        let size = Point3::new(2.0, 4.0, 6.0);
+        for p in cuboid(&mut r, 300, Point3::ZERO, size) {
+            let q = p;
+            let on_x = (q.x.abs() - 1.0).abs() < 1e-5;
+            let on_y = (q.y.abs() - 2.0).abs() < 1e-5;
+            let on_z = (q.z.abs() - 3.0).abs() < 1e-5;
+            assert!(on_x || on_y || on_z, "point {q} not on any face");
+            assert!(q.x.abs() <= 1.0 + 1e-5 && q.y.abs() <= 2.0 + 1e-5 && q.z.abs() <= 3.0 + 1e-5);
+        }
+    }
+
+    #[test]
+    fn cylinder_radius_and_height() {
+        let mut r = rng();
+        for p in cylinder(&mut r, 200, Point3::ZERO, 1.5, 4.0) {
+            let rad = (p.x * p.x + p.y * p.y).sqrt();
+            assert!((rad - 1.5).abs() < 1e-4);
+            assert!(p.z.abs() <= 2.0 + 1e-5);
+        }
+    }
+
+    #[test]
+    fn cone_narrows_with_height() {
+        let mut r = rng();
+        for p in cone(&mut r, 300, Point3::ZERO, 1.0, 2.0) {
+            let rad = (p.x * p.x + p.y * p.y).sqrt();
+            // r = radius * (1 - (z + h/2)/h)
+            let expect = 1.0 - (p.z + 1.0) / 2.0;
+            assert!((rad - expect).abs() < 1e-4, "rad {rad} expect {expect}");
+        }
+    }
+
+    #[test]
+    fn torus_distance_from_ring() {
+        let mut r = rng();
+        for p in torus(&mut r, 300, Point3::ZERO, 2.0, 0.5) {
+            let ring = (p.x * p.x + p.y * p.y).sqrt() - 2.0;
+            let d = (ring * ring + p.z * p.z).sqrt();
+            assert!((d - 0.5).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn disk_is_flat_and_bounded() {
+        let mut r = rng();
+        for p in disk(&mut r, 200, Point3::ZERO, 3.0) {
+            assert_eq!(p.z, 0.0);
+            assert!((p.x * p.x + p.y * p.y).sqrt() <= 3.0 + 1e-5);
+        }
+    }
+
+    #[test]
+    fn segment_stays_near_line() {
+        let mut r = rng();
+        let from = Point3::ZERO;
+        let to = Point3::new(10.0, 0.0, 0.0);
+        for p in segment(&mut r, 200, from, to, 0.01) {
+            assert!(p.y.abs() < 0.2 && p.z.abs() < 0.2);
+            assert!(p.x > -0.2 && p.x < 10.2);
+        }
+    }
+
+    #[test]
+    fn shape_counts() {
+        let mut r = rng();
+        assert_eq!(helix(&mut r, 123, Point3::ZERO, 1.0, 2.0, 3.0).len(), 123);
+        assert_eq!(two_lobes(&mut r, 123, Point3::ZERO, 1.0).len(), 123);
+        assert_eq!(cross(&mut r, 123, Point3::ZERO, 1.0).len(), 123);
+        assert_eq!(ellipsoid(&mut r, 123, Point3::ZERO, Point3::splat(1.0)).len(), 123);
+        assert_eq!(plane_patch(&mut r, 123, Point3::ZERO, 1.0, 1.0).len(), 123);
+    }
+
+    #[test]
+    fn ellipsoid_on_surface() {
+        let mut r = rng();
+        let semi = Point3::new(1.0, 2.0, 0.5);
+        for p in ellipsoid(&mut r, 200, Point3::ZERO, semi) {
+            let v = (p.x / semi.x).powi(2) + (p.y / semi.y).powi(2) + (p.z / semi.z).powi(2);
+            assert!((v - 1.0).abs() < 1e-3);
+        }
+    }
+}

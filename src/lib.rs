@@ -1,0 +1,13 @@
+//! Umbrella crate for the Crescent reproduction's examples and integration
+//! tests.
+//!
+//! The library surface lives in the workspace crates; this crate only
+//! re-exports them so `examples/` and `tests/` have a single import root.
+
+pub use crescent;
+pub use crescent_accel as accel;
+pub use crescent_kdtree as kdtree;
+pub use crescent_memsim as memsim;
+pub use crescent_models as models;
+pub use crescent_nn as nn;
+pub use crescent_pointcloud as pointcloud;

@@ -1,0 +1,103 @@
+//! Integration test of the Sec 5 claim: approximation-aware training
+//! recovers the accuracy that inference-time approximation destroys.
+//!
+//! Uses a deliberately small dataset/model so it runs in the test suite;
+//! the full-scale version is `repro fig13`.
+
+use crescent::models::{
+    eval_classifier, eval_segmenter, train_classifier, train_segmenter, ApproxSetting,
+    PointNet2Cls, PointNet2Seg, TrainConfig,
+};
+use crescent::pointcloud::datasets::{
+    ClassificationConfig, ClassificationDataset, SegmentationConfig, SegmentationDataset,
+};
+
+fn tiny_cls() -> ClassificationDataset {
+    ClassificationDataset::generate(&ClassificationConfig {
+        points_per_cloud: 128,
+        train_per_class: 8,
+        test_per_class: 4,
+        jitter_sigma: 0.01,
+        seed: 0xE2E,
+    })
+}
+
+/// The Fig 13 signature on the classifier: retrained-under-approximation
+/// accuracy exceeds apply-approximation-without-retraining accuracy.
+#[test]
+fn classifier_retraining_beats_no_retraining() {
+    let ds = tiny_cls();
+    // aggressive setting so the no-retraining drop is visible even at
+    // tiny scale
+    let approx = ApproxSetting::ans_bce(4, 4);
+    let epochs = 10;
+
+    let mut baseline = PointNet2Cls::new(ds.num_classes, 91);
+    train_classifier(&mut baseline, &ds.train, &TrainConfig::exact(epochs));
+    let acc_exact = eval_classifier(&mut baseline, &ds.test, &ApproxSetting::exact());
+    let acc_no_retrain = eval_classifier(&mut baseline, &ds.test, &approx);
+
+    let mut retrained = PointNet2Cls::new(ds.num_classes, 92);
+    train_classifier(&mut retrained, &ds.train, &TrainConfig::dedicated(approx, epochs));
+    let acc_retrained = eval_classifier(&mut retrained, &ds.test, &approx);
+
+    assert!(acc_exact > 0.25, "baseline should learn: {acc_exact}");
+    assert!(
+        acc_retrained > acc_no_retrain,
+        "retrained {acc_retrained} must beat no-retrain {acc_no_retrain} (baseline {acc_exact})"
+    );
+}
+
+/// Same signature on the segmentation network with the mIoU metric.
+#[test]
+fn segmenter_retraining_beats_no_retraining() {
+    let ds = SegmentationDataset::generate(&SegmentationConfig {
+        points_per_cloud: 96,
+        train_per_category: 6,
+        test_per_category: 3,
+        seed: 0xE2F,
+    });
+    let approx = ApproxSetting::ans_bce(4, 3);
+    let epochs = 6;
+
+    let mut baseline = PointNet2Seg::new(ds.num_parts, 93);
+    train_segmenter(&mut baseline, &ds.train, &TrainConfig::exact(epochs));
+    let miou_exact = eval_segmenter(&mut baseline, &ds.test, &ApproxSetting::exact());
+    let miou_no_retrain = eval_segmenter(&mut baseline, &ds.test, &approx);
+
+    let mut retrained = PointNet2Seg::new(ds.num_parts, 94);
+    train_segmenter(&mut retrained, &ds.train, &TrainConfig::dedicated(approx, epochs));
+    let miou_retrained = eval_segmenter(&mut retrained, &ds.test, &approx);
+
+    assert!(miou_exact > 0.25, "baseline should learn: {miou_exact}");
+    assert!(
+        miou_retrained + 0.02 >= miou_no_retrain,
+        "retrained {miou_retrained} must not trail no-retrain {miou_no_retrain}"
+    );
+}
+
+/// Fig 20's point: a mixed-trained model tolerates inference-time settings
+/// it never saw, better than a model trained with minimal approximation.
+#[test]
+fn mixed_training_generalizes_across_settings() {
+    let ds = tiny_cls();
+    let epochs = 6;
+    let mut mixed = PointNet2Cls::new(ds.num_classes, 95);
+    train_classifier(&mut mixed, &ds.train, &TrainConfig::mixed((1, 5), None, epochs));
+    let mut dedicated1 = PointNet2Cls::new(ds.num_classes, 96);
+    train_classifier(
+        &mut dedicated1,
+        &ds.train,
+        &TrainConfig::dedicated(ApproxSetting::ans(1), epochs),
+    );
+    // evaluate both at the aggressive end
+    let hard = ApproxSetting::ans(5);
+    let acc_mixed = eval_classifier(&mut mixed, &ds.test, &hard);
+    let acc_ded1 = eval_classifier(&mut dedicated1, &ds.test, &hard);
+    // the mixed model must be at least competitive (strictly better is
+    // noisy at this scale)
+    assert!(
+        acc_mixed + 0.1 >= acc_ded1,
+        "mixed {acc_mixed} vs dedicated-ht1 {acc_ded1} at h_t=5"
+    );
+}
