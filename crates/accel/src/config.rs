@@ -69,7 +69,9 @@ impl AcceleratorConfig {
         let mut cfg = AcceleratorConfig::default();
         cfg.search_elision = Some(ElisionConfig {
             elision_height,
-            num_banks: cfg.tree_buffer.num_banks, descendant_reuse: false });
+            num_banks: cfg.tree_buffer.num_banks,
+            descendant_reuse: false,
+        });
         cfg.aggregation_elision = true;
         cfg
     }

@@ -105,8 +105,7 @@ pub fn run_tigris_search(
     let random_bytes = (queries.len() * POINT_BYTES) as u64;
     let dma = config.dram.stream_cycles(base.dram_bytes)
         + config.dram.random_cycles(random_bytes.div_ceil(config.dram.burst_bytes), 4);
-    let mut stats = SplitSearchStats::default();
-    stats.nodes_visited = base.nodes_visited;
+    let stats = SplitSearchStats { nodes_visited: base.nodes_visited, ..Default::default() };
     let report = SearchEngineReport {
         compute_cycles: compute,
         dma_cycles: dma,
@@ -141,13 +140,13 @@ pub fn run_unsplit_search(
     // DRAM node fetches
     let resident = config.tree_buffer_nodes() as u64;
     let total_nodes = tree.len() as u64;
-    let hit_frac = if total_nodes == 0 { 1.0 } else { (resident as f64 / total_nodes as f64).min(1.0) };
+    let hit_frac =
+        if total_nodes == 0 { 1.0 } else { (resident as f64 / total_nodes as f64).min(1.0) };
     let dram_fetches = ((visits as f64) * (1.0 - hit_frac)) as u64;
     let dram_random_bytes = dram_fetches * NODE_BYTES as u64;
     let compute = visits.div_ceil(config.num_pes as u64) + PE_PIPELINE_DEPTH;
     let dma = config.dram.random_cycles(dram_fetches, config.num_pes as u64);
-    let mut stats = SplitSearchStats::default();
-    stats.nodes_visited = visits as usize;
+    let stats = SplitSearchStats { nodes_visited: visits as usize, ..Default::default() };
     let report = SearchEngineReport {
         compute_cycles: compute,
         dma_cycles: dma,
@@ -174,7 +173,7 @@ mod tests {
     use super::*;
     use crescent_pointcloud::{Point3, PointCloud};
     use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use rand::{Rng, SeedableRng};
 
     fn random_cloud(n: usize, seed: u64) -> PointCloud {
         let mut rng = StdRng::seed_from_u64(seed);

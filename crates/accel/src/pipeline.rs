@@ -103,9 +103,27 @@ impl NetworkSpec {
         NetworkSpec {
             name: "PointNet++ (c)".into(),
             layers: vec![
-                LayerSpec { n_points: 4096, n_centroids: 2048, k: 32, radius: 0.05, mlp_dims: vec![3, 32, 64] },
-                LayerSpec { n_points: 1024, n_centroids: 512, k: 32, radius: 0.1, mlp_dims: vec![67, 96] },
-                LayerSpec { n_points: 512, n_centroids: 128, k: 32, radius: 0.2, mlp_dims: vec![99, 128] },
+                LayerSpec {
+                    n_points: 4096,
+                    n_centroids: 2048,
+                    k: 32,
+                    radius: 0.05,
+                    mlp_dims: vec![3, 32, 64],
+                },
+                LayerSpec {
+                    n_points: 1024,
+                    n_centroids: 512,
+                    k: 32,
+                    radius: 0.1,
+                    mlp_dims: vec![67, 96],
+                },
+                LayerSpec {
+                    n_points: 512,
+                    n_centroids: 128,
+                    k: 32,
+                    radius: 0.2,
+                    mlp_dims: vec![99, 128],
+                },
             ],
             head_dims: vec![128, 128, 10],
         }
@@ -116,12 +134,36 @@ impl NetworkSpec {
         NetworkSpec {
             name: "PointNet++ (s)".into(),
             layers: vec![
-                LayerSpec { n_points: 4096, n_centroids: 2048, k: 32, radius: 0.05, mlp_dims: vec![3, 32, 64] },
-                LayerSpec { n_points: 1024, n_centroids: 512, k: 48, radius: 0.1, mlp_dims: vec![67, 96] },
-                LayerSpec { n_points: 512, n_centroids: 128, k: 32, radius: 0.2, mlp_dims: vec![99, 128] },
+                LayerSpec {
+                    n_points: 4096,
+                    n_centroids: 2048,
+                    k: 32,
+                    radius: 0.05,
+                    mlp_dims: vec![3, 32, 64],
+                },
+                LayerSpec {
+                    n_points: 1024,
+                    n_centroids: 512,
+                    k: 48,
+                    radius: 0.1,
+                    mlp_dims: vec![67, 96],
+                },
+                LayerSpec {
+                    n_points: 512,
+                    n_centroids: 128,
+                    k: 32,
+                    radius: 0.2,
+                    mlp_dims: vec![99, 128],
+                },
                 // feature-propagation stage modeled as one more
                 // gather+MLP layer over the dense points
-                LayerSpec { n_points: 2048, n_centroids: 2048, k: 3, radius: 0.15, mlp_dims: vec![128, 96] },
+                LayerSpec {
+                    n_points: 2048,
+                    n_centroids: 2048,
+                    k: 3,
+                    radius: 0.15,
+                    mlp_dims: vec![128, 96],
+                },
             ],
             head_dims: vec![96, 64, 50],
         }
@@ -151,9 +193,27 @@ impl NetworkSpec {
         NetworkSpec {
             name: "F-PointNet".into(),
             layers: vec![
-                LayerSpec { n_points: 2048, n_centroids: 1024, k: 32, radius: 0.06, mlp_dims: vec![3, 32, 64] },
-                LayerSpec { n_points: 512, n_centroids: 256, k: 32, radius: 0.12, mlp_dims: vec![67, 96] },
-                LayerSpec { n_points: 128, n_centroids: 64, k: 32, radius: 0.25, mlp_dims: vec![99, 128] },
+                LayerSpec {
+                    n_points: 2048,
+                    n_centroids: 1024,
+                    k: 32,
+                    radius: 0.06,
+                    mlp_dims: vec![3, 32, 64],
+                },
+                LayerSpec {
+                    n_points: 512,
+                    n_centroids: 256,
+                    k: 32,
+                    radius: 0.12,
+                    mlp_dims: vec![67, 96],
+                },
+                LayerSpec {
+                    n_points: 128,
+                    n_centroids: 64,
+                    k: 32,
+                    radius: 0.25,
+                    mlp_dims: vec![99, 128],
+                },
             ],
             head_dims: vec![128, 64, 7],
         }
@@ -246,7 +306,9 @@ pub fn run_network(
             let mut c = *base;
             c.search_elision = Some(crescent_kdtree::ElisionConfig {
                 elision_height: usize::MAX,
-                num_banks: base.tree_buffer.num_banks, descendant_reuse: false });
+                num_banks: base.tree_buffer.num_banks,
+                descendant_reuse: false,
+            });
             c.aggregation_elision = false;
             c
         }
@@ -254,7 +316,9 @@ pub fn run_network(
             let mut c = *base;
             c.search_elision = Some(crescent_kdtree::ElisionConfig {
                 elision_height: knobs.elision_height,
-                num_banks: base.tree_buffer.num_banks, descendant_reuse: false });
+                num_banks: base.tree_buffer.num_banks,
+                descendant_reuse: false,
+            });
             c.aggregation_elision = true;
             c
         }
@@ -288,9 +352,7 @@ pub fn run_network(
                 energy.compute += g.energy;
                 let res: Vec<Vec<crescent_pointcloud::Neighbor>> = queries
                     .iter()
-                    .map(|&q| {
-                        crescent_kdtree::radius_search(&tree, q, layer.radius, Some(layer.k))
-                    })
+                    .map(|&q| crescent_kdtree::radius_search(&tree, q, layer.radius, Some(layer.k)))
                     .collect();
                 (res, SearchEngineReport::default())
             }
@@ -394,7 +456,8 @@ pub fn run_network(
             energy.compute += g.energy;
         }
         _ => {
-            let rep = mlp_report(head_rows, &spec.head_dims, config.systolic_rows, config.systolic_cols);
+            let rep =
+                mlp_report(head_rows, &spec.head_dims, config.systolic_rows, config.systolic_cols);
             cycles.mlp += rep.cycles;
             energy.charge_macs(em, rep.macs);
             energy.charge_sram_global(em, rep.sram_read_bytes + rep.sram_write_bytes);
@@ -470,8 +533,20 @@ mod tests {
         NetworkSpec {
             name: "tiny".into(),
             layers: vec![
-                LayerSpec { n_points: 2048, n_centroids: 512, k: 16, radius: 0.05, mlp_dims: vec![3, 32, 64] },
-                LayerSpec { n_points: 512, n_centroids: 128, k: 16, radius: 0.1, mlp_dims: vec![67, 64, 128] },
+                LayerSpec {
+                    n_points: 2048,
+                    n_centroids: 512,
+                    k: 16,
+                    radius: 0.05,
+                    mlp_dims: vec![3, 32, 64],
+                },
+                LayerSpec {
+                    n_points: 512,
+                    n_centroids: 128,
+                    k: 16,
+                    radius: 0.1,
+                    mlp_dims: vec![67, 64, 128],
+                },
             ],
             head_dims: vec![128, 64, 10],
         }

@@ -59,7 +59,11 @@ fn bench_crescent_search(c: &mut Criterion) {
             radius: 0.05,
             max_neighbors: Some(32),
             num_pes: 4,
-            elision: Some(ElisionConfig { elision_height: usize::MAX, num_banks: 4, descendant_reuse: false }),
+            elision: Some(ElisionConfig {
+                elision_height: usize::MAX,
+                num_banks: 4,
+                descendant_reuse: false,
+            }),
         };
         b.iter(|| black_box(split.batch_search(&queries, &cfg)))
     });
@@ -68,7 +72,11 @@ fn bench_crescent_search(c: &mut Criterion) {
             radius: 0.05,
             max_neighbors: Some(32),
             num_pes: 4,
-            elision: Some(ElisionConfig { elision_height: 9, num_banks: 4, descendant_reuse: false }),
+            elision: Some(ElisionConfig {
+                elision_height: 9,
+                num_banks: 4,
+                descendant_reuse: false,
+            }),
         };
         b.iter(|| black_box(split.batch_search(&queries, &cfg)))
     });

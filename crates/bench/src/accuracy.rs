@@ -245,7 +245,8 @@ pub fn fig21(scale: Scale) -> Figure {
     }
     Figure {
         id: "fig21",
-        caption: "Accuracy trained @4 banks, inferenced @2-32 banks (paper: stable >=8, ~2% drop @2)",
+        caption:
+            "Accuracy trained @4 banks, inferenced @2-32 banks (paper: stable >=8, ~2% drop @2)",
         columns: vec!["accuracy_%"],
         rows,
     }

@@ -31,8 +31,7 @@ fn main() {
         println!("{}", ALL_FIGURES.join("\n"));
         return;
     }
-    let run_ids: Vec<&str> =
-        if ids.contains(&"all") { ALL_FIGURES.to_vec() } else { ids };
+    let run_ids: Vec<&str> = if ids.contains(&"all") { ALL_FIGURES.to_vec() } else { ids };
 
     println!("# Crescent (ISCA 2022) figure reproduction — scale: {scale:?}");
     for id in run_ids {

@@ -57,8 +57,22 @@ pub fn run_figure(id: &str, scale: Scale) -> Option<Vec<Figure>> {
 
 /// All runnable figure ids, in paper order.
 pub const ALL_FIGURES: [&str; 16] = [
-    "fig2", "fig3", "fig4", "fig5", "fig8", "fig9", "fig13", "fig14", "fig18", "fig19", "fig20",
-    "fig21", "fig22", "fig23", "fig24", "ablation_reuse",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig8",
+    "fig9",
+    "fig13",
+    "fig14",
+    "fig18",
+    "fig19",
+    "fig20",
+    "fig21",
+    "fig22",
+    "fig23",
+    "fig24",
+    "ablation_reuse",
 ];
 
 #[cfg(test)]

@@ -5,7 +5,9 @@ use crescent::kdtree::{
     radius_search_traced, ElisionConfig, KdTree, SplitSearchConfig, SplitTree, NODE_BYTES,
 };
 use crescent::memsim::{DramTraceAnalyzer, FullyAssociativeCache, SramConfig};
-use crescent::pointcloud::{farthest_point_sample, replicate_to_k, Point3, PointCloud, POINT_BYTES};
+use crescent::pointcloud::{
+    farthest_point_sample, replicate_to_k, Point3, PointCloud, POINT_BYTES,
+};
 
 use crate::common::{trace_scene, FigRow, Figure, Scale};
 
@@ -22,9 +24,8 @@ fn workload(scale: Scale, fraction: f64, seed: u64) -> (PointCloud, Vec<Point3>)
     let scene = trace_scene(scale, seed);
     let n_q = ((scale.trace_queries() as f64) * fraction).max(64.0) as usize;
     // queries are scene points in sweep order (as the sensor produced them)
-    let queries: Vec<Point3> = (0..n_q)
-        .map(|i| scene.cloud.point(i * scene.cloud.len() / n_q))
-        .collect();
+    let queries: Vec<Point3> =
+        (0..n_q).map(|i| scene.cloud.point(i * scene.cloud.len() / n_q)).collect();
     (scene.cloud, queries)
 }
 
@@ -72,7 +73,7 @@ pub fn fig3(scale: Scale) -> Figure {
                 // order) queries would let consecutive traversals reuse
                 // each other's cached sub-trees, hiding the thrash the
                 // paper measures over its full 1.2 M-query scenes
-                let n_q = ((40_000 as f64) * frac).max(256.0) as usize;
+                let n_q = (40_000.0 * frac).max(256.0) as usize;
                 let idx = crescent::pointcloud::random_sample(&scene.cloud, n_q, 300 + i as u64);
                 let queries: Vec<Point3> = idx.into_iter().map(|j| scene.cloud.point(j)).collect();
                 (scene.cloud, queries)
@@ -125,17 +126,19 @@ pub fn fig4(scale: Scale) -> Figure {
             max_neighbors: None,
             num_pes: 8,
             // stall-only: count conflicts without changing results
-            elision: Some(ElisionConfig { elision_height: usize::MAX, num_banks: banks, descendant_reuse: false }),
+            elision: Some(ElisionConfig {
+                elision_height: usize::MAX,
+                num_banks: banks,
+                descendant_reuse: false,
+            }),
         };
         let (_, stats) = split.batch_search(&queries, &cfg);
-        rows.push(FigRow {
-            label: banks.to_string(),
-            values: vec![stats.conflict_rate() * 100.0],
-        });
+        rows.push(FigRow { label: banks.to_string(), values: vec![stats.conflict_rate() * 100.0] });
     }
     Figure {
         id: "fig4",
-        caption: "NS bank-conflict rate vs #banks, 8 concurrent queries (paper: 26.9% @4, 2.1% @32)",
+        caption:
+            "NS bank-conflict rate vs #banks, 8 concurrent queries (paper: 26.9% @4, 2.1% @32)",
         columns: vec!["conflict_rate_%"],
         rows,
     }
@@ -211,7 +214,11 @@ pub fn fig9(scale: Scale) -> Figure {
             radius: 1.0,
             max_neighbors: None,
             num_pes: 8,
-            elision: Some(ElisionConfig { elision_height: he, num_banks: 4, descendant_reuse: false }),
+            elision: Some(ElisionConfig {
+                elision_height: he,
+                num_banks: 4,
+                descendant_reuse: false,
+            }),
         };
         let (_, stats) = split.batch_search(&queries, &cfg);
         let skipped = stats.nodes_skipped as f64;

@@ -79,10 +79,8 @@ impl PerformanceSuite {
         let mut sums = vec![0.0f64; Variant::ALL.len()];
         for net in &self.networks {
             let meso = self.get(net, Variant::Mesorasi).energy.total();
-            let values: Vec<f64> = Variant::ALL
-                .iter()
-                .map(|&v| self.get(net, v).energy.total() / meso)
-                .collect();
+            let values: Vec<f64> =
+                Variant::ALL.iter().map(|&v| self.get(net, v).energy.total() / meso).collect();
             for (s, v) in sums.iter_mut().zip(&values) {
                 *s += v;
             }
@@ -133,7 +131,8 @@ impl PerformanceSuite {
             let meso = self.get(net, Variant::Mesorasi);
             let bce = self.get(net, Variant::AnsBce);
             let speedup = meso.cycles.aggregation as f64 / bce.cycles.aggregation.max(1) as f64;
-            let saving = (1.0 - bce.energy.sram_aggregation / meso.energy.sram_aggregation.max(1e-9))
+            let saving = (1.0
+                - bce.energy.sram_aggregation / meso.energy.sram_aggregation.max(1e-9))
                 * 100.0;
             s_sum += speedup;
             e_sum += saving;
@@ -206,7 +205,8 @@ impl PerformanceSuite {
         }
         Figure {
             id: "fig17",
-            caption: "BCE: bank-conflict reduction and tree-node-access reduction (paper: >45%, ~50%)",
+            caption:
+                "BCE: bank-conflict reduction and tree-node-access reduction (paper: >45%, ~50%)",
             columns: vec!["conflict_reduction_%", "node_access_reduction_%"],
             rows,
         }
@@ -259,9 +259,11 @@ pub fn fig22(scale: Scale) -> (Figure, Figure) {
 pub fn fig24(scale: Scale) -> Figure {
     let cloud = pipeline_cloud(scale, 0xF24);
     let knobs = CrescentKnobs { top_height: 4, elision_height: 9 };
-    let mut cfg = AcceleratorConfig::default();
-    // QuickNN-style small on-chip query queue forces reloads
-    cfg.query_buffer_bytes = 32 * POINT_BYTES * 2;
+    let cfg = AcceleratorConfig {
+        // QuickNN-style small on-chip query queue forces reloads
+        query_buffer_bytes: 32 * POINT_BYTES * 2,
+        ..Default::default()
+    };
     let mut rows = Vec::new();
     let mut v_sum = 0.0;
     let mut d_sum = 0.0;

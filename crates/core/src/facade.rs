@@ -150,14 +150,12 @@ pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use rand::{Rng, SeedableRng};
 
     fn random_cloud(n: usize, seed: u64) -> PointCloud {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n)
-            .map(|_| {
-                Point3::new(rng.random::<f32>(), rng.random::<f32>(), rng.random::<f32>())
-            })
+            .map(|_| Point3::new(rng.random::<f32>(), rng.random::<f32>(), rng.random::<f32>()))
             .collect()
     }
 

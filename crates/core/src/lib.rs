@@ -52,9 +52,7 @@ pub use crescent_nn as nn;
 pub use crescent_pointcloud as pointcloud;
 
 // The most commonly used items, flattened.
-pub use crescent_accel::{
-    AcceleratorConfig, CrescentKnobs, NetworkSpec, PipelineReport, Variant,
-};
+pub use crescent_accel::{AcceleratorConfig, CrescentKnobs, NetworkSpec, PipelineReport, Variant};
 pub use crescent_kdtree::{KdTree, SplitSearchConfig, SplitTree};
 pub use crescent_models::{ApproxSetting, SettingSampler};
 pub use crescent_pointcloud::{Aabb, Point3, PointCloud};

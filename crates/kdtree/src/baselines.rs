@@ -50,10 +50,8 @@ pub fn split_exhaustive_search(
 ) -> BaselineReport {
     assert!(queue_capacity > 0, "queue capacity must be positive");
     let tree = split.tree();
-    let mut report = BaselineReport {
-        results: vec![Vec::new(); queries.len()],
-        ..BaselineReport::default()
-    };
+    let mut report =
+        BaselineReport { results: vec![Vec::new(); queries.len()], ..BaselineReport::default() };
     if tree.is_empty() {
         return report;
     }
@@ -90,7 +88,8 @@ pub fn split_exhaustive_search(
                 let node = tree.node(idx);
                 let d2 = node.point.dist2(q);
                 if d2 <= r2 {
-                    report.results[qi].push(Neighbor { index: node.point_index as usize, dist2: d2 });
+                    report.results[qi]
+                        .push(Neighbor { index: node.point_index as usize, dist2: d2 });
                 }
             }
         }
@@ -158,7 +157,7 @@ mod tests {
     use crate::tree::KdTree;
     use crescent_pointcloud::PointCloud;
     use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use rand::{Rng, SeedableRng};
 
     fn random_cloud(n: usize, seed: u64) -> PointCloud {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -181,12 +180,8 @@ mod tests {
         let split = SplitTree::new(&tree, 3).unwrap();
         let queries: Vec<Point3> = random_cloud(40, 22).into_points();
         let base = split_exhaustive_search(&split, &queries, 0.3, Some(16), 8);
-        let cfg = SplitSearchConfig {
-            radius: 0.3,
-            max_neighbors: Some(16),
-            num_pes: 4,
-            elision: None,
-        };
+        let cfg =
+            SplitSearchConfig { radius: 0.3, max_neighbors: Some(16), num_pes: 4, elision: None };
         let (ours, _) = split.batch_search(&queries, &cfg);
         for (a, b) in base.results.iter().zip(&ours) {
             let ai: Vec<usize> = a.iter().map(|n| n.index).collect();
@@ -203,12 +198,8 @@ mod tests {
         let split = SplitTree::new(&tree, 4).unwrap();
         let queries: Vec<Point3> = random_cloud(64, 24).into_points();
         let base = split_exhaustive_search(&split, &queries, 0.15, None, 16);
-        let cfg = SplitSearchConfig {
-            radius: 0.15,
-            max_neighbors: None,
-            num_pes: 4,
-            elision: None,
-        };
+        let cfg =
+            SplitSearchConfig { radius: 0.15, max_neighbors: None, num_pes: 4, elision: None };
         let (_, stats) = split.batch_search(&queries, &cfg);
         assert!(
             (stats.nodes_visited as f64) < 0.8 * base.nodes_visited as f64,
@@ -227,11 +218,7 @@ mod tests {
         let queries: Vec<Point3> = random_cloud(256, 26).into_points();
         let quicknn = split_exhaustive_search(&split, &queries, 0.2, None, 8);
         let ours = crescent_dram_bytes(&split, &queries, 0.2);
-        assert!(
-            ours < quicknn.dram_bytes,
-            "crescent {ours} vs quicknn {}",
-            quicknn.dram_bytes
-        );
+        assert!(ours < quicknn.dram_bytes, "crescent {ours} vs quicknn {}", quicknn.dram_bytes);
         assert!(quicknn.subtree_loads > split.num_subtrees());
     }
 

@@ -66,7 +66,8 @@ pub fn radius_search_traced(
         let node = tree.node(idx);
         let d2 = node.point.dist2(query); // CD
         if d2 <= r2 {
-            hits.push(Neighbor { index: node.point_index as usize, dist2: d2 }); // SR
+            hits.push(Neighbor { index: node.point_index as usize, dist2: d2 });
+            // SR
         }
         // US: descend toward the query side; push the far side only if the
         // splitting plane is within the search radius.
@@ -136,7 +137,7 @@ mod tests {
     use super::*;
     use crescent_pointcloud::{knn_bruteforce, radius_search_bruteforce, PointCloud};
     use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use rand::{Rng, SeedableRng};
 
     fn random_cloud(n: usize, seed: u64) -> PointCloud {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -165,10 +166,8 @@ mod tests {
             let r = 0.3 + rng.random::<f32>();
             let mut got: Vec<usize> =
                 radius_search(&tree, q, r, None).iter().map(|n| n.index).collect();
-            let mut want: Vec<usize> = radius_search_bruteforce(&cloud, q, r, None)
-                .iter()
-                .map(|n| n.index)
-                .collect();
+            let mut want: Vec<usize> =
+                radius_search_bruteforce(&cloud, q, r, None).iter().map(|n| n.index).collect();
             got.sort_unstable();
             want.sort_unstable();
             assert_eq!(got, want, "query {q} radius {r}");

@@ -68,15 +68,9 @@ impl KdTree {
     /// Building an empty cloud yields an empty tree.
     pub fn build(cloud: &PointCloud) -> Self {
         let n = cloud.len();
-        let mut entries: Vec<(Point3, u32)> = cloud
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (*p, i as u32))
-            .collect();
-        let mut nodes = vec![
-            KdNode { point: Point3::ZERO, axis: 0, point_index: u32::MAX };
-            n
-        ];
+        let mut entries: Vec<(Point3, u32)> =
+            cloud.iter().enumerate().map(|(i, p)| (*p, i as u32)).collect();
+        let mut nodes = vec![KdNode { point: Point3::ZERO, axis: 0, point_index: u32::MAX }; n];
         if n > 0 {
             build_recursive(&mut entries, 0, 0, &mut nodes);
         }
@@ -230,7 +224,12 @@ pub fn height_for(n: usize) -> usize {
     }
 }
 
-fn build_recursive(entries: &mut [(Point3, u32)], heap_idx: usize, depth: usize, out: &mut [KdNode]) {
+fn build_recursive(
+    entries: &mut [(Point3, u32)],
+    heap_idx: usize,
+    depth: usize,
+    out: &mut [KdNode],
+) {
     let n = entries.len();
     if n == 0 {
         return;
@@ -254,7 +253,7 @@ fn build_recursive(entries: &mut [(Point3, u32)], heap_idx: usize, depth: usize,
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use rand::{Rng, SeedableRng};
 
     fn random_cloud(n: usize, seed: u64) -> PointCloud {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -37,7 +37,7 @@ impl Default for EnergyModel {
         // normalized to SRAM word (4 B) = 1 unit
         EnergyModel {
             sram_per_byte: 0.25,
-            dram_random_per_byte: 6.25,         // 25x SRAM
+            dram_random_per_byte: 6.25,          // 25x SRAM
             dram_streaming_per_byte: 6.25 / 3.0, // 3:1 random:streaming
             mac_op: 0.05,
             leakage_per_cycle: 0.02,
@@ -222,5 +222,58 @@ mod tests {
     fn display_mentions_total() {
         let l = EnergyLedger::new();
         assert!(format!("{l}").contains("total=0.0"));
+    }
+
+    #[test]
+    fn zero_access_run_costs_zero() {
+        let m = EnergyModel::default();
+        let mut l = EnergyLedger::new();
+        l.charge_dram_random(&m, 0);
+        l.charge_dram_streaming(&m, 0);
+        l.charge_sram_search(&m, 0);
+        l.charge_sram_aggregation(&m, 0);
+        l.charge_sram_global(&m, 0);
+        l.charge_macs(&m, 0);
+        l.charge_leakage(&m, 0);
+        assert_eq!(l.total(), 0.0);
+        assert_eq!(l, EnergyLedger::new(), "zero-count charges must not perturb the ledger");
+    }
+
+    #[test]
+    fn totals_are_monotone_in_access_counts() {
+        // each charge category individually: more traffic never costs less
+        let m = EnergyModel::default();
+        type Charge = fn(&mut EnergyLedger, &EnergyModel, u64);
+        let charges: &[(&str, Charge)] = &[
+            ("dram_random", EnergyLedger::charge_dram_random),
+            ("dram_streaming", EnergyLedger::charge_dram_streaming),
+            ("sram_search", EnergyLedger::charge_sram_search),
+            ("sram_aggregation", EnergyLedger::charge_sram_aggregation),
+            ("sram_global", EnergyLedger::charge_sram_global),
+            ("macs", EnergyLedger::charge_macs),
+            ("leakage", EnergyLedger::charge_leakage),
+        ];
+        for &(name, charge) in charges {
+            let mut prev = 0.0;
+            for count in [0u64, 1, 2, 64, 4096, 1 << 20] {
+                let mut l = EnergyLedger::new();
+                charge(&mut l, &m, count);
+                assert!(
+                    l.total() >= prev,
+                    "{name}: total {} decreased below {prev} at count {count}",
+                    l.total()
+                );
+                assert!(count == 0 || l.total() > 0.0, "{name}: nonzero count costs nothing");
+                prev = l.total();
+            }
+        }
+        // and cumulatively on one ledger: every charge strictly grows it
+        let mut l = EnergyLedger::new();
+        let mut prev = l.total();
+        for &(name, charge) in charges {
+            charge(&mut l, &m, 1000);
+            assert!(l.total() > prev, "{name}: cumulative total failed to grow");
+            prev = l.total();
+        }
     }
 }

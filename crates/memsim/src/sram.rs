@@ -183,10 +183,7 @@ impl BankedSram {
     /// behaviour). Returns, per address, whether the access was elided.
     pub fn gather_eliding(&mut self, addrs: &[u64]) -> Vec<bool> {
         let reqs: Vec<Option<u64>> = addrs.iter().copied().map(Some).collect();
-        self.arbitrate(&reqs, true)
-            .into_iter()
-            .map(|o| o == PortOutcome::Elided)
-            .collect()
+        self.arbitrate(&reqs, true).into_iter().map(|o| o == PortOutcome::Elided).collect()
     }
 
     /// Accumulated counters.

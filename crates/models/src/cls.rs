@@ -157,11 +157,7 @@ impl Classifier for DensePointCls {
             let prev_c = g_feat.cols() - self.growth;
             let (g_prev, g_new) = g_feat.split_cols(prev_c);
             let g_through = block.backward(&g_new);
-            g_feat = if g_prev.cols() == 0 {
-                g_prev
-            } else {
-                g_prev.add(&g_through)
-            };
+            g_feat = if g_prev.cols() == 0 { g_prev } else { g_prev.add(&g_through) };
         }
     }
 

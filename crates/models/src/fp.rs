@@ -80,8 +80,8 @@ impl FeaturePropagation {
                 total += wi;
             }
             // pad when src has fewer than K points
-            for slot in nn.len()..INTERP_K {
-                w[slot] = (nn.first().map_or(0, |h| h.index), 0.0);
+            for e in w.iter_mut().skip(nn.len()) {
+                *e = (nn.first().map_or(0, |h| h.index), 0.0);
             }
             if total > 0.0 {
                 for e in &mut w {

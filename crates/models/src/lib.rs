@@ -46,9 +46,7 @@ pub use cls::{Classifier, DensePointCls, PointNet2Cls};
 pub use det::{box_from_params, params_from_box, FPointNetDet, BOX_PARAMS};
 pub use fp::{FeaturePropagation, INTERP_K};
 pub use sa::{GlobalFeature, SetAbstraction};
-pub use search::{
-    apply_aggregation_elision, neighbor_lists, ApproxSetting, SettingSampler,
-};
+pub use search::{apply_aggregation_elision, neighbor_lists, ApproxSetting, SettingSampler};
 pub use seg::PointNet2Seg;
 pub use train::{
     eval_classifier, eval_detector, eval_segmenter, loss_decreased, train_classifier,

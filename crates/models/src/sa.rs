@@ -162,7 +162,12 @@ impl GlobalFeature {
     }
 
     /// Forward pass to a single global feature row.
-    pub fn forward(&mut self, points: &PointCloud, features: Option<&Tensor>, train: bool) -> Tensor {
+    pub fn forward(
+        &mut self,
+        points: &PointCloud,
+        features: Option<&Tensor>,
+        train: bool,
+    ) -> Tensor {
         let n = points.len();
         let c = features.map_or(0, Tensor::cols);
         assert_eq!(c, self.in_channels, "feature width mismatch");
@@ -206,14 +211,12 @@ mod tests {
     use super::*;
     use crescent_pointcloud::Point3;
     use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use rand::{Rng, SeedableRng};
 
     fn random_cloud(n: usize, seed: u64) -> PointCloud {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n)
-            .map(|_| {
-                Point3::new(rng.random::<f32>(), rng.random::<f32>(), rng.random::<f32>())
-            })
+            .map(|_| Point3::new(rng.random::<f32>(), rng.random::<f32>(), rng.random::<f32>()))
             .collect()
     }
 

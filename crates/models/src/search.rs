@@ -12,7 +12,7 @@
 //! * the per-input sampling of `h` during approximation-aware training.
 
 use rand::rngs::StdRng;
-use rand::RngExt;
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crescent_kdtree::{ElisionConfig, KdTree, SplitSearchConfig, SplitTree};
@@ -137,7 +137,9 @@ pub fn neighbor_lists(
         num_pes: setting.num_pes,
         elision: setting.elision_height.map(|he| ElisionConfig {
             elision_height: he,
-            num_banks: setting.tree_banks, descendant_reuse: false }),
+            num_banks: setting.tree_banks,
+            descendant_reuse: false,
+        }),
     };
     let (results, _) = split.batch_search(&queries, &cfg);
     let mut lists: Vec<Vec<usize>> = results
@@ -163,11 +165,11 @@ pub fn apply_aggregation_elision(lists: &mut [Vec<usize>], point_banks: usize) {
     for list in lists.iter_mut() {
         for chunk in list.chunks_mut(banks) {
             let mut winner_of_bank: Vec<Option<usize>> = vec![None; banks];
-            for slot in 0..chunk.len() {
-                let bank = chunk[slot] % banks;
+            for slot in chunk.iter_mut() {
+                let bank = *slot % banks;
                 match winner_of_bank[bank] {
-                    None => winner_of_bank[bank] = Some(chunk[slot]),
-                    Some(w) => chunk[slot] = w, // replicated neighbor
+                    None => winner_of_bank[bank] = Some(*slot),
+                    Some(w) => *slot = w, // replicated neighbor
                 }
             }
         }
@@ -199,11 +201,10 @@ mod tests {
         let lists = neighbor_lists(&cloud, &qs, 1.1, 8, &ApproxSetting::exact());
         for (list, &qi) in lists.iter().zip(&qs) {
             assert_eq!(list.len(), 8);
-            let want: Vec<usize> =
-                radius_search_bruteforce(&cloud, cloud.point(qi), 1.1, Some(8))
-                    .iter()
-                    .map(|n| n.index)
-                    .collect();
+            let want: Vec<usize> = radius_search_bruteforce(&cloud, cloud.point(qi), 1.1, Some(8))
+                .iter()
+                .map(|n| n.index)
+                .collect();
             // every returned neighbor is a true neighbor (replication may
             // repeat entries)
             for idx in list {

@@ -10,13 +10,11 @@
 //! flow only through the MLPs (Fig 11).
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crescent_nn::{huber_loss, softmax_cross_entropy, Adam};
-use crescent_pointcloud::datasets::{
-    ClassificationSample, DetectionSample, SegmentationSample,
-};
+use crescent_pointcloud::datasets::{ClassificationSample, DetectionSample, SegmentationSample};
 use crescent_pointcloud::Aabb;
 
 use crate::cls::Classifier;
@@ -129,10 +127,7 @@ pub fn eval_classifier<C: Classifier + ?Sized>(
     if samples.is_empty() {
         return 0.0;
     }
-    let correct = samples
-        .iter()
-        .filter(|s| model.predict(&s.cloud, setting) == s.label)
-        .count();
+    let correct = samples.iter().filter(|s| model.predict(&s.cloud, setting) == s.label).count();
     correct as f32 / samples.len() as f32
 }
 
@@ -260,13 +255,10 @@ mod tests {
         let ds = tiny_cls();
         let mut net = PointNet2Cls::new(ds.num_classes, 31);
         let before = eval_classifier(&mut net, &ds.test, &ApproxSetting::exact());
-        let report = train_classifier(&mut net, &ds.train, &TrainConfig::exact(4));
+        let report = train_classifier(&mut net, &ds.train, &TrainConfig::exact(6));
         let after = eval_classifier(&mut net, &ds.test, &ApproxSetting::exact());
         assert!(loss_decreased(&report), "losses {:?}", report.epoch_losses);
-        assert!(
-            after >= before,
-            "accuracy should not degrade: {before} -> {after}"
-        );
+        assert!(after >= before, "accuracy should not degrade: {before} -> {after}");
         assert!(after > 0.15, "better than chance, got {after}");
     }
 
@@ -275,8 +267,7 @@ mod tests {
         let ds = tiny_cls();
         let setting = ApproxSetting::ans_bce(3, 5);
         let mut net = PointNet2Cls::new(ds.num_classes, 32);
-        let report =
-            train_classifier(&mut net, &ds.train, &TrainConfig::dedicated(setting, 2));
+        let report = train_classifier(&mut net, &ds.train, &TrainConfig::dedicated(setting, 2));
         assert_eq!(report.epoch_losses.len(), 2);
         let acc = eval_classifier(&mut net, &ds.test, &setting);
         assert!((0.0..=1.0).contains(&acc));

@@ -6,7 +6,7 @@
 //! traversal for the optimizer.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use crate::optim::Param;
 use crate::tensor::Tensor;
@@ -111,12 +111,8 @@ impl Layer for Relu {
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
         assert_eq!(grad.shape(), self.shape, "backward shape mismatch");
-        let data = grad
-            .data()
-            .iter()
-            .zip(&self.mask)
-            .map(|(&g, &m)| if m { g } else { 0.0 })
-            .collect();
+        let data =
+            grad.data().iter().zip(&self.mask).map(|(&g, &m)| if m { g } else { 0.0 }).collect();
         Tensor::from_vec(grad.rows(), grad.cols(), data)
     }
 
@@ -200,8 +196,8 @@ impl Layer for BatchNorm1d {
             (self.running_mean.clone(), self.running_var.clone())
         };
         let mut x_hat = Tensor::zeros(n, d);
-        for c in 0..d {
-            self.batch_std[c] = (var[c] + self.eps).sqrt();
+        for (std, v) in self.batch_std.iter_mut().zip(&var).take(d) {
+            *std = (v + self.eps).sqrt();
         }
         let mut out = Tensor::zeros(n, d);
         for r in 0..n {
@@ -542,10 +538,7 @@ mod tests {
         assert_eq!(analytic.len(), numeric.len());
         for (i, (a, n)) in analytic.iter().zip(&numeric).enumerate() {
             let denom = a.abs().max(n.abs()).max(1e-2);
-            assert!(
-                ((a - n) / denom).abs() < 0.1,
-                "param {i}: analytic {a} vs numeric {n}"
-            );
+            assert!(((a - n) / denom).abs() < 0.1, "param {i}: analytic {a} vs numeric {n}");
         }
     }
 

@@ -11,7 +11,7 @@ use std::fmt;
 use std::ops::{Index, IndexMut};
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// A row-major 2D tensor of `f32`.

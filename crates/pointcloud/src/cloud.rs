@@ -123,11 +123,7 @@ impl PointCloud {
     pub fn normalize_unit_sphere(&mut self) -> (Point3, f32) {
         let c = self.centroid();
         self.translate(-c);
-        let max_norm = self
-            .points
-            .iter()
-            .map(|p| p.norm())
-            .fold(0.0_f32, f32::max);
+        let max_norm = self.points.iter().map(|p| p.norm()).fold(0.0_f32, f32::max);
         let s = if max_norm > 0.0 { 1.0 / max_norm } else { 1.0 };
         self.scale(s);
         (-c, s)

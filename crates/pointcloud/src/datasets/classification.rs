@@ -10,7 +10,7 @@
 //! 18 / 19 / 20 / 21 experiments rely on.
 
 use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::cloud::PointCloud;
@@ -192,11 +192,7 @@ impl ClassificationDataset {
         if self.test.is_empty() {
             return 0.0;
         }
-        let correct = predictions
-            .iter()
-            .zip(&self.test)
-            .filter(|(p, s)| **p == s.label)
-            .count();
+        let correct = predictions.iter().zip(&self.test).filter(|(p, s)| **p == s.label).count();
         correct as f32 / self.test.len() as f32
     }
 }

@@ -13,7 +13,7 @@
 //!   the ground-truth box, evaluated by box IoU on the car class.
 
 use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::cloud::PointCloud;
@@ -254,11 +254,8 @@ pub fn generate_frustum_sample<R: Rng + ?Sized>(
     let n_car = ((n as f32) * cfg.car_fraction) as usize;
 
     // car box with random pose near the frustum center
-    let center = Point3::new(
-        (rng.random::<f32>() - 0.5) * 2.0,
-        (rng.random::<f32>() - 0.5) * 2.0,
-        0.75,
-    );
+    let center =
+        Point3::new((rng.random::<f32>() - 0.5) * 2.0, (rng.random::<f32>() - 0.5) * 2.0, 0.75);
     let size = Point3::new(
         3.8 + rng.random::<f32>() * 1.0,
         1.6 + rng.random::<f32>() * 0.4,
@@ -319,7 +316,7 @@ mod tests {
     fn scene_point_budget() {
         let scene = generate_scene(&tiny_scene_cfg());
         let n = scene.cloud.len();
-        assert!(n >= 3_500 && n <= 4_500, "got {n}");
+        assert!((3_500..=4_500).contains(&n), "got {n}");
         assert_eq!(scene.car_boxes.len(), 3);
     }
 
@@ -335,8 +332,7 @@ mod tests {
     #[test]
     fn scene_sweep_order_is_azimuthal() {
         let scene = generate_scene(&tiny_scene_cfg());
-        let angles: Vec<f32> =
-            scene.cloud.iter().map(|p| p.y.atan2(p.x)).collect();
+        let angles: Vec<f32> = scene.cloud.iter().map(|p| p.y.atan2(p.x)).collect();
         assert!(angles.windows(2).all(|w| w[0] <= w[1] + 1e-6));
     }
 

@@ -10,8 +10,8 @@ pub mod segmentation;
 pub mod shapes;
 
 pub use classification::{
-    generate_sample as generate_classification_sample, ClassificationConfig,
-    ClassificationDataset, ClassificationSample, ShapeClass,
+    generate_sample as generate_classification_sample, ClassificationConfig, ClassificationDataset,
+    ClassificationSample, ShapeClass,
 };
 pub use lidar::{
     generate_frustum_sample, generate_scene, DetectionConfig, DetectionDataset, DetectionSample,

@@ -7,7 +7,7 @@
 //! corrupted by approximation.
 
 use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::cloud::PointCloud;
@@ -176,7 +176,7 @@ pub fn generate_sample<R: Rng + ?Sized>(
     let mut pts: Vec<Point3> = Vec::with_capacity(points);
     let mut labels: Vec<usize> = Vec::with_capacity(points);
     let add = |vs: Vec<Point3>, label: usize, pts: &mut Vec<Point3>, labels: &mut Vec<usize>| {
-        labels.extend(std::iter::repeat(label).take(vs.len()));
+        labels.extend(std::iter::repeat_n(label, vs.len()));
         pts.extend(vs);
     };
 
@@ -207,7 +207,12 @@ pub fn generate_sample<R: Rng + ?Sized>(
         }
         SegCategory::Lamp => {
             let third = points / 3;
-            add(shapes::disk(rng, third, Point3::new(0.0, 0.0, -0.8), 0.5), 0, &mut pts, &mut labels);
+            add(
+                shapes::disk(rng, third, Point3::new(0.0, 0.0, -0.8), 0.5),
+                0,
+                &mut pts,
+                &mut labels,
+            );
             add(
                 shapes::segment(
                     rng,
@@ -243,7 +248,13 @@ pub fn generate_sample<R: Rng + ?Sized>(
                 &mut labels,
             );
             add(
-                shapes::plane_patch(rng, points - body - wings, Point3::new(-0.9, 0.0, 0.2), 0.3, 0.5),
+                shapes::plane_patch(
+                    rng,
+                    points - body - wings,
+                    Point3::new(-0.9, 0.0, 0.2),
+                    0.3,
+                    0.5,
+                ),
                 2,
                 &mut pts,
                 &mut labels,
@@ -253,12 +264,13 @@ pub fn generate_sample<R: Rng + ?Sized>(
             let body = points * 3 / 4;
             add(shapes::cylinder(rng, body, Point3::ZERO, 0.5, 1.0), 0, &mut pts, &mut labels);
             // handle: half-torus sticking out in +x
-            let handle: Vec<Point3> = shapes::torus(rng, 2 * (points - body), Point3::ZERO, 0.3, 0.06)
-                .into_iter()
-                .map(|p| Point3::new(p.x + 0.5, p.z, p.y)) // rotate into xz plane, offset
-                .filter(|p| p.x > 0.55)
-                .take(points - body)
-                .collect();
+            let handle: Vec<Point3> =
+                shapes::torus(rng, 2 * (points - body), Point3::ZERO, 0.3, 0.06)
+                    .into_iter()
+                    .map(|p| Point3::new(p.x + 0.5, p.z, p.y)) // rotate into xz plane, offset
+                    .filter(|p| p.x > 0.55)
+                    .take(points - body)
+                    .collect();
             add(handle, 3, &mut pts, &mut labels);
         }
     }
@@ -330,8 +342,7 @@ mod tests {
         let ds = SegmentationDataset::generate(&tiny_cfg());
         let perfect: Vec<Vec<usize>> = ds.test.iter().map(|s| s.labels.clone()).collect();
         assert_eq!(ds.mean_iou(&perfect), 1.0);
-        let majority: Vec<Vec<usize>> =
-            ds.test.iter().map(|s| vec![0; s.labels.len()]).collect();
+        let majority: Vec<Vec<usize>> = ds.test.iter().map(|s| vec![0; s.labels.len()]).collect();
         assert!(ds.mean_iou(&majority) < 0.9);
     }
 

@@ -5,7 +5,7 @@
 //! (distinct shape classes) and the ShapeNet-like segmentation dataset
 //! (shapes assembled from labelled parts).
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 use crate::point::Point3;
 use crate::sampling::gaussian;
@@ -36,13 +36,13 @@ pub fn cuboid<R: Rng + ?Sized>(rng: &mut R, n: usize, center: Point3, size: Poin
             let sgn = if rng.random::<bool>() { 1.0 } else { -1.0 };
             let p = if t < 2.0 * ax {
                 Point3::new(sgn * h.x, u * h.y, v * h.z)
-            } else if {
-                t -= 2.0 * ax;
-                t < 2.0 * ay
-            } {
-                Point3::new(u * h.x, sgn * h.y, v * h.z)
             } else {
-                Point3::new(u * h.x, v * h.y, sgn * h.z)
+                t -= 2.0 * ax;
+                if t < 2.0 * ay {
+                    Point3::new(u * h.x, sgn * h.y, v * h.z)
+                } else {
+                    Point3::new(u * h.x, v * h.y, sgn * h.z)
+                }
             };
             center + p
         })
@@ -192,7 +192,12 @@ pub fn segment<R: Rng + ?Sized>(
 }
 
 /// Samples `n` points on two stacked spheres, a snowman-like two-lobe shape.
-pub fn two_lobes<R: Rng + ?Sized>(rng: &mut R, n: usize, center: Point3, radius: f32) -> Vec<Point3> {
+pub fn two_lobes<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    center: Point3,
+    radius: f32,
+) -> Vec<Point3> {
     let half = n / 2;
     let mut pts = sphere(rng, half, center + Point3::new(0.0, 0.0, radius * 0.8), radius * 0.6);
     pts.extend(sphere(rng, n - half, center - Point3::new(0.0, 0.0, radius * 0.4), radius));

@@ -45,6 +45,5 @@ pub use bruteforce::{knn_bruteforce, radius_search_bruteforce, Neighbor};
 pub use cloud::{PointCloud, POINT_BYTES};
 pub use point::{Aabb, Point3, DIMS};
 pub use sampling::{
-    farthest_point_sample, farthest_point_subcloud, gaussian, jitter, random_sample,
-    replicate_to_k,
+    farthest_point_sample, farthest_point_subcloud, gaussian, jitter, random_sample, replicate_to_k,
 };

@@ -344,10 +344,7 @@ impl Aabb {
 
     /// Intersection of two boxes; empty/degenerate boxes yield zero volume.
     pub fn intersection(&self, other: &Aabb) -> Aabb {
-        Aabb {
-            min: self.min.max(other.min),
-            max: self.max.min(other.max),
-        }
+        Aabb { min: self.min.max(other.min), max: self.max.min(other.max) }
     }
 
     /// Intersection-over-union with another box.
@@ -374,7 +371,13 @@ impl Aabb {
             let v = p.coord(axis);
             let lo = self.min.coord(axis);
             let hi = self.max.coord(axis);
-            let d = if v < lo { lo - v } else if v > hi { v - hi } else { 0.0 };
+            let d = if v < lo {
+                lo - v
+            } else if v > hi {
+                v - hi
+            } else {
+                0.0
+            };
             d2 += d * d;
         }
         d2

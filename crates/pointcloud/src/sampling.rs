@@ -5,7 +5,7 @@
 //! Crescent evaluation uses it (Sec 2.1's "output point cloud").
 
 use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use crate::cloud::PointCloud;
 use crate::point::Point3;
@@ -41,9 +41,7 @@ pub fn farthest_point_sample(cloud: &PointCloud, n: usize) -> Vec<usize> {
         .iter()
         .enumerate()
         .max_by(|(_, a), (_, b)| {
-            a.dist2(centroid)
-                .partial_cmp(&b.dist2(centroid))
-                .unwrap_or(std::cmp::Ordering::Equal)
+            a.dist2(centroid).partial_cmp(&b.dist2(centroid)).unwrap_or(std::cmp::Ordering::Equal)
         })
         .map(|(i, _)| i)
         .expect("non-empty cloud");
@@ -73,10 +71,7 @@ pub fn farthest_point_sample(cloud: &PointCloud, n: usize) -> Vec<usize> {
 /// Returns the sampled sub-cloud (points, not indices) of
 /// [`farthest_point_sample`].
 pub fn farthest_point_subcloud(cloud: &PointCloud, n: usize) -> PointCloud {
-    farthest_point_sample(cloud, n)
-        .into_iter()
-        .map(|i| cloud.point(i))
-        .collect()
+    farthest_point_sample(cloud, n).into_iter().map(|i| cloud.point(i)).collect()
 }
 
 /// Uniformly subsamples `n` point indices without replacement, seeded for
@@ -237,11 +232,7 @@ mod tests {
         let mut c = line_cloud(20);
         let orig = c.clone();
         jitter(&mut c, 0.01, 3);
-        let max_move = c
-            .iter()
-            .zip(orig.iter())
-            .map(|(a, b)| a.dist(*b))
-            .fold(0.0_f32, f32::max);
+        let max_move = c.iter().zip(orig.iter()).map(|(a, b)| a.dist(*b)).fold(0.0_f32, f32::max);
         assert!(max_move > 0.0 && max_move < 0.2);
     }
 

@@ -29,8 +29,7 @@ fn main() {
     let base = AcceleratorConfig::default();
 
     // --- knob sweep: <h_t, h_e> ---
-    let meso =
-        run_network(&spec, &cloud, Variant::Mesorasi, CrescentKnobs::default(), &base);
+    let meso = run_network(&spec, &cloud, Variant::Mesorasi, CrescentKnobs::default(), &base);
     let mut rows = Vec::new();
     for (ht, he) in [(1usize, 11usize), (2, 10), (4, 9), (6, 8), (8, 7)] {
         let knobs = CrescentKnobs { top_height: ht, elision_height: he };
@@ -44,10 +43,7 @@ fn main() {
         ]);
     }
     println!("knob sweep on {} (vs Mesorasi):", spec.name);
-    print!(
-        "{}",
-        format_table(&["<h_t,h_e>", "speedup", "norm_energy", "visits", "elided"], &rows)
-    );
+    print!("{}", format_table(&["<h_t,h_e>", "speedup", "norm_energy", "visits", "elided"], &rows));
 
     // --- hardware sweep: PEs x banks ---
     let knobs = CrescentKnobs { top_height: 4, elision_height: 9 };

@@ -9,10 +9,10 @@
 //! ```
 
 use crescent::accel::{run_network, AcceleratorConfig, CrescentKnobs, NetworkSpec, Variant};
+use crescent::format_table;
 use crescent::kdtree::{radius_search_traced, KdTree, NODE_BYTES};
 use crescent::memsim::DramTraceAnalyzer;
 use crescent::pointcloud::datasets::{generate_scene, LidarSceneConfig};
-use crescent::format_table;
 
 fn main() {
     let mut scene = generate_scene(&LidarSceneConfig {
@@ -23,11 +23,7 @@ fn main() {
         half_extent: 40.0,
         seed: 2022,
     });
-    println!(
-        "scene: {} points, {} cars",
-        scene.cloud.len(),
-        scene.car_boxes.len()
-    );
+    println!("scene: {} points, {} cars", scene.cloud.len(), scene.car_boxes.len());
 
     // --- motivation: exact search is almost entirely non-streaming ---
     let tree = KdTree::build(&scene.cloud);

@@ -96,8 +96,5 @@ fn mixed_training_generalizes_across_settings() {
     let acc_ded1 = eval_classifier(&mut dedicated1, &ds.test, &hard);
     // the mixed model must be at least competitive (strictly better is
     // noisy at this scale)
-    assert!(
-        acc_mixed + 0.1 >= acc_ded1,
-        "mixed {acc_mixed} vs dedicated-ht1 {acc_ded1} at h_t=5"
-    );
+    assert!(acc_mixed + 0.1 >= acc_ded1, "mixed {acc_mixed} vs dedicated-ht1 {acc_ded1} at h_t=5");
 }

@@ -1,0 +1,176 @@
+//! Seed-determinism and size contracts of the synthetic dataset
+//! generators. Every experiment in the workspace leans on these
+//! generators being reproducible bit-for-bit given a seed, and on their
+//! point budgets being honored — a silent change to either invalidates
+//! cross-run comparisons of accuracy and performance figures.
+
+use crescent::pointcloud::datasets::{
+    generate_scene, shapes, ClassificationConfig, ClassificationDataset, DetectionConfig,
+    DetectionDataset, LidarSceneConfig, SegmentationConfig, SegmentationDataset,
+};
+use crescent::pointcloud::{Point3, PointCloud};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn scene_cfg(total_points: usize, seed: u64) -> LidarSceneConfig {
+    LidarSceneConfig {
+        total_points,
+        num_cars: 6,
+        num_poles: 12,
+        num_walls: 4,
+        half_extent: 25.0,
+        seed,
+    }
+}
+
+fn identical(a: &PointCloud, b: &PointCloud) -> bool {
+    a.points() == b.points()
+}
+
+#[test]
+fn scene_is_deterministic_per_seed() {
+    let a = generate_scene(&scene_cfg(20_000, 0xC0FFEE));
+    let b = generate_scene(&scene_cfg(20_000, 0xC0FFEE));
+    assert!(identical(&a.cloud, &b.cloud), "same seed must give identical clouds");
+    assert_eq!(a.car_boxes.len(), b.car_boxes.len());
+    for (ba, bb) in a.car_boxes.iter().zip(&b.car_boxes) {
+        assert_eq!(ba.min, bb.min);
+        assert_eq!(ba.max, bb.max);
+    }
+}
+
+#[test]
+fn scene_differs_across_seeds() {
+    let a = generate_scene(&scene_cfg(20_000, 1));
+    let b = generate_scene(&scene_cfg(20_000, 2));
+    assert!(!identical(&a.cloud, &b.cloud), "different seeds must give different clouds");
+}
+
+#[test]
+fn scene_respects_total_points() {
+    // `total_points` is a budget split across ground/walls/cars/poles with
+    // integer division; the result must land within a few per-mille of the
+    // request (the pole fill rounds up by at most one point per pole).
+    for total in [10_000usize, 40_000, 120_000] {
+        let cfg = scene_cfg(total, 7);
+        let scene = generate_scene(&cfg);
+        let n = scene.cloud.len() as i64;
+        let slack = (cfg.num_poles + cfg.num_cars + cfg.num_walls) as i64;
+        assert!(
+            (n - total as i64).abs() <= slack,
+            "scene size {n} strays more than {slack} from requested {total}"
+        );
+    }
+}
+
+#[test]
+fn shape_generators_are_deterministic_and_sized() {
+    type Gen = fn(&mut StdRng, usize) -> Vec<Point3>;
+    let generators: &[(&str, Gen)] = &[
+        ("sphere", |rng, n| shapes::sphere(rng, n, Point3::new(0.5, -0.25, 1.0), 2.0)),
+        ("cuboid", |rng, n| {
+            shapes::cuboid(rng, n, Point3::new(0.5, -0.25, 1.0), Point3::new(2.0, 1.0, 0.5))
+        }),
+        ("cylinder", |rng, n| shapes::cylinder(rng, n, Point3::new(0.5, -0.25, 1.0), 1.0, 3.0)),
+        ("cone", |rng, n| shapes::cone(rng, n, Point3::new(0.5, -0.25, 1.0), 1.0, 2.0)),
+        ("torus", |rng, n| shapes::torus(rng, n, Point3::new(0.5, -0.25, 1.0), 2.0, 0.5)),
+        ("disk", |rng, n| shapes::disk(rng, n, Point3::new(0.5, -0.25, 1.0), 1.5)),
+        ("plane_patch", |rng, n| {
+            shapes::plane_patch(rng, n, Point3::new(0.5, -0.25, 1.0), 4.0, 3.0)
+        }),
+        ("helix", |rng, n| shapes::helix(rng, n, Point3::new(0.5, -0.25, 1.0), 1.0, 4.0, 3.0)),
+        ("ellipsoid", |rng, n| {
+            shapes::ellipsoid(rng, n, Point3::new(0.5, -0.25, 1.0), Point3::new(2.0, 1.0, 0.5))
+        }),
+        ("segment", |rng, n| {
+            shapes::segment(rng, n, Point3::new(0.0, 0.0, 0.0), Point3::new(1.0, 1.0, 4.0), 0.05)
+        }),
+        ("two_lobes", |rng, n| shapes::two_lobes(rng, n, Point3::new(0.5, -0.25, 1.0), 1.0)),
+        ("cross", |rng, n| shapes::cross(rng, n, Point3::new(0.5, -0.25, 1.0), 1.5)),
+    ];
+    for &(name, gen) in generators {
+        for n in [1usize, 7, 256] {
+            let a = gen(&mut StdRng::seed_from_u64(99), n);
+            let b = gen(&mut StdRng::seed_from_u64(99), n);
+            assert_eq!(a.len(), n, "{name} must emit exactly n points");
+            assert_eq!(a, b, "{name} must be deterministic per seed");
+            for p in &a {
+                assert!(
+                    p.x.is_finite() && p.y.is_finite() && p.z.is_finite(),
+                    "{name} emitted a non-finite point"
+                );
+            }
+        }
+        let a = gen(&mut StdRng::seed_from_u64(99), 256);
+        let d = gen(&mut StdRng::seed_from_u64(100), 256);
+        assert_ne!(a, d, "{name} must vary across seeds");
+    }
+}
+
+#[test]
+fn classification_dataset_is_deterministic() {
+    let cfg = ClassificationConfig {
+        points_per_cloud: 128,
+        train_per_class: 2,
+        test_per_class: 1,
+        jitter_sigma: 0.01,
+        seed: 404,
+    };
+    let a = ClassificationDataset::generate(&cfg);
+    let b = ClassificationDataset::generate(&cfg);
+    assert_eq!(a.num_classes, b.num_classes);
+    assert_eq!(a.train.len(), a.num_classes * cfg.train_per_class);
+    assert_eq!(a.test.len(), a.num_classes * cfg.test_per_class);
+    for (sa, sb) in a.train.iter().zip(&b.train).chain(a.test.iter().zip(&b.test)) {
+        assert_eq!(sa.label, sb.label);
+        assert_eq!(sa.cloud.len(), cfg.points_per_cloud, "points_per_cloud must be honored");
+        assert!(identical(&sa.cloud, &sb.cloud));
+    }
+}
+
+#[test]
+fn segmentation_dataset_is_deterministic() {
+    let cfg = SegmentationConfig {
+        points_per_cloud: 96,
+        train_per_category: 2,
+        test_per_category: 1,
+        seed: 505,
+    };
+    let a = SegmentationDataset::generate(&cfg);
+    let b = SegmentationDataset::generate(&cfg);
+    assert_eq!(a.train.len(), b.train.len());
+    assert_eq!(a.test.len(), b.test.len());
+    for (sa, sb) in a.train.iter().zip(&b.train).chain(a.test.iter().zip(&b.test)) {
+        // parts round independently: each category splits the budget over
+        // at most 4 parts with integer division, so up to 8 points short
+        let n = sa.cloud.len();
+        assert!(
+            n <= cfg.points_per_cloud && n + 8 > cfg.points_per_cloud,
+            "cloud has {n} points for a budget of {}",
+            cfg.points_per_cloud
+        );
+        assert_eq!(sa.labels, sb.labels);
+        assert!(identical(&sa.cloud, &sb.cloud));
+    }
+}
+
+#[test]
+fn detection_dataset_is_deterministic() {
+    let cfg = DetectionConfig {
+        points_per_sample: 160,
+        train_samples: 3,
+        test_samples: 2,
+        car_fraction: 0.3,
+        seed: 606,
+    };
+    let a = DetectionDataset::generate(&cfg);
+    let b = DetectionDataset::generate(&cfg);
+    assert_eq!(a.train.len(), cfg.train_samples);
+    assert_eq!(a.test.len(), cfg.test_samples);
+    for (sa, sb) in a.train.iter().zip(&b.train).chain(a.test.iter().zip(&b.test)) {
+        assert_eq!(sa.cloud.len(), cfg.points_per_sample, "points_per_sample must be honored");
+        assert!(identical(&sa.cloud, &sb.cloud));
+        assert_eq!(sa.gt_box.min, sb.gt_box.min);
+        assert_eq!(sa.gt_box.max, sb.gt_box.max);
+    }
+}

@@ -40,11 +40,7 @@ fn speedup_ordering_holds_on_every_network() {
             ans.total_cycles(),
             meso.total_cycles()
         );
-        assert!(
-            bce.total_cycles() < ans.total_cycles(),
-            "{}: BCE should outrun ANS",
-            spec.name
-        );
+        assert!(bce.total_cycles() < ans.total_cycles(), "{}: BCE should outrun ANS", spec.name);
         assert!(gpu.total_cycles() > meso.total_cycles(), "{}: GPU must trail", spec.name);
     }
 }

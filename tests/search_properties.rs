@@ -2,9 +2,7 @@
 
 use proptest::prelude::*;
 
-use crescent::kdtree::{
-    radius_search, ElisionConfig, KdTree, SplitSearchConfig, SplitTree,
-};
+use crescent::kdtree::{radius_search, ElisionConfig, KdTree, SplitSearchConfig, SplitTree};
 use crescent::memsim::{DramTraceAnalyzer, FullyAssociativeCache};
 use crescent::pointcloud::{radius_search_bruteforce, replicate_to_k, Point3, PointCloud};
 

@@ -1,0 +1,365 @@
+//! Offline stub of `proptest`.
+//!
+//! The build container has no crates.io access, so this crate implements
+//! the slice of proptest the workspace uses: range and tuple strategies,
+//! `prop::collection::vec`, `.prop_map`, `ProptestConfig::with_cases`,
+//! and the `proptest!` / `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Differences from real proptest, by design:
+//! - **No shrinking.** A failing case panics with its case number; cases
+//!   are deterministic per test (seeded from the test name), so failures
+//!   reproduce exactly on re-run.
+//! - **No persistence.** Nothing is written to `proptest-regressions/`.
+
+/// Runner configuration. Only `cases` is honored.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Runs `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic RNG driving case generation.
+
+    /// SplitMix64 generator; seeded from the test's name so every test
+    /// has an independent, stable stream.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator from an arbitrary label (the test name).
+        pub fn deterministic(label: &str) -> Self {
+            // FNV-1a over the label: stable across runs and platforms.
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for b in label.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform `u64` in `[0, span)`.
+        pub fn below(&mut self, span: u64) -> u64 {
+            assert!(span > 0, "empty range");
+            self.next_u64() % span
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating random values of `Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).new_value(rng)
+        }
+    }
+
+    macro_rules! impl_strategy_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_strategy_float_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let v = self.start + rng.unit_f64() as $t * (self.end - self.start);
+                    // the cast and the fma-less sum can both round up to
+                    // exactly `end`; keep the interval half-open
+                    if v >= self.end {
+                        self.end.next_down().max(self.start)
+                    } else {
+                        v
+                    }
+                }
+            }
+        )*};
+    }
+    impl_strategy_float_range!(f32, f64);
+
+    macro_rules! impl_strategy_tuple {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+    impl_strategy_tuple!(A);
+    impl_strategy_tuple!(A, B);
+    impl_strategy_tuple!(A, B, C);
+    impl_strategy_tuple!(A, B, C, D);
+    impl_strategy_tuple!(A, B, C, D, E);
+    impl_strategy_tuple!(A, B, C, D, E, F);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors of `element` values with `len` in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.new_value(rng);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// `prop::` namespace, as re-exported by the prelude.
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    //! Everything a `proptest!` test file needs.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig};
+}
+
+/// Runs `cases` deterministic cases of `body` (used by `proptest!`).
+pub fn run_cases<F: FnMut(&mut test_runner::TestRng, u32)>(
+    name: &str,
+    config: ProptestConfig,
+    mut body: F,
+) {
+    let mut rng = test_runner::TestRng::deterministic(name);
+    for case in 0..config.cases {
+        body(&mut rng, case);
+    }
+}
+
+/// Asserts a condition inside a `proptest!` case (panics on failure; this
+/// stub does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a `proptest!` case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a `proptest!` case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests: `fn name(binding in strategy, ...) { body }`.
+///
+/// Each test runs `config.cases` deterministic cases (seeded from the
+/// test's name); a failing case panics immediately without shrinking.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( cfg = ($cfg:expr); ) => {};
+    (
+        cfg = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident( $($args:tt)* ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases(stringify!($name), $cfg, |__rng, __case| {
+                let __run = || {
+                    $crate::__proptest_bind! { __rng, ($($args)*), $body }
+                };
+                if let Err(panic) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(__run)) {
+                    eprintln!(
+                        "proptest stub: {} failed at case {} (deterministic; re-run reproduces it)",
+                        stringify!($name), __case
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            });
+        }
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: binds `pat in strategy` args.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ( $rng:ident, (), $body:block ) => { $body };
+    ( $rng:ident, ($arg:pat in $($rest:tt)*), $body:block ) => {
+        $crate::__proptest_strat! { $rng, $arg, (), ($($rest)*), $body }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: munches one strategy expr
+/// (everything up to a top-level comma), binds it, and recurses.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_strat {
+    ( $rng:ident, $arg:pat, ($($strat:tt)*), (), $body:block ) => {{
+        let $arg = $crate::strategy::Strategy::new_value(&($($strat)*), $rng);
+        $crate::__proptest_bind! { $rng, (), $body }
+    }};
+    ( $rng:ident, $arg:pat, ($($strat:tt)*), (, $($rest:tt)*), $body:block ) => {{
+        let $arg = $crate::strategy::Strategy::new_value(&($($strat)*), $rng);
+        $crate::__proptest_bind! { $rng, ($($rest)*), $body }
+    }};
+    ( $rng:ident, $arg:pat, ($($strat:tt)*), ($next:tt $($rest:tt)*), $body:block ) => {
+        $crate::__proptest_strat! { $rng, $arg, ($($strat)* $next), ($($rest)*), $body }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Vec strategy respects its size range.
+        #[test]
+        fn vec_len_in_range(v in prop::collection::vec(0usize..10, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            for x in &v {
+                prop_assert!(*x < 10);
+            }
+        }
+
+        /// Tuple + map strategies compose.
+        #[test]
+        fn tuple_and_map(s in (0u64..5, 10u64..20).prop_map(|(a, b)| a + b)) {
+            prop_assert!((10..25).contains(&s));
+        }
+
+        /// Multiple args, no trailing comma.
+        #[test]
+        fn multi_args(a in 0i32..4, b in -3.0f32..3.0) {
+            prop_assert!((0..4).contains(&a));
+            prop_assert!((-3.0..3.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut first = Vec::new();
+        super::run_cases("det", ProptestConfig::with_cases(8), |rng, _| {
+            first.push(rng.next_u64());
+        });
+        let mut second = Vec::new();
+        super::run_cases("det", ProptestConfig::with_cases(8), |rng, _| {
+            second.push(rng.next_u64());
+        });
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stub of `serde`.
+//!
+//! The build container has no crates.io access, and nothing in this
+//! workspace actually serializes (no `serde_json`/`bincode` in the tree)
+//! — the `#[derive(Serialize, Deserialize)]` attributes only document
+//! which types are wire-ready. These marker traits keep those derives
+//! compiling; swap this stub for the real crate by pointing the
+//! workspace dependency back at the registry once networked builds are
+//! available.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (the `'de` lifetime is
+/// dropped — no code in this workspace names it).
+pub trait Deserialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

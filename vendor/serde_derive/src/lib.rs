@@ -1,0 +1,54 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on report and config
+//! structs but never serializes anything (there is no `serde_json` or
+//! equivalent in the dependency tree), so the derives only need to emit
+//! impls of the marker traits in the sibling `serde` stub. The container
+//! this repo builds in has no crates.io access, hence no `syn`/`quote`;
+//! the input is parsed by hand, which is enough for the plain structs and
+//! enums this workspace defines.
+
+use proc_macro::{TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}
+
+/// Emits `impl ::serde::<Trait> for <Type> {}` for the derived item.
+///
+/// Supports non-generic `struct`/`enum` items (all this workspace has).
+/// A generic item panics at macro-expansion time with a clear message
+/// rather than emitting broken code.
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    let mut tokens = input.into_iter();
+    let name = loop {
+        match tokens.next() {
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => break name.to_string(),
+                    other => panic!("serde stub derive: expected type name, got {other:?}"),
+                }
+            }
+            Some(_) => continue,
+            None => panic!("serde stub derive: no struct/enum found in input"),
+        }
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.next() {
+        if p.as_char() == '<' {
+            panic!(
+                "serde stub derive: `{name}` is generic; teach vendor/serde_derive about generics"
+            );
+        }
+    }
+    format!("impl ::serde::{trait_name} for {name} {{}}")
+        .parse()
+        .expect("serde stub derive: generated impl failed to parse")
+}
