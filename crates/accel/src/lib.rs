@@ -12,6 +12,9 @@
 //! * [`gpu`] — the analytic Jetson-TX2-class GPU baseline;
 //! * [`pipeline`] — end-to-end network simulation across the five systems
 //!   of Fig 14 (GPU, Tigris+GPU, Mesorasi, ANS, ANS+BCE);
+//! * [`streaming`] — the back-to-back multi-frame pipeline driver (batched
+//!   two-stage search per frame, inter-frame double buffering, per-frame
+//!   cycle and energy accounting);
 //! * [`config`] — the Sec 6 hardware configuration (buffer sizes, banking,
 //!   PE count) including the Sec 3.3 top-tree-height feasibility range.
 //!
@@ -38,6 +41,7 @@ pub mod config;
 pub mod engine;
 pub mod gpu;
 pub mod pipeline;
+pub mod streaming;
 pub mod systolic;
 
 pub use aggregation::{conflict_rate_single_issue, simulate_aggregation, AggregationReport};
@@ -50,4 +54,5 @@ pub use gpu::{GpuModel, GpuReport};
 pub use pipeline::{
     run_network, CrescentKnobs, LayerSpec, NetworkSpec, PipelineReport, StageCycles, Variant,
 };
+pub use streaming::{run_frame_stream, FrameReport, StreamReport, StreamSearchConfig};
 pub use systolic::{gemm_report, mlp_report, SystolicReport};

@@ -1,0 +1,335 @@
+//! Back-to-back multi-frame pipeline driver — the streaming workload
+//! engine's timing and energy model.
+//!
+//! A LiDAR pipeline never sees one cloud: it sees a 10–20 Hz stream of
+//! consecutive frames. This module simulates that regime on the Crescent
+//! engine: each frame is K-d-tree-built, split, and searched with the
+//! batched two-stage search ([`SplitTree::search_batch`]), whose wavefront
+//! descent fetches every top-tree node once per batch; a single
+//! [`BatchState`] is threaded through the whole sequence so the descent
+//! buffers are recycled and cross-frame sub-tree locality is measured.
+//!
+//! Timing follows the engine's double-buffering discipline
+//! ([`run_crescent_search`](crate::run_crescent_search)) and extends it
+//! across frames: within a frame, compute overlaps DMA
+//! (`slot = max(compute, dma)`); across frames, frame `i+1`'s streaming
+//! DMA overlaps frame `i`'s compute, so the whole sequence costs
+//! `Σ slotᵢ` plus one pipeline fill ([`StreamReport::pipelined_cycles`])
+//! instead of the serialized `Σ (slotᵢ + fill)`
+//! ([`StreamReport::serial_cycles`]). Energy lands in a per-frame
+//! [`StreamLedger`].
+
+use serde::{Deserialize, Serialize};
+
+use crescent_kdtree::{BatchSearchStats, BatchState, KdTree, SplitTree, NODE_BYTES};
+use crescent_memsim::{EnergyLedger, StreamLedger};
+use crescent_pointcloud::{Neighbor, Point3, PointCloud};
+
+use crate::config::AcceleratorConfig;
+use crate::engine::PE_PIPELINE_DEPTH;
+use crate::pipeline::CrescentKnobs;
+
+/// Search parameters applied to every frame of a stream.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct StreamSearchConfig {
+    /// Search radius (frame-cloud units).
+    pub radius: f32,
+    /// Cap on returned neighbors per query (`None` = unbounded).
+    pub max_neighbors: Option<usize>,
+}
+
+impl Default for StreamSearchConfig {
+    fn default() -> Self {
+        StreamSearchConfig { radius: 0.5, max_neighbors: Some(32) }
+    }
+}
+
+/// Timing and statistics of one frame in a stream.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct FrameReport {
+    /// 0-based frame index.
+    pub frame: usize,
+    /// Points in the frame cloud.
+    pub points: usize,
+    /// Queries issued against the frame.
+    pub queries: usize,
+    /// Total neighbors returned across all queries.
+    pub neighbors: usize,
+    /// Datapath cycles (amortized top-tree stage + sub-tree stage +
+    /// pipeline fill).
+    pub compute_cycles: u64,
+    /// Streaming-DMA cycles for the frame's DRAM traffic.
+    pub dma_cycles: u64,
+    /// The frame's pipeline-slot occupancy: `max(compute, dma)`. With
+    /// back-to-back frames the fill is paid once per stream, not per frame.
+    pub slot_cycles: u64,
+    /// DRAM bytes moved (all streaming — the Crescent schedule has no
+    /// random accesses).
+    pub dram_streaming_bytes: u64,
+    /// Tree-buffer reads (top-tree fetches + sub-tree node visits).
+    pub tree_buffer_reads: u64,
+    /// Algorithmic statistics of the batched search.
+    pub search: BatchSearchStats,
+    /// Energy charged to this frame.
+    pub energy: EnergyLedger,
+}
+
+impl FrameReport {
+    /// The frame's standalone latency (slot plus pipeline fill), i.e. what
+    /// the frame would cost if it were not overlapped with its neighbors.
+    pub fn standalone_cycles(&self) -> u64 {
+        self.slot_cycles + PE_PIPELINE_DEPTH
+    }
+}
+
+/// Aggregate report of a frame-sequence simulation.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct StreamReport {
+    /// Per-frame reports, in frame order.
+    pub frames: Vec<FrameReport>,
+    /// Per-frame energy ledger (same order; totals included).
+    pub ledger: StreamLedger,
+    /// Sequence latency with inter-frame double buffering: the sum of the
+    /// per-frame slots plus a single pipeline fill.
+    pub pipelined_cycles: u64,
+    /// Sequence latency with every frame run standalone (the
+    /// no-overlap upper bound).
+    pub serial_cycles: u64,
+}
+
+impl StreamReport {
+    /// Number of simulated frames.
+    pub fn num_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Total queries across the stream.
+    pub fn total_queries(&self) -> usize {
+        self.frames.iter().map(|f| f.queries).sum()
+    }
+
+    /// Total DRAM traffic across the stream (bytes, all streaming).
+    pub fn total_dram_bytes(&self) -> u64 {
+        self.frames.iter().map(|f| f.dram_streaming_bytes).sum()
+    }
+
+    /// Mean cross-frame sub-tree assignment reuse over frames 1.., the
+    /// temporal-locality figure of merit (0.0 for streams of < 2 frames).
+    pub fn mean_reuse_fraction(&self) -> f64 {
+        if self.frames.len() < 2 {
+            return 0.0;
+        }
+        let later = &self.frames[1..];
+        later.iter().map(|f| f.search.reuse_fraction()).sum::<f64>() / later.len() as f64
+    }
+
+    /// Cycles saved by overlapping frames, relative to standalone frames.
+    pub fn pipelining_speedup(&self) -> f64 {
+        if self.pipelined_cycles == 0 {
+            1.0
+        } else {
+            self.serial_cycles as f64 / self.pipelined_cycles as f64
+        }
+    }
+}
+
+/// Simulates a sequence of back-to-back frames on the Crescent engine.
+///
+/// Each item of `frames` is one frame's `(cloud, queries)`. Per frame the
+/// driver builds the K-d tree, splits it below `knobs.top_height` (clamped
+/// to the tree like [`run_crescent_search`](crate::run_crescent_search)
+/// does), runs the batched two-stage search, and charges cycles and energy;
+/// the shared [`BatchState`] carries descent buffers and the cross-frame
+/// locality metric from frame to frame. Returns each frame's per-query
+/// neighbor lists (identical to per-query [`SplitTree::search_one`] — see
+/// `tests/streaming.rs`) alongside the report.
+pub fn run_frame_stream(
+    frames: &[(&PointCloud, &[Point3])],
+    search: &StreamSearchConfig,
+    knobs: CrescentKnobs,
+    config: &AcceleratorConfig,
+) -> (Vec<Vec<Vec<Neighbor>>>, StreamReport) {
+    let mut results = Vec::with_capacity(frames.len());
+    let mut report = StreamReport::default();
+    let mut state = BatchState::new();
+    let em = &config.energy;
+
+    for (frame_idx, &(cloud, queries)) in frames.iter().enumerate() {
+        let tree = KdTree::build(cloud);
+        let ht =
+            if tree.is_empty() { 0 } else { knobs.top_height.min(tree.height().saturating_sub(1)) };
+        let split = SplitTree::new(&tree, ht).expect("clamped top height is valid");
+        let (frame_results, stats) =
+            split.search_batch(queries, search.radius, search.max_neighbors, &mut state);
+
+        // ---- timing ----
+        // Top stage: the wavefront issues one fetch per touched top-tree
+        // node; each fetch is one lock-step round whose payload is shared
+        // by every query on the node. Sub-tree stage: the PEs traverse
+        // independent queries in parallel.
+        let compute = stats.top_fetches as u64
+            + (stats.subtree_visits as u64).div_ceil(config.num_pes.max(1) as u64)
+            + PE_PIPELINE_DEPTH;
+        let dma = config.dram.stream_cycles(stats.dram_bytes);
+        let slot = compute.max(dma);
+
+        // ---- energy ----
+        let mut energy = EnergyLedger::new();
+        energy.charge_dram_streaming(em, stats.dram_bytes);
+        let reads = (stats.top_fetches + stats.subtree_visits) as u64;
+        energy.charge_sram_search(em, reads * NODE_BYTES as u64);
+        energy.charge_leakage(em, slot);
+
+        report.frames.push(FrameReport {
+            frame: frame_idx,
+            points: cloud.len(),
+            queries: queries.len(),
+            neighbors: frame_results.iter().map(Vec::len).sum(),
+            compute_cycles: compute,
+            dma_cycles: dma,
+            slot_cycles: slot,
+            dram_streaming_bytes: stats.dram_bytes,
+            tree_buffer_reads: reads,
+            search: stats,
+            energy,
+        });
+        report.ledger.push_frame(energy);
+        results.push(frame_results);
+    }
+
+    // an empty stream does no work and pays no fill
+    if !report.frames.is_empty() {
+        report.pipelined_cycles =
+            report.frames.iter().map(|f| f.slot_cycles).sum::<u64>() + PE_PIPELINE_DEPTH;
+        report.serial_cycles = report.frames.iter().map(FrameReport::standalone_cycles).sum();
+    }
+    (results, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_cloud(n: usize, seed: u64) -> PointCloud {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Point3::new(
+                    rng.random::<f32>() * 2.0,
+                    rng.random::<f32>() * 2.0,
+                    rng.random::<f32>() * 2.0,
+                )
+            })
+            .collect()
+    }
+
+    fn drifting_frames(count: usize, n: usize, seed: u64) -> Vec<(PointCloud, Vec<Point3>)> {
+        let base = random_cloud(n, seed);
+        (0..count)
+            .map(|f| {
+                let drift = Point3::new(0.01, -0.005, 0.0) * f as f32;
+                let cloud: PointCloud = base.iter().map(|&p| p + drift).collect();
+                let queries: Vec<Point3> = (0..64).map(|i| cloud.point(i * n / 64)).collect();
+                (cloud, queries)
+            })
+            .collect()
+    }
+
+    fn borrow(frames: &[(PointCloud, Vec<Point3>)]) -> Vec<(&PointCloud, &[Point3])> {
+        frames.iter().map(|(c, q)| (c, q.as_slice())).collect()
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let frames = drifting_frames(6, 2048, 80);
+        let search = StreamSearchConfig { radius: 0.2, max_neighbors: Some(16) };
+        let cfg = AcceleratorConfig::default();
+        let knobs = CrescentKnobs::default();
+        let (r1, a) = run_frame_stream(&borrow(&frames), &search, knobs, &cfg);
+        let (r2, b) = run_frame_stream(&borrow(&frames), &search, knobs, &cfg);
+        assert_eq!(r1, r2, "neighbor sets must be bit-identical");
+        assert_eq!(a.pipelined_cycles, b.pipelined_cycles);
+        assert_eq!(a.serial_cycles, b.serial_cycles);
+        assert_eq!(a.ledger.total().total(), b.ledger.total().total());
+    }
+
+    #[test]
+    fn pipelining_beats_serial() {
+        let frames = drifting_frames(8, 2048, 81);
+        let (_, rep) = run_frame_stream(
+            &borrow(&frames),
+            &StreamSearchConfig::default(),
+            CrescentKnobs::default(),
+            &AcceleratorConfig::default(),
+        );
+        assert_eq!(rep.num_frames(), 8);
+        assert!(rep.pipelined_cycles < rep.serial_cycles);
+        assert!(rep.pipelining_speedup() > 1.0);
+        // overlap only hides fills, never work
+        let slots: u64 = rep.frames.iter().map(|f| f.slot_cycles).sum();
+        assert_eq!(rep.pipelined_cycles, slots + PE_PIPELINE_DEPTH);
+    }
+
+    #[test]
+    fn drifting_frames_show_temporal_locality() {
+        let frames = drifting_frames(5, 4096, 82);
+        let (_, rep) = run_frame_stream(
+            &borrow(&frames),
+            &StreamSearchConfig { radius: 0.2, max_neighbors: None },
+            CrescentKnobs::default(),
+            &AcceleratorConfig::default(),
+        );
+        assert_eq!(rep.frames[0].search.assignment_reuses, 0, "first frame has no history");
+        assert!(
+            rep.mean_reuse_fraction() > 0.5,
+            "small drift must preserve most assignments, got {}",
+            rep.mean_reuse_fraction()
+        );
+    }
+
+    #[test]
+    fn ledger_matches_frames() {
+        let frames = drifting_frames(4, 1024, 83);
+        let (_, rep) = run_frame_stream(
+            &borrow(&frames),
+            &StreamSearchConfig::default(),
+            CrescentKnobs::default(),
+            &AcceleratorConfig::default(),
+        );
+        assert_eq!(rep.ledger.len(), 4);
+        for (f, l) in rep.frames.iter().zip(rep.ledger.frames()) {
+            assert_eq!(&f.energy, l);
+            assert!(f.energy.dram_streaming > 0.0);
+            assert_eq!(f.energy.dram_random, 0.0, "streaming schedule has no random DRAM");
+        }
+        let sum: f64 = rep.frames.iter().map(|f| f.energy.total()).sum();
+        assert!((rep.ledger.total().total() - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stream_and_empty_frames() {
+        let (res, rep) = run_frame_stream(
+            &[],
+            &StreamSearchConfig::default(),
+            CrescentKnobs::default(),
+            &AcceleratorConfig::default(),
+        );
+        assert!(res.is_empty());
+        assert_eq!(rep.num_frames(), 0);
+        assert_eq!(rep.pipelined_cycles, 0, "no frames, no work, no fill");
+        assert_eq!(rep.serial_cycles, 0);
+        assert_eq!(rep.pipelining_speedup(), 1.0);
+
+        let frames = vec![(PointCloud::new(), vec![Point3::ZERO])];
+        let (res, rep) = run_frame_stream(
+            &borrow(&frames),
+            &StreamSearchConfig::default(),
+            CrescentKnobs::default(),
+            &AcceleratorConfig::default(),
+        );
+        assert!(res[0][0].is_empty());
+        assert_eq!(rep.total_dram_bytes(), 0);
+    }
+}

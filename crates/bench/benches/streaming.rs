@@ -1,0 +1,72 @@
+//! Criterion benches of the streaming multi-frame workload engine: frame
+//! rendering, batched vs per-query two-stage search, and the end-to-end
+//! frame-sequence pipeline (`Crescent::run_stream`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use crescent::kdtree::{BatchState, KdTree, SplitTree};
+use crescent::workload::{FrameStream, FrameStreamConfig};
+use crescent::Crescent;
+
+fn stream_cfg(points: usize, frames: usize) -> FrameStreamConfig {
+    let mut cfg = FrameStreamConfig::default();
+    cfg.scene.total_points = points;
+    cfg.scene.seed = 0xBEEF;
+    cfg.num_frames = frames;
+    cfg.queries_per_frame = 256;
+    cfg.radius = 0.5;
+    cfg.max_neighbors = Some(32);
+    cfg
+}
+
+fn bench_frame_rendering(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frame_stream_render");
+    for n in [8192usize, 24_000] {
+        let cfg = stream_cfg(n, 4);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &cfg, |b, cfg| {
+            b.iter(|| {
+                let frames: Vec<_> = FrameStream::new(black_box(cfg)).collect();
+                black_box(frames.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_batched_vs_per_query(c: &mut Criterion) {
+    let cfg = stream_cfg(16_384, 1);
+    let frame = FrameStream::new(&cfg).next().expect("one frame");
+    let tree = KdTree::build(&frame.cloud);
+    let split = SplitTree::new(&tree, 4).unwrap();
+    let mut g = c.benchmark_group("two_stage_search_256q");
+    g.bench_function("per_query", |b| {
+        b.iter(|| {
+            for &q in &frame.queries {
+                black_box(split.search_one(q, cfg.radius, cfg.max_neighbors));
+            }
+        })
+    });
+    g.bench_function("batched", |b| {
+        let mut state = BatchState::new();
+        b.iter(|| {
+            black_box(split.search_batch(&frame.queries, cfg.radius, cfg.max_neighbors, &mut state))
+        })
+    });
+    g.finish();
+}
+
+fn bench_run_stream(c: &mut Criterion) {
+    let cfg = stream_cfg(8192, 8);
+    let system = Crescent::new();
+    c.bench_function("run_stream_8x8192", |b| {
+        b.iter(|| black_box(system.run_stream(black_box(&cfg))))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_frame_rendering, bench_batched_vs_per_query, bench_run_stream
+);
+criterion_main!(benches);

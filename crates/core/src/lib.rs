@@ -21,9 +21,11 @@
 //!    ([`crescent_models`]).
 //!
 //! The [`Crescent`] facade bundles an accelerator configuration with the
-//! approximation knobs `h = <h_t, h_e>` and exposes one-call search and
-//! end-to-end network simulation; the individual crates remain fully
-//! usable on their own.
+//! approximation knobs `h = <h_t, h_e>` and exposes one-call search,
+//! end-to-end network simulation, and — via the [`workload`] module's
+//! seeded [`FrameStream`] — streaming multi-frame simulation
+//! ([`Crescent::run_stream`]); the individual crates remain fully usable
+//! on their own.
 //!
 //! ```
 //! use crescent::Crescent;
@@ -40,8 +42,10 @@
 #![warn(missing_docs)]
 
 pub mod facade;
+pub mod workload;
 
 pub use facade::{format_table, Crescent};
+pub use workload::{EgoMotion, Frame, FrameStream, FrameStreamConfig, StreamOutcome};
 
 // Re-export the component crates under one roof.
 pub use crescent_accel as accel;

@@ -1,0 +1,374 @@
+//! Streaming multi-frame LiDAR workloads: seeded sequences of
+//! temporally-coherent frames plus the glue that runs them through the
+//! accelerator's streaming pipeline driver.
+//!
+//! The paper's headline numbers are about sustained throughput on real
+//! point-cloud pipelines, which consume consecutive sensor sweeps, not
+//! isolated clouds. [`FrameStream`] opens that workload dimension: it
+//! generates one static synthetic world with the
+//! [`generate_scene`] generator, then renders it from a moving ego
+//! vehicle — per frame the
+//! sensor pose advances by the configured [`EgoMotion`], the world is
+//! transformed into the sensor frame, range-culled, perturbed with
+//! per-frame measurement noise, and re-emitted in azimuthal sweep order.
+//! Consecutive frames therefore share most of their geometry (the
+//! temporal coherence the batched search exploits) while every frame still
+//! has a fresh sweep order and noise realization.
+//!
+//! Everything is a pure function of [`FrameStreamConfig`]: two streams
+//! built from the same config yield bit-identical frames, queries, and —
+//! through [`Crescent::run_stream`](crate::Crescent::run_stream) —
+//! bit-identical neighbor sets, cycle counts, and energy totals.
+
+use serde::{Deserialize, Serialize};
+
+use crescent_accel::{run_frame_stream, StreamReport, StreamSearchConfig};
+use crescent_pointcloud::datasets::{generate_scene, LidarSceneConfig};
+use crescent_pointcloud::sampling::gaussian;
+use crescent_pointcloud::{Neighbor, Point3, PointCloud};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::facade::Crescent;
+
+/// Constant-rate ego motion of the sensor between frames.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct EgoMotion {
+    /// Forward speed along the current heading, meters per second.
+    pub speed_mps: f32,
+    /// Yaw rate, radians per second (positive = counter-clockwise).
+    pub yaw_rate_rps: f32,
+    /// Frame period in seconds (0.1 s ≈ a 10 Hz spinning LiDAR).
+    pub frame_period_s: f32,
+}
+
+impl Default for EgoMotion {
+    fn default() -> Self {
+        // a gentle urban arc: ~29 km/h with a slow left turn at 10 Hz
+        EgoMotion { speed_mps: 8.0, yaw_rate_rps: 0.05, frame_period_s: 0.1 }
+    }
+}
+
+/// Configuration of a [`FrameStream`].
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct FrameStreamConfig {
+    /// The static world the sensor drives through.
+    pub scene: LidarSceneConfig,
+    /// Number of frames to emit.
+    pub num_frames: usize,
+    /// Sensor trajectory between frames.
+    pub ego: EgoMotion,
+    /// Sensor range: world points farther than this (in x/y) from the
+    /// sensor are culled from the frame.
+    pub max_range: f32,
+    /// Per-frame Gaussian measurement noise (standard deviation, meters).
+    pub noise_m: f32,
+    /// Queries issued per frame (stride-sampled from the frame cloud).
+    pub queries_per_frame: usize,
+    /// Neighbor-search radius, in frame (= world) units.
+    pub radius: f32,
+    /// Cap on returned neighbors per query.
+    pub max_neighbors: Option<usize>,
+}
+
+impl Default for FrameStreamConfig {
+    fn default() -> Self {
+        FrameStreamConfig {
+            scene: LidarSceneConfig {
+                total_points: 24_000,
+                num_cars: 8,
+                num_poles: 16,
+                num_walls: 4,
+                half_extent: 30.0,
+                seed: 0x5EED_F00D,
+            },
+            num_frames: 16,
+            ego: EgoMotion::default(),
+            max_range: 25.0,
+            noise_m: 0.01,
+            queries_per_frame: 256,
+            radius: 0.5,
+            max_neighbors: Some(32),
+        }
+    }
+}
+
+/// One rendered frame of a stream.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Frame {
+    /// 0-based frame index.
+    pub index: usize,
+    /// Sensor position in world coordinates when the frame was taken.
+    pub ego_position: Point3,
+    /// Sensor heading (yaw) in radians.
+    pub ego_heading: f32,
+    /// The frame's point cloud, in the sensor frame, azimuthal sweep order.
+    pub cloud: PointCloud,
+    /// The frame's query points (stride-sampled from `cloud`).
+    pub queries: Vec<Point3>,
+}
+
+/// A seeded iterator of temporally-coherent LiDAR frames.
+///
+/// # Examples
+///
+/// ```
+/// use crescent::workload::{FrameStream, FrameStreamConfig};
+///
+/// let mut cfg = FrameStreamConfig::default();
+/// cfg.scene.total_points = 2_000;
+/// cfg.num_frames = 3;
+/// let frames: Vec<_> = FrameStream::new(&cfg).collect();
+/// assert_eq!(frames.len(), 3);
+/// assert!(frames.iter().all(|f| !f.cloud.is_empty()));
+/// // same config ⇒ bit-identical frames
+/// let again: Vec<_> = FrameStream::new(&cfg).collect();
+/// assert_eq!(frames[2].cloud, again[2].cloud);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FrameStream {
+    cfg: FrameStreamConfig,
+    world: PointCloud,
+    frame: usize,
+    position: Point3,
+    heading: f32,
+}
+
+impl FrameStream {
+    /// Builds the world scene and positions the sensor at the origin,
+    /// heading along +x.
+    pub fn new(cfg: &FrameStreamConfig) -> Self {
+        let world = generate_scene(&cfg.scene).cloud;
+        FrameStream { cfg: *cfg, world, frame: 0, position: Point3::ZERO, heading: 0.0 }
+    }
+
+    /// The stream's configuration.
+    pub fn config(&self) -> &FrameStreamConfig {
+        &self.cfg
+    }
+
+    /// The static world cloud the frames are rendered from.
+    pub fn world(&self) -> &PointCloud {
+        &self.world
+    }
+
+    /// Renders the frame for the current pose without advancing it.
+    fn render(&self) -> Frame {
+        let cfg = &self.cfg;
+        // Decorrelate per-frame noise from the scene RNG and from other
+        // frames (SplitMix64 increment as the per-frame stream offset).
+        let noise_seed =
+            cfg.scene.seed ^ (self.frame as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = StdRng::seed_from_u64(noise_seed);
+        let range2 = cfg.max_range * cfg.max_range;
+        // (azimuth, point) pairs so the sweep sort computes atan2 once per
+        // point instead of once per comparison
+        let mut pts: Vec<(f32, Point3)> = Vec::new();
+        for &p in &self.world {
+            // world → sensor frame: translate to the sensor, undo heading
+            let d = (p - self.position).rotated_z(-self.heading);
+            if d.x * d.x + d.y * d.y > range2 {
+                continue;
+            }
+            let noise = Point3::new(gaussian(&mut rng), gaussian(&mut rng), gaussian(&mut rng))
+                * cfg.noise_m;
+            let q = d + noise;
+            pts.push((q.y.atan2(q.x), q));
+        }
+        // a spinning LiDAR emits points in azimuthal sweep order
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let cloud = PointCloud::from_points(pts.into_iter().map(|(_, p)| p).collect());
+        let queries = stride_queries(&cloud, cfg.queries_per_frame);
+        Frame {
+            index: self.frame,
+            ego_position: self.position,
+            ego_heading: self.heading,
+            cloud,
+            queries,
+        }
+    }
+}
+
+impl Iterator for FrameStream {
+    type Item = Frame;
+
+    fn next(&mut self) -> Option<Frame> {
+        if self.frame >= self.cfg.num_frames {
+            return None;
+        }
+        let frame = self.render();
+        // advance the pose for the next frame (frame 0 is at the origin)
+        let dt = self.cfg.ego.frame_period_s;
+        let step = Point3::new(self.heading.cos(), self.heading.sin(), 0.0)
+            * (self.cfg.ego.speed_mps * dt);
+        self.position += step;
+        self.heading += self.cfg.ego.yaw_rate_rps * dt;
+        self.frame += 1;
+        Some(frame)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.cfg.num_frames - self.frame.min(self.cfg.num_frames);
+        (left, Some(left))
+    }
+}
+
+/// Deterministic stride subsample of `n` query points from a frame cloud.
+fn stride_queries(cloud: &PointCloud, n: usize) -> Vec<Point3> {
+    let len = cloud.len();
+    if n == 0 || len == 0 {
+        return Vec::new();
+    }
+    if n >= len {
+        return cloud.points().to_vec();
+    }
+    (0..n).map(|i| cloud.point(i * len / n)).collect()
+}
+
+/// Everything a [`Crescent::run_stream`](crate::Crescent::run_stream) call
+/// produces: the rendered frames, the per-frame neighbor sets, and the
+/// engine's timing/energy report.
+#[derive(Clone, Debug)]
+pub struct StreamOutcome {
+    /// The rendered frames, in order.
+    pub frames: Vec<Frame>,
+    /// Per-frame, per-query neighbor lists (identical to per-query
+    /// [`SplitTree::search_one`](crescent_kdtree::SplitTree::search_one)).
+    pub neighbor_sets: Vec<Vec<Vec<Neighbor>>>,
+    /// Per-frame cycle and energy accounting.
+    pub report: StreamReport,
+}
+
+impl StreamOutcome {
+    /// Total neighbors found across the whole stream.
+    pub fn total_neighbors(&self) -> usize {
+        self.neighbor_sets.iter().flatten().map(Vec::len).sum()
+    }
+}
+
+impl Crescent {
+    /// Simulates a streaming multi-frame workload end to end: renders the
+    /// [`FrameStream`] for `cfg`, then drives every frame back-to-back
+    /// through the engine with this system's knobs and hardware
+    /// configuration (batched two-stage search, inter-frame double
+    /// buffering, per-frame energy ledger).
+    ///
+    /// The outcome is a pure function of `cfg` and `self` — see
+    /// `tests/streaming.rs` for the bit-identical-rerun guarantee.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use crescent::workload::FrameStreamConfig;
+    /// use crescent::Crescent;
+    ///
+    /// let mut cfg = FrameStreamConfig::default();
+    /// cfg.scene.total_points = 2_000;
+    /// cfg.num_frames = 4;
+    /// cfg.queries_per_frame = 32;
+    /// let outcome = Crescent::new().run_stream(&cfg);
+    /// assert_eq!(outcome.frames.len(), 4);
+    /// assert_eq!(outcome.report.ledger.len(), 4);
+    /// assert!(outcome.report.pipelined_cycles < outcome.report.serial_cycles);
+    /// ```
+    pub fn run_stream(&self, cfg: &FrameStreamConfig) -> StreamOutcome {
+        let frames: Vec<Frame> = FrameStream::new(cfg).collect();
+        let inputs: Vec<(&PointCloud, &[Point3])> =
+            frames.iter().map(|f| (&f.cloud, f.queries.as_slice())).collect();
+        let search = StreamSearchConfig { radius: cfg.radius, max_neighbors: cfg.max_neighbors };
+        let (neighbor_sets, report) = run_frame_stream(&inputs, &search, self.knobs, &self.config);
+        StreamOutcome { frames, neighbor_sets, report }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> FrameStreamConfig {
+        let mut cfg = FrameStreamConfig::default();
+        cfg.scene.total_points = 4_000;
+        cfg.scene.seed = 7;
+        cfg.num_frames = 5;
+        cfg.queries_per_frame = 64;
+        cfg
+    }
+
+    #[test]
+    fn stream_emits_configured_frames() {
+        let cfg = small_cfg();
+        let frames: Vec<Frame> = FrameStream::new(&cfg).collect();
+        assert_eq!(frames.len(), 5);
+        for (i, f) in frames.iter().enumerate() {
+            assert_eq!(f.index, i);
+            assert!(!f.cloud.is_empty());
+            assert_eq!(f.queries.len(), 64);
+        }
+    }
+
+    #[test]
+    fn frames_are_deterministic() {
+        let cfg = small_cfg();
+        let a: Vec<Frame> = FrameStream::new(&cfg).collect();
+        let b: Vec<Frame> = FrameStream::new(&cfg).collect();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.cloud, y.cloud);
+            assert_eq!(x.queries, y.queries);
+            assert_eq!(x.ego_position, y.ego_position);
+        }
+    }
+
+    #[test]
+    fn ego_actually_moves() {
+        let cfg = small_cfg();
+        let frames: Vec<Frame> = FrameStream::new(&cfg).collect();
+        assert_eq!(frames[0].ego_position, Point3::ZERO);
+        let last = frames.last().unwrap();
+        assert!(last.ego_position.norm() > 1.0, "ego barely moved: {}", last.ego_position);
+        // the world is static but the renders differ frame to frame
+        assert_ne!(frames[0].cloud, frames[1].cloud);
+    }
+
+    #[test]
+    fn frames_are_temporally_coherent() {
+        // consecutive frames overlap heavily; distant frames less so
+        let cfg = small_cfg();
+        let frames: Vec<Frame> = FrameStream::new(&cfg).collect();
+        let n0 = frames[0].cloud.len() as f64;
+        let n1 = frames[1].cloud.len() as f64;
+        assert!((n0 - n1).abs() / n0 < 0.2, "adjacent frame sizes {n0} vs {n1}");
+    }
+
+    #[test]
+    fn frames_respect_range_cull_and_sweep_order() {
+        let cfg = small_cfg();
+        for f in FrameStream::new(&cfg) {
+            for p in &f.cloud {
+                let r = (p.x * p.x + p.y * p.y).sqrt();
+                assert!(r <= cfg.max_range + 0.5, "point at range {r}");
+            }
+            let angles: Vec<f32> = f.cloud.iter().map(|p| p.y.atan2(p.x)).collect();
+            assert!(angles.windows(2).all(|w| w[0] <= w[1] + 1e-6), "frame {}", f.index);
+        }
+    }
+
+    #[test]
+    fn zero_motion_freezes_geometry_except_noise() {
+        let mut cfg = small_cfg();
+        cfg.ego = EgoMotion { speed_mps: 0.0, yaw_rate_rps: 0.0, frame_period_s: 0.1 };
+        cfg.noise_m = 0.0;
+        let frames: Vec<Frame> = FrameStream::new(&cfg).collect();
+        assert_eq!(frames[0].cloud, frames[3].cloud, "no motion + no noise = identical frames");
+    }
+
+    #[test]
+    fn run_stream_end_to_end() {
+        let cfg = small_cfg();
+        let outcome = Crescent::new().run_stream(&cfg);
+        assert_eq!(outcome.frames.len(), 5);
+        assert_eq!(outcome.neighbor_sets.len(), 5);
+        assert_eq!(outcome.report.ledger.len(), 5);
+        assert!(outcome.total_neighbors() > 0);
+        assert!(outcome.report.mean_reuse_fraction() > 0.3, "stream should show locality");
+    }
+}

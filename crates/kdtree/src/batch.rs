@@ -1,0 +1,410 @@
+//! Batched two-stage search with amortized top-tree traversal and
+//! frame-to-frame state reuse — the hot path of the streaming multi-frame
+//! workload engine.
+//!
+//! [`SplitTree::batch_search`] simulates the lock-step PE hardware and is
+//! the right tool for cycle/conflict modeling; this module is the
+//! *algorithmic* batched counterpart. [`SplitTree::search_batch`] routes a
+//! whole query batch down the top tree as one **wavefront**: every top-tree
+//! node is fetched at most once per batch and its payload is shared by all
+//! queries whose routing paths pass through it, instead of once per query.
+//! Stage 2 then answers each sub-tree's queue with the same confined exact
+//! traversal [`SplitTree::search_one`] uses, so the per-query neighbor sets
+//! are **identical** to per-query search — only the fetch schedule changes.
+//!
+//! Across consecutive frames of a stream, a [`BatchState`] carries the
+//! descent state forward: the wavefront and per-sub-tree queue allocations
+//! are recycled, and the previous frame's sub-tree assignments are kept so
+//! the engine can measure temporal locality (how many queries landed in the
+//! same sub-tree as last frame — the signal future cross-frame caching
+//! optimizations will exploit).
+
+use crescent_pointcloud::{Neighbor, Point3, POINT_BYTES};
+
+use crate::split::{finalize, subtree_radius_search, SplitTree};
+use crate::tree::NODE_BYTES;
+
+/// Reusable state for [`SplitTree::search_batch`], designed to live across
+/// the frames of a stream.
+///
+/// Holds the wavefront and per-sub-tree queue buffers (recycled every call
+/// so steady-state frames allocate almost nothing) plus the previous
+/// frame's sub-tree assignments, from which the cross-frame
+/// [`BatchSearchStats::assignment_reuses`] locality metric is computed.
+#[derive(Debug, Default)]
+pub struct BatchState {
+    /// Current wavefront: `(top-tree node, queries whose path reaches it)`.
+    frontier: Vec<(usize, Vec<usize>)>,
+    /// Next-level wavefront under construction.
+    next: Vec<(usize, Vec<usize>)>,
+    /// Recycled query-list allocations.
+    spare: Vec<Vec<usize>>,
+    /// Per-sub-tree query queues (arrival order).
+    queues: Vec<Vec<usize>>,
+    /// Sub-tree assignment of each query in the most recent batch.
+    assignments: Vec<Option<usize>>,
+    /// Assignments of the batch before that (previous frame).
+    prev_assignments: Vec<Option<usize>>,
+    /// Number of batches processed through this state.
+    frames: usize,
+}
+
+impl BatchState {
+    /// Creates an empty state.
+    pub fn new() -> Self {
+        BatchState::default()
+    }
+
+    /// Sub-tree assignment of each query in the most recent batch.
+    pub fn assignments(&self) -> &[Option<usize>] {
+        &self.assignments
+    }
+
+    /// Number of batches (frames) processed through this state.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    fn take_list(&mut self) -> Vec<usize> {
+        self.spare.pop().unwrap_or_default()
+    }
+
+    fn recycle(&mut self, mut list: Vec<usize>) {
+        list.clear();
+        self.spare.push(list);
+    }
+}
+
+/// Statistics of one [`SplitTree::search_batch`] call.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchSearchStats {
+    /// Queries in the batch.
+    pub queries: usize,
+    /// Top-tree node fetches actually issued (each node once per batch).
+    pub top_fetches: usize,
+    /// Top-tree fetches per-query routing would have issued (the sum of all
+    /// routing path lengths) — the traffic the wavefront amortizes away.
+    pub top_fetches_unamortized: usize,
+    /// Stage-2 node fetches (confined sub-tree traversals).
+    pub subtree_visits: usize,
+    /// Non-empty sub-trees touched by this batch (each is streamed from
+    /// DRAM exactly once).
+    pub subtrees_touched: usize,
+    /// Queries assigned to the same sub-tree as in the previous batch run
+    /// through the same [`BatchState`] (0 on the first frame).
+    pub assignment_reuses: usize,
+    /// DRAM bytes of the batched Crescent schedule: queries moved three
+    /// times (read, staged, re-read), the top tree streamed once, and each
+    /// touched sub-tree streamed once.
+    pub dram_bytes: u64,
+    /// 0-based index of this batch within the life of its [`BatchState`].
+    pub frame_index: usize,
+}
+
+impl BatchSearchStats {
+    /// Top-tree fetch amplification avoided by batching:
+    /// `unamortized / issued` (1.0 when the batch has at most one query).
+    pub fn amortization_factor(&self) -> f64 {
+        if self.top_fetches == 0 {
+            1.0
+        } else {
+            self.top_fetches_unamortized as f64 / self.top_fetches as f64
+        }
+    }
+
+    /// Fraction of queries whose sub-tree assignment survived from the
+    /// previous frame.
+    pub fn reuse_fraction(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.assignment_reuses as f64 / self.queries as f64
+        }
+    }
+}
+
+impl SplitTree<'_> {
+    /// Batched two-stage search: one amortized top-tree descent for the
+    /// whole batch, then exact search confined to each assigned sub-tree.
+    ///
+    /// Returns exactly the same per-query neighbor lists as calling
+    /// [`SplitTree::search_one`] on every query — batching changes the
+    /// fetch schedule (each top-tree node is read once per batch instead of
+    /// once per query), never the results. Pass the same `state` across the
+    /// frames of a stream to recycle its buffers and obtain the cross-frame
+    /// [`BatchSearchStats::assignment_reuses`] metric.
+    pub fn search_batch(
+        &self,
+        queries: &[Point3],
+        radius: f32,
+        max_neighbors: Option<usize>,
+        state: &mut BatchState,
+    ) -> (Vec<Vec<Neighbor>>, BatchSearchStats) {
+        let tree = self.tree();
+        let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); queries.len()];
+        let mut stats = BatchSearchStats {
+            queries: queries.len(),
+            frame_index: state.frames,
+            ..BatchSearchStats::default()
+        };
+
+        // rotate assignment history: last batch becomes "previous frame"
+        std::mem::swap(&mut state.prev_assignments, &mut state.assignments);
+        state.assignments.clear();
+        state.assignments.resize(queries.len(), None);
+
+        if tree.is_empty() || queries.is_empty() {
+            state.frames += 1;
+            return (results, stats);
+        }
+
+        // ---- stage 1: wavefront descent of the top tree ----
+        // Every query starts at the root; at each level the queries sitting
+        // on a node are partitioned onto its children, so a node is fetched
+        // once no matter how many queries route through it.
+        let r2 = radius * radius;
+        let first_subtree = self.subtree_roots()[0];
+        debug_assert!(state.frontier.is_empty() && state.next.is_empty());
+        let mut root_list = state.take_list();
+        root_list.extend(0..queries.len());
+        if self.top_height() == 0 {
+            for a in state.assignments.iter_mut() {
+                *a = Some(0);
+            }
+            state.recycle(root_list);
+        } else {
+            state.frontier.push((0, root_list));
+            while !state.frontier.is_empty() {
+                while let Some((idx, qlist)) = state.frontier.pop() {
+                    stats.top_fetches += 1; // one shared fetch for the node
+                    stats.top_fetches_unamortized += qlist.len();
+                    let node = tree.node(idx);
+                    let axis = node.axis as usize;
+                    let split_coord = node.point.coord(axis);
+                    let (left, right) = (tree.left(idx), tree.right(idx));
+                    let mut left_list = state.take_list();
+                    let mut right_list = state.take_list();
+                    for &qi in &qlist {
+                        let q = queries[qi];
+                        let d2 = node.point.dist2(q);
+                        if d2 <= r2 {
+                            results[qi]
+                                .push(Neighbor { index: node.point_index as usize, dist2: d2 });
+                        }
+                        let (next_slot, side) = if q.coord(axis) - split_coord <= 0.0 {
+                            (left, &mut left_list)
+                        } else {
+                            (right, &mut right_list)
+                        };
+                        match next_slot {
+                            Some(n) if tree.level_of(n) >= self.top_height() => {
+                                state.assignments[qi] = Some(n - first_subtree);
+                            }
+                            Some(_) => side.push(qi),
+                            // ragged bottom: clamp like route_query does
+                            None => {
+                                state.assignments[qi] = Some(self.nearest_subtree_for(idx));
+                            }
+                        }
+                    }
+                    for (child, list) in [(left, left_list), (right, right_list)] {
+                        match child {
+                            Some(c) if !list.is_empty() => state.next.push((c, list)),
+                            _ => state.recycle(list),
+                        }
+                    }
+                    state.recycle(qlist);
+                }
+                std::mem::swap(&mut state.frontier, &mut state.next);
+            }
+        }
+
+        // ---- group queries per sub-tree, preserving arrival order ----
+        for q in state.queues.iter_mut() {
+            q.clear();
+        }
+        state.queues.resize_with(self.num_subtrees(), Vec::new);
+        for (qi, a) in state.assignments.iter().enumerate() {
+            if let Some(s) = *a {
+                state.queues[s].push(qi);
+            }
+        }
+
+        // ---- stage 2: exact search confined to each assigned sub-tree ----
+        for (s, queue) in state.queues.iter().enumerate() {
+            if queue.is_empty() {
+                continue;
+            }
+            stats.subtrees_touched += 1;
+            stats.dram_bytes += (self.subtree_len(s) * NODE_BYTES) as u64;
+            let root = self.subtree_roots()[s];
+            for &qi in queue {
+                subtree_radius_search(
+                    tree,
+                    root,
+                    queries[qi],
+                    radius,
+                    &mut results[qi],
+                    &mut |_| {
+                        stats.subtree_visits += 1;
+                    },
+                );
+            }
+        }
+        for hits in &mut results {
+            finalize(hits, max_neighbors);
+        }
+
+        // Crescent's phased DRAM schedule (Sec 3.4): queries moved three
+        // times, the top tree streamed once, touched sub-trees counted above.
+        stats.dram_bytes += (3 * queries.len() * POINT_BYTES) as u64;
+        stats.dram_bytes += (self.top_len() * NODE_BYTES) as u64;
+
+        // ---- cross-frame locality ----
+        for (a, p) in state.assignments.iter().zip(&state.prev_assignments) {
+            if a.is_some() && a == p {
+                stats.assignment_reuses += 1;
+            }
+        }
+        state.frames += 1;
+        (results, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::KdTree;
+    use crescent_pointcloud::PointCloud;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_cloud(n: usize, seed: u64) -> PointCloud {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Point3::new(
+                    rng.random::<f32>() * 2.0,
+                    rng.random::<f32>() * 2.0,
+                    rng.random::<f32>() * 2.0,
+                )
+            })
+            .collect()
+    }
+
+    fn random_queries(n: usize, seed: u64) -> Vec<Point3> {
+        random_cloud(n, seed).into_points()
+    }
+
+    #[test]
+    fn batch_identical_to_per_query() {
+        for (ht, seed) in [(0usize, 60u64), (2, 61), (4, 62), (6, 63)] {
+            let cloud = random_cloud(3000, seed);
+            let tree = KdTree::build(&cloud);
+            let split = SplitTree::new(&tree, ht).unwrap();
+            let queries = random_queries(128, seed + 100);
+            let mut state = BatchState::new();
+            let (batch, _) = split.search_batch(&queries, 0.3, Some(16), &mut state);
+            for (qi, &q) in queries.iter().enumerate() {
+                let single = split.search_one(q, 0.3, Some(16));
+                assert_eq!(batch[qi], single, "ht {ht} query {qi}");
+            }
+        }
+    }
+
+    #[test]
+    fn top_fetches_are_amortized() {
+        let cloud = random_cloud(4096, 64);
+        let tree = KdTree::build(&cloud);
+        let split = SplitTree::new(&tree, 5).unwrap();
+        let queries = random_queries(512, 65);
+        let mut state = BatchState::new();
+        let (_, stats) = split.search_batch(&queries, 0.2, None, &mut state);
+        // the wavefront touches each top-tree node at most once
+        assert!(stats.top_fetches <= split.top_len());
+        // per-query routing would fetch one node per level per query
+        assert!(stats.top_fetches_unamortized >= queries.len() * split.top_height());
+        assert!(stats.amortization_factor() > 4.0, "factor {}", stats.amortization_factor());
+    }
+
+    #[test]
+    fn repeat_batch_reuses_assignments() {
+        let cloud = random_cloud(2048, 66);
+        let tree = KdTree::build(&cloud);
+        let split = SplitTree::new(&tree, 3).unwrap();
+        let queries = random_queries(96, 67);
+        let mut state = BatchState::new();
+        let (_, first) = split.search_batch(&queries, 0.25, Some(8), &mut state);
+        assert_eq!(first.assignment_reuses, 0, "no previous frame yet");
+        assert_eq!(first.frame_index, 0);
+        let (_, second) = split.search_batch(&queries, 0.25, Some(8), &mut state);
+        assert_eq!(second.assignment_reuses, queries.len(), "identical frame reuses everything");
+        assert_eq!(second.frame_index, 1);
+        assert!((second.reuse_fraction() - 1.0).abs() < 1e-12);
+        assert_eq!(state.frames(), 2);
+    }
+
+    #[test]
+    fn shifted_batch_partially_reuses() {
+        let cloud = random_cloud(4096, 68);
+        let tree = KdTree::build(&cloud);
+        let split = SplitTree::new(&tree, 4).unwrap();
+        let queries = random_queries(256, 69);
+        let shifted: Vec<Point3> =
+            queries.iter().map(|q| *q + Point3::new(0.01, -0.01, 0.005)).collect();
+        let mut state = BatchState::new();
+        split.search_batch(&queries, 0.25, None, &mut state);
+        let (_, stats) = split.search_batch(&shifted, 0.25, None, &mut state);
+        // a small drift keeps most queries in their sub-tree
+        assert!(
+            stats.assignment_reuses > queries.len() / 2,
+            "only {} of {} reused",
+            stats.assignment_reuses,
+            queries.len()
+        );
+        assert!(stats.assignment_reuses < queries.len(), "some queries must cross sub-trees");
+    }
+
+    #[test]
+    fn dram_bytes_match_crescent_schedule() {
+        let cloud = random_cloud(2048, 70);
+        let tree = KdTree::build(&cloud);
+        let split = SplitTree::new(&tree, 3).unwrap();
+        let queries = random_queries(64, 71);
+        let mut state = BatchState::new();
+        let (_, stats) = split.search_batch(&queries, 0.3, None, &mut state);
+        let reference = crate::baselines::crescent_dram_bytes(&split, &queries, 0.3);
+        assert_eq!(stats.dram_bytes, reference);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let tree = KdTree::build(&PointCloud::new());
+        let split = SplitTree::new(&tree, 0).unwrap();
+        let mut state = BatchState::new();
+        let (res, stats) = split.search_batch(&[Point3::ZERO], 1.0, None, &mut state);
+        assert!(res[0].is_empty());
+        assert_eq!(stats.top_fetches, 0);
+        let cloud = random_cloud(100, 72);
+        let tree = KdTree::build(&cloud);
+        let split = SplitTree::new(&tree, 2).unwrap();
+        let (res, stats) = split.search_batch(&[], 1.0, None, &mut state);
+        assert!(res.is_empty());
+        assert_eq!(stats.queries, 0);
+        assert_eq!(stats.dram_bytes, 0);
+    }
+
+    #[test]
+    fn state_buffers_are_recycled() {
+        let cloud = random_cloud(1024, 73);
+        let tree = KdTree::build(&cloud);
+        let split = SplitTree::new(&tree, 3).unwrap();
+        let queries = random_queries(64, 74);
+        let mut state = BatchState::new();
+        split.search_batch(&queries, 0.3, None, &mut state);
+        let spare_after_first = state.spare.len();
+        assert!(spare_after_first > 0, "wavefront lists must return to the spare pool");
+        split.search_batch(&queries, 0.3, None, &mut state);
+        assert_eq!(state.spare.len(), spare_after_first, "steady state allocates nothing new");
+    }
+}

@@ -10,6 +10,9 @@
 //! * [`SplitTree`] — the paper's two-level top-tree/sub-tree structure with
 //!   the fully-streaming two-stage search (Sec 3) and the lock-step
 //!   bank-conflict elision model (Sec 4);
+//! * [`batch`] — the batched two-stage search ([`SplitTree::search_batch`])
+//!   that amortizes top-tree fetches across a query batch and reuses its
+//!   descent state across the frames of a stream ([`BatchState`]);
 //! * [`baselines`] — Tigris/QuickNN-style split-exhaustive search with
 //!   sub-tree reloading, used by the Fig 24 comparison.
 //!
@@ -38,6 +41,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod baselines;
+pub mod batch;
 pub mod search;
 pub mod split;
 pub mod tree;
@@ -45,6 +49,7 @@ pub mod tree;
 pub use baselines::{
     crescent_dram_bytes, exhaustive_visits, split_exhaustive_search, BaselineReport,
 };
+pub use batch::{BatchSearchStats, BatchState};
 pub use search::{knn_search, radius_search, radius_search_traced, TraversalStats};
 pub use split::{
     subtree_radius_search, ElisionConfig, SplitSearchConfig, SplitSearchStats, SplitTree,

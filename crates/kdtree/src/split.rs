@@ -175,7 +175,7 @@ impl<'a> SplitTree<'a> {
         }
     }
 
-    fn nearest_subtree_for(&self, idx: usize) -> usize {
+    pub(crate) fn nearest_subtree_for(&self, idx: usize) -> usize {
         // map a top-tree slot with a missing child onto the sub-tree whose
         // root shares the longest path prefix; clamp into range
         let first = self.subtree_roots[0];
@@ -691,7 +691,7 @@ pub fn subtree_radius_search(
     }
 }
 
-fn finalize(hits: &mut Vec<Neighbor>, max_neighbors: Option<usize>) {
+pub(crate) fn finalize(hits: &mut Vec<Neighbor>, max_neighbors: Option<usize>) {
     hits.sort_by(|a, b| a.dist2.partial_cmp(&b.dist2).unwrap_or(std::cmp::Ordering::Equal));
     hits.dedup_by_key(|n| n.index);
     if let Some(k) = max_neighbors {

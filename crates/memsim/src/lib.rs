@@ -8,7 +8,10 @@
 //!   Fig 10 selective-elision augmentation (Figs 4, 5);
 //! * [`EnergyModel`] / [`EnergyLedger`] — the paper's published energy
 //!   ratios (random : streaming DRAM = 3 : 1, random DRAM : SRAM = 25 : 1)
-//!   and the per-category ledger behind Fig 16.
+//!   and the per-category ledger behind Fig 16;
+//! * [`StreamLedger`] — per-frame energy accounting for the streaming
+//!   multi-frame workload engine (one [`EnergyLedger`] per frame plus the
+//!   running total).
 //!
 //! # Example
 //!
@@ -34,8 +37,10 @@ pub mod cache;
 pub mod dram;
 pub mod energy;
 pub mod sram;
+pub mod stream;
 
 pub use cache::{CacheStats, FullyAssociativeCache};
 pub use dram::{DramCounters, DramTiming, DramTraceAnalyzer};
 pub use energy::{EnergyLedger, EnergyModel};
 pub use sram::{crossbar_relative_area, BankedSram, PortOutcome, SramConfig, SramCounters};
+pub use stream::StreamLedger;

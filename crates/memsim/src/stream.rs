@@ -1,0 +1,181 @@
+//! Per-frame energy accounting for streaming multi-frame workloads.
+//!
+//! A single [`EnergyLedger`] answers "how much energy
+//! did this run cost, by category"; a [`StreamLedger`] answers the same
+//! question *per frame* of a back-to-back frame sequence while keeping the
+//! running total, so a streaming driver can report both a frame-level
+//! profile (which frame was the most expensive, how stable is the cost)
+//! and sequence totals without re-summing.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::energy::EnergyLedger;
+
+/// An append-only sequence of per-frame [`EnergyLedger`]s plus their
+/// running total.
+///
+/// # Examples
+///
+/// ```
+/// use crescent_memsim::{EnergyLedger, EnergyModel, StreamLedger};
+///
+/// let model = EnergyModel::default();
+/// let mut stream = StreamLedger::new();
+/// for frame in 0..3 {
+///     let mut ledger = EnergyLedger::new();
+///     ledger.charge_dram_streaming(&model, 1024 * (frame + 1));
+///     stream.push_frame(ledger);
+/// }
+/// assert_eq!(stream.len(), 3);
+/// assert_eq!(stream.peak_frame(), Some(2));
+/// let per_frame: f64 = stream.frames().iter().map(|l| l.total()).sum();
+/// assert!((stream.total().total() - per_frame).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct StreamLedger {
+    frames: Vec<EnergyLedger>,
+    total: EnergyLedger,
+}
+
+impl StreamLedger {
+    /// Creates an empty stream ledger.
+    pub fn new() -> Self {
+        StreamLedger::default()
+    }
+
+    /// Appends one frame's ledger and folds it into the running total.
+    pub fn push_frame(&mut self, frame: EnergyLedger) {
+        self.total.merge(&frame);
+        self.frames.push(frame);
+    }
+
+    /// The per-frame ledgers, in arrival order.
+    pub fn frames(&self) -> &[EnergyLedger] {
+        &self.frames
+    }
+
+    /// The ledger of frame `i`, if recorded.
+    pub fn frame(&self, i: usize) -> Option<&EnergyLedger> {
+        self.frames.get(i)
+    }
+
+    /// Sum of all frames.
+    pub fn total(&self) -> &EnergyLedger {
+        &self.total
+    }
+
+    /// Number of recorded frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether no frame has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Mean total energy per frame (0.0 if empty).
+    pub fn mean_frame_energy(&self) -> f64 {
+        if self.frames.is_empty() {
+            0.0
+        } else {
+            self.total.total() / self.frames.len() as f64
+        }
+    }
+
+    /// Index of the most expensive frame by total energy (`None` if empty;
+    /// the earliest frame wins ties, so the answer is deterministic).
+    pub fn peak_frame(&self) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, f) in self.frames.iter().enumerate() {
+            let t = f.total();
+            if best.is_none_or(|(_, bt)| t > bt) {
+                best = Some((i, t));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Appends every frame of `other`, keeping the combined total
+    /// consistent (used when stitching segment reports together).
+    pub fn extend_from(&mut self, other: &StreamLedger) {
+        for f in &other.frames {
+            self.push_frame(*f);
+        }
+    }
+}
+
+impl fmt::Display for StreamLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stream[{} frames, total={:.1}, mean/frame={:.1}]",
+            self.len(),
+            self.total.total(),
+            self.mean_frame_energy()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::energy::EnergyModel;
+
+    fn frame_with(bytes: u64) -> EnergyLedger {
+        let m = EnergyModel::default();
+        let mut l = EnergyLedger::new();
+        l.charge_dram_streaming(&m, bytes);
+        l.charge_sram_search(&m, bytes / 2);
+        l
+    }
+
+    #[test]
+    fn totals_equal_sum_of_frames() {
+        let mut s = StreamLedger::new();
+        for i in 1..=5 {
+            s.push_frame(frame_with(1000 * i));
+        }
+        assert_eq!(s.len(), 5);
+        let sum: f64 = s.frames().iter().map(|l| l.total()).sum();
+        assert!((s.total().total() - sum).abs() < 1e-9);
+        assert!((s.mean_frame_energy() - sum / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peak_frame_and_ties() {
+        let mut s = StreamLedger::new();
+        assert_eq!(s.peak_frame(), None);
+        s.push_frame(frame_with(100));
+        s.push_frame(frame_with(500));
+        s.push_frame(frame_with(500));
+        s.push_frame(frame_with(50));
+        assert_eq!(s.peak_frame(), Some(1), "earliest of the tied frames");
+        assert_eq!(s.frame(3).map(|l| l.total() > 0.0), Some(true));
+        assert!(s.frame(4).is_none());
+    }
+
+    #[test]
+    fn empty_stream() {
+        let s = StreamLedger::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean_frame_energy(), 0.0);
+        assert_eq!(s.total().total(), 0.0);
+        assert!(format!("{s}").contains("0 frames"));
+    }
+
+    #[test]
+    fn extend_from_preserves_total() {
+        let mut a = StreamLedger::new();
+        a.push_frame(frame_with(100));
+        let mut b = StreamLedger::new();
+        b.push_frame(frame_with(200));
+        b.push_frame(frame_with(300));
+        a.extend_from(&b);
+        assert_eq!(a.len(), 3);
+        let sum: f64 = a.frames().iter().map(|l| l.total()).sum();
+        assert!((a.total().total() - sum).abs() < 1e-9);
+    }
+}

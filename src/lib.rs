@@ -4,6 +4,8 @@
 //! The library surface lives in the workspace crates; this crate only
 //! re-exports them so `examples/` and `tests/` have a single import root.
 
+#![warn(missing_docs)]
+
 pub use crescent;
 pub use crescent_accel as accel;
 pub use crescent_kdtree as kdtree;

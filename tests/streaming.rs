@@ -1,0 +1,146 @@
+//! Integration tests of the streaming multi-frame workload engine: strict
+//! determinism (same seed ⇒ bit-identical neighbor sets, cycle counts, and
+//! energy totals), batched-equals-per-query search, and the cross-frame
+//! accounting invariants.
+
+use crescent::accel::PE_PIPELINE_DEPTH;
+use crescent::kdtree::{BatchState, KdTree, SplitTree};
+use crescent::workload::{EgoMotion, FrameStream, FrameStreamConfig};
+use crescent::Crescent;
+
+fn test_cfg() -> FrameStreamConfig {
+    let mut cfg = FrameStreamConfig::default();
+    cfg.scene.total_points = 6_000;
+    cfg.scene.seed = 0xCAFE;
+    cfg.num_frames = 6;
+    cfg.queries_per_frame = 96;
+    cfg.radius = 0.6;
+    cfg.max_neighbors = Some(16);
+    cfg
+}
+
+#[test]
+fn same_seed_is_bit_identical() {
+    let cfg = test_cfg();
+    let system = Crescent::new();
+    let a = system.run_stream(&cfg);
+    let b = system.run_stream(&cfg);
+
+    // per-frame neighbor sets: same indices, same distances, same order
+    assert_eq!(a.neighbor_sets, b.neighbor_sets);
+    // per-frame cycle counts
+    for (x, y) in a.report.frames.iter().zip(&b.report.frames) {
+        assert_eq!(x.compute_cycles, y.compute_cycles, "frame {}", x.frame);
+        assert_eq!(x.dma_cycles, y.dma_cycles, "frame {}", x.frame);
+        assert_eq!(x.slot_cycles, y.slot_cycles, "frame {}", x.frame);
+        assert_eq!(x.dram_streaming_bytes, y.dram_streaming_bytes, "frame {}", x.frame);
+    }
+    assert_eq!(a.report.pipelined_cycles, b.report.pipelined_cycles);
+    assert_eq!(a.report.serial_cycles, b.report.serial_cycles);
+    // energy totals, bitwise (all charges are deterministic f64 sums)
+    for (x, y) in a.report.ledger.frames().iter().zip(b.report.ledger.frames()) {
+        assert_eq!(x, y);
+    }
+    assert_eq!(a.report.ledger.total(), b.report.ledger.total());
+}
+
+#[test]
+fn different_seed_changes_the_stream() {
+    let cfg = test_cfg();
+    let mut other = cfg;
+    other.scene.seed ^= 1;
+    let system = Crescent::new();
+    let a = system.run_stream(&cfg);
+    let b = system.run_stream(&other);
+    assert_ne!(a.neighbor_sets, b.neighbor_sets, "a different world must change the results");
+}
+
+#[test]
+fn batched_search_matches_per_query_on_stream_frames() {
+    let cfg = test_cfg();
+    let knobs = Crescent::new().knobs;
+    let mut state = BatchState::new();
+    for frame in FrameStream::new(&cfg) {
+        let tree = KdTree::build(&frame.cloud);
+        let ht = knobs.top_height.min(tree.height().saturating_sub(1));
+        let split = SplitTree::new(&tree, ht).unwrap();
+        let (batch, _) =
+            split.search_batch(&frame.queries, cfg.radius, cfg.max_neighbors, &mut state);
+        for (qi, &q) in frame.queries.iter().enumerate() {
+            let single = split.search_one(q, cfg.radius, cfg.max_neighbors);
+            assert_eq!(batch[qi], single, "frame {} query {qi}", frame.index);
+        }
+    }
+    assert_eq!(state.frames(), cfg.num_frames);
+}
+
+#[test]
+fn facade_results_match_manual_batched_runs() {
+    // run_stream is just frame generation + the accel driver: its neighbor
+    // sets must equal a by-hand batched run over the same frames
+    let cfg = test_cfg();
+    let system = Crescent::new();
+    let outcome = system.run_stream(&cfg);
+    let mut state = BatchState::new();
+    for (fi, frame) in FrameStream::new(&cfg).enumerate() {
+        let tree = KdTree::build(&frame.cloud);
+        let ht = system.knobs.top_height.min(tree.height().saturating_sub(1));
+        let split = SplitTree::new(&tree, ht).unwrap();
+        let (batch, _) =
+            split.search_batch(&frame.queries, cfg.radius, cfg.max_neighbors, &mut state);
+        assert_eq!(outcome.neighbor_sets[fi], batch, "frame {fi}");
+    }
+}
+
+#[test]
+fn stream_accounting_invariants() {
+    let cfg = test_cfg();
+    let outcome = Crescent::new().run_stream(&cfg);
+    let rep = &outcome.report;
+    assert_eq!(rep.num_frames(), cfg.num_frames);
+    assert_eq!(rep.ledger.len(), cfg.num_frames);
+    // pipelined latency: sum of slots + one fill; serial pays the fill per frame
+    let slots: u64 = rep.frames.iter().map(|f| f.slot_cycles).sum();
+    assert_eq!(rep.pipelined_cycles, slots + PE_PIPELINE_DEPTH);
+    assert_eq!(
+        rep.serial_cycles,
+        slots + cfg.num_frames as u64 * PE_PIPELINE_DEPTH,
+        "serial = slots + a fill per frame"
+    );
+    assert!(rep.pipelined_cycles < rep.serial_cycles);
+    for f in &rep.frames {
+        assert_eq!(f.slot_cycles, f.compute_cycles.max(f.dma_cycles));
+        assert!(f.dram_streaming_bytes > 0);
+        assert_eq!(f.energy.dram_random, 0.0, "the streaming schedule is fully streaming");
+        assert!(f.search.top_fetches <= f.search.top_fetches_unamortized);
+        assert!(f.queries == cfg.queries_per_frame);
+    }
+    // energy ledger total equals the sum of the per-frame entries
+    let sum: f64 = rep.ledger.frames().iter().map(|l| l.total()).sum();
+    assert!((rep.ledger.total().total() - sum).abs() < 1e-9);
+}
+
+#[test]
+fn stationary_ego_reuses_every_assignment() {
+    let mut cfg = test_cfg();
+    cfg.ego = EgoMotion { speed_mps: 0.0, yaw_rate_rps: 0.0, frame_period_s: 0.1 };
+    cfg.noise_m = 0.0;
+    let outcome = Crescent::new().run_stream(&cfg);
+    for f in &outcome.report.frames[1..] {
+        assert_eq!(
+            f.search.assignment_reuses, f.queries,
+            "identical frames must reuse every sub-tree assignment (frame {})",
+            f.frame
+        );
+    }
+    assert!((outcome.report.mean_reuse_fraction() - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn moving_ego_keeps_most_assignments() {
+    let cfg = test_cfg();
+    let outcome = Crescent::new().run_stream(&cfg);
+    let reuse = outcome.report.mean_reuse_fraction();
+    assert!(reuse > 0.3, "an urban-speed drift should keep most assignments, got {reuse}");
+    assert!(reuse < 1.0, "motion must break some assignments, got {reuse}");
+}
