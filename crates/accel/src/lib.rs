@@ -13,8 +13,11 @@
 //! * [`pipeline`] — end-to-end network simulation across the five systems
 //!   of Fig 14 (GPU, Tigris+GPU, Mesorasi, ANS, ANS+BCE);
 //! * [`streaming`] — the back-to-back multi-frame pipeline driver (batched
-//!   two-stage search per frame, inter-frame double buffering, per-frame
-//!   cycle and energy accounting);
+//!   two-stage search per frame, per-frame tree maintenance under a
+//!   [`TreeMaintenance`] policy with honest build/refit cost accounting,
+//!   inter-frame double buffering that overlaps the next frame's build
+//!   with the current frame's search, per-frame cycle and energy
+//!   accounting);
 //! * [`config`] — the Sec 6 hardware configuration (buffer sizes, banking,
 //!   PE count) including the Sec 3.3 top-tree-height feasibility range.
 //!
@@ -54,5 +57,7 @@ pub use gpu::{GpuModel, GpuReport};
 pub use pipeline::{
     run_network, CrescentKnobs, LayerSpec, NetworkSpec, PipelineReport, StageCycles, Variant,
 };
-pub use streaming::{run_frame_stream, FrameReport, StreamReport, StreamSearchConfig};
+pub use streaming::{
+    run_frame_stream, FrameReport, StreamReport, StreamSearchConfig, TreeMaintenance,
+};
 pub use systolic::{gemm_report, mlp_report, SystolicReport};

@@ -1,12 +1,15 @@
 //! Criterion benches of the streaming multi-frame workload engine: frame
-//! rendering, batched vs per-query two-stage search, and the end-to-end
-//! frame-sequence pipeline (`Crescent::run_stream`).
+//! rendering, batched vs per-query two-stage search, tree maintenance
+//! (full rebuild vs incremental refit), and the end-to-end frame-sequence
+//! pipeline (`Crescent::run_stream`) under both maintenance policies.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use crescent::kdtree::{BatchState, KdTree, SplitTree};
-use crescent::workload::{FrameStream, FrameStreamConfig};
+use crescent::accel::TreeMaintenance;
+use crescent::kdtree::{BatchState, KdTree, RefitConfig, SplitTree};
+use crescent::pointcloud::Point3;
+use crescent::workload::{EgoMotion, FrameStream, FrameStreamConfig, StreamScenario};
 use crescent::Crescent;
 
 fn stream_cfg(points: usize, frames: usize) -> FrameStreamConfig {
@@ -64,9 +67,48 @@ fn bench_run_stream(c: &mut Criterion) {
     });
 }
 
+fn bench_tree_maintenance(c: &mut Criterion) {
+    // host-side cost of the two maintenance paths on a drifted frame
+    let cfg = stream_cfg(16_384, 1);
+    let frame = FrameStream::new(&cfg).next().expect("one frame");
+    let drifted: crescent::pointcloud::PointCloud =
+        frame.cloud.iter().map(|&p| p + Point3::new(0.05, -0.02, 0.0)).collect();
+    let mut g = c.benchmark_group("tree_maintenance_16k");
+    g.bench_function("rebuild", |b| b.iter(|| black_box(KdTree::build(&drifted))));
+    g.bench_function("refit", |b| {
+        // build once outside the loop; steady-state refit against the
+        // same drifted cloud is idempotent, so each iteration measures
+        // exactly one O(n) patch + validation pass
+        let mut tree = KdTree::build(&frame.cloud);
+        b.iter(|| black_box(tree.refit(&drifted, &RefitConfig::default())))
+    });
+    g.finish();
+}
+
+fn bench_run_stream_policies(c: &mut Criterion) {
+    // end-to-end coherent registered stream under both policies
+    let mut cfg = stream_cfg(8192, 8);
+    cfg.scenario = StreamScenario::Registered;
+    cfg.noise_m = 0.0;
+    cfg.ego = EgoMotion { speed_mps: 8.0, yaw_rate_rps: 0.0, frame_period_s: 0.1 };
+    let system = Crescent::new();
+    let mut g = c.benchmark_group("run_stream_maintenance_8x8192");
+    for (name, maintenance) in
+        [("rebuild", TreeMaintenance::RebuildEveryFrame), ("refit", TreeMaintenance::refit())]
+    {
+        let mut cfg = cfg;
+        cfg.maintenance = maintenance;
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| black_box(system.run_stream(black_box(cfg))))
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_frame_rendering, bench_batched_vs_per_query, bench_run_stream
+    targets = bench_frame_rendering, bench_batched_vs_per_query, bench_run_stream,
+        bench_tree_maintenance, bench_run_stream_policies
 );
 criterion_main!(benches);

@@ -45,7 +45,9 @@ pub mod facade;
 pub mod workload;
 
 pub use facade::{format_table, Crescent};
-pub use workload::{EgoMotion, Frame, FrameStream, FrameStreamConfig, StreamOutcome};
+pub use workload::{
+    EgoMotion, Frame, FrameStream, FrameStreamConfig, StreamOutcome, StreamScenario,
+};
 
 // Re-export the component crates under one roof.
 pub use crescent_accel as accel;

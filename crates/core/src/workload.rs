@@ -8,12 +8,19 @@
 //! generates one static synthetic world with the
 //! [`generate_scene`] generator, then renders it from a moving ego
 //! vehicle — per frame the
-//! sensor pose advances by the configured [`EgoMotion`], the world is
-//! transformed into the sensor frame, range-culled, perturbed with
-//! per-frame measurement noise, and re-emitted in azimuthal sweep order.
+//! sensor pose advances by the configured [`EgoMotion`] and the world is
+//! transformed into the sensor frame with per-frame measurement noise.
 //! Consecutive frames therefore share most of their geometry (the
-//! temporal coherence the batched search exploits) while every frame still
-//! has a fresh sweep order and noise realization.
+//! temporal coherence the batched search and the engine's incremental
+//! tree maintenance exploit) while every frame still has a fresh noise
+//! realization.
+//!
+//! The [`StreamScenario`] knob shapes the stream to stress the
+//! [`TreeMaintenance`] policy from different angles: raw azimuthal
+//! sweeps (unstable point identity), registered motion-compensated
+//! streams (the refit-friendly case), dynamic objects entering and
+//! leaving the scene, oscillating point density, and a sudden
+//! ego-rotation burst (one incoherent frame in a coherent stream).
 //!
 //! Everything is a pure function of [`FrameStreamConfig`]: two streams
 //! built from the same config yield bit-identical frames, queries, and —
@@ -22,12 +29,12 @@
 
 use serde::{Deserialize, Serialize};
 
-use crescent_accel::{run_frame_stream, StreamReport, StreamSearchConfig};
+use crescent_accel::{run_frame_stream, StreamReport, StreamSearchConfig, TreeMaintenance};
 use crescent_pointcloud::datasets::{generate_scene, LidarSceneConfig};
 use crescent_pointcloud::sampling::gaussian;
 use crescent_pointcloud::{Neighbor, Point3, PointCloud};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use crate::facade::Crescent;
 
@@ -49,6 +56,49 @@ impl Default for EgoMotion {
     }
 }
 
+/// The shape of a streamed workload — chosen to stress the engine's
+/// [`TreeMaintenance`] policy in qualitatively different ways.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum StreamScenario {
+    /// Raw spinning-LiDAR frames: range cull plus a fresh azimuthal
+    /// re-sort every frame. Point *identity* is not stable across
+    /// frames, so an incremental refit always detects incoherence —
+    /// this is the honest baseline workload.
+    Sweep,
+    /// Motion-compensated (registered) stream: the full world rendered
+    /// into the moving sensor frame with stable point identity (no
+    /// cull, no re-sort). The workload incremental tree maintenance is
+    /// built for.
+    Registered,
+    /// Registered stream plus dynamic objects: point clusters follow
+    /// straight world paths and enter/leave the sensor range, changing
+    /// the cloud size on transition frames (which forces the refit
+    /// size-mismatch fallback exactly there).
+    DynamicObjects {
+        /// Number of moving clusters.
+        movers: usize,
+    },
+    /// Registered stream with the point density oscillating between
+    /// `min_keep_pct`% and 100% of the world over `period` frames —
+    /// every frame has a different size, so refit must fall back each
+    /// time (the worst case for incremental maintenance).
+    VariableDensity {
+        /// Minimum percentage of world points kept in a frame.
+        min_keep_pct: u8,
+        /// Oscillation period in frames.
+        period: usize,
+    },
+    /// Registered stream with a sudden ego-rotation at `at_frame`
+    /// (heading step of `yaw_rad`): one incoherence burst in an
+    /// otherwise coherent stream — the canonical fallback test.
+    RotationBurst {
+        /// Frame index at which the heading jumps.
+        at_frame: usize,
+        /// Heading step in radians.
+        yaw_rad: f32,
+    },
+}
+
 /// Configuration of a [`FrameStream`].
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct FrameStreamConfig {
@@ -59,7 +109,10 @@ pub struct FrameStreamConfig {
     /// Sensor trajectory between frames.
     pub ego: EgoMotion,
     /// Sensor range: world points farther than this (in x/y) from the
-    /// sensor are culled from the frame.
+    /// sensor are culled from the frame (only in
+    /// [`StreamScenario::Sweep`]; registered scenarios keep the full
+    /// world so point identity stays stable, and movers use it as their
+    /// visibility range).
     pub max_range: f32,
     /// Per-frame Gaussian measurement noise (standard deviation, meters).
     pub noise_m: f32,
@@ -69,6 +122,10 @@ pub struct FrameStreamConfig {
     pub radius: f32,
     /// Cap on returned neighbors per query.
     pub max_neighbors: Option<usize>,
+    /// Workload shape (see [`StreamScenario`]).
+    pub scenario: StreamScenario,
+    /// Per-frame tree-maintenance policy handed to the engine.
+    pub maintenance: TreeMaintenance,
 }
 
 impl Default for FrameStreamConfig {
@@ -89,6 +146,8 @@ impl Default for FrameStreamConfig {
             queries_per_frame: 256,
             radius: 0.5,
             max_neighbors: Some(32),
+            scenario: StreamScenario::Sweep,
+            maintenance: TreeMaintenance::RebuildEveryFrame,
         }
     }
 }
@@ -129,9 +188,24 @@ pub struct Frame {
 pub struct FrameStream {
     cfg: FrameStreamConfig,
     world: PointCloud,
+    movers: Vec<Mover>,
     frame: usize,
     position: Point3,
     heading: f32,
+}
+
+/// A dynamic object: a rigid point cluster on a straight world path.
+#[derive(Clone, Debug)]
+struct Mover {
+    start: Point3,
+    velocity: Point3,
+    offsets: Vec<Point3>,
+}
+
+impl Mover {
+    fn center(&self, frame: usize, dt: f32) -> Point3 {
+        self.start + self.velocity * (frame as f32 * dt)
+    }
 }
 
 impl FrameStream {
@@ -139,7 +213,37 @@ impl FrameStream {
     /// heading along +x.
     pub fn new(cfg: &FrameStreamConfig) -> Self {
         let world = generate_scene(&cfg.scene).cloud;
-        FrameStream { cfg: *cfg, world, frame: 0, position: Point3::ZERO, heading: 0.0 }
+        let movers = match cfg.scenario {
+            StreamScenario::DynamicObjects { movers } => {
+                let mut rng = StdRng::seed_from_u64(cfg.scene.seed ^ 0xD10B_1EC7);
+                (0..movers)
+                    .map(|m| {
+                        // start outside the visible range on a bearing
+                        // that carries the cluster through the scene
+                        let theta = (m as f32 + rng.random::<f32>()) * 2.4;
+                        let start = Point3::new(
+                            1.4 * cfg.max_range * theta.cos(),
+                            1.4 * cfg.max_range * theta.sin(),
+                            0.8,
+                        );
+                        let speed = 5.0 + 4.0 * rng.random::<f32>();
+                        let velocity = (Point3::ZERO - start) * (speed / start.norm().max(1e-6));
+                        let offsets = (0..24)
+                            .map(|_| {
+                                Point3::new(
+                                    gaussian(&mut rng) * 0.6,
+                                    gaussian(&mut rng) * 0.6,
+                                    gaussian(&mut rng) * 0.4,
+                                )
+                            })
+                            .collect();
+                        Mover { start, velocity, offsets }
+                    })
+                    .collect()
+            }
+            _ => Vec::new(),
+        };
+        FrameStream { cfg: *cfg, world, movers, frame: 0, position: Point3::ZERO, heading: 0.0 }
     }
 
     /// The stream's configuration.
@@ -160,6 +264,23 @@ impl FrameStream {
         let noise_seed =
             cfg.scene.seed ^ (self.frame as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let mut rng = StdRng::seed_from_u64(noise_seed);
+        let cloud = match cfg.scenario {
+            StreamScenario::Sweep => self.render_sweep(&mut rng),
+            _ => self.render_registered(&mut rng),
+        };
+        let queries = stride_queries(&cloud, cfg.queries_per_frame);
+        Frame {
+            index: self.frame,
+            ego_position: self.position,
+            ego_heading: self.heading,
+            cloud,
+            queries,
+        }
+    }
+
+    /// Raw spinning-LiDAR render: range cull + azimuthal sweep re-sort.
+    fn render_sweep(&self, rng: &mut StdRng) -> PointCloud {
+        let cfg = &self.cfg;
         let range2 = cfg.max_range * cfg.max_range;
         // (azimuth, point) pairs so the sweep sort computes atan2 once per
         // point instead of once per comparison
@@ -170,21 +291,72 @@ impl FrameStream {
             if d.x * d.x + d.y * d.y > range2 {
                 continue;
             }
-            let noise = Point3::new(gaussian(&mut rng), gaussian(&mut rng), gaussian(&mut rng))
-                * cfg.noise_m;
+            let noise = Point3::new(gaussian(rng), gaussian(rng), gaussian(rng)) * cfg.noise_m;
             let q = d + noise;
             pts.push((q.y.atan2(q.x), q));
         }
         // a spinning LiDAR emits points in azimuthal sweep order
         pts.sort_by(|a, b| a.0.total_cmp(&b.0));
-        let cloud = PointCloud::from_points(pts.into_iter().map(|(_, p)| p).collect());
-        let queries = stride_queries(&cloud, cfg.queries_per_frame);
-        Frame {
-            index: self.frame,
-            ego_position: self.position,
-            ego_heading: self.heading,
-            cloud,
-            queries,
+        PointCloud::from_points(pts.into_iter().map(|(_, p)| p).collect())
+    }
+
+    /// Registered (motion-compensated) render: stable point identity —
+    /// world order is preserved, nothing is culled or re-sorted. The
+    /// density filter and the dynamic movers of the richer scenarios
+    /// are layered on top.
+    fn render_registered(&self, rng: &mut StdRng) -> PointCloud {
+        let cfg = &self.cfg;
+        let heading = self.heading + self.burst_yaw();
+        let keep_pct = self.keep_pct();
+        let mut pts: Vec<Point3> = Vec::with_capacity(self.world.len());
+        for (i, &p) in self.world.iter().enumerate() {
+            // spread the density filter across the cloud with a prime
+            // stride so kept points stay spatially uniform
+            if keep_pct < 100 && (i * 7919) % 100 >= keep_pct {
+                continue;
+            }
+            let d = (p - self.position).rotated_z(-heading);
+            let noise = Point3::new(gaussian(rng), gaussian(rng), gaussian(rng)) * cfg.noise_m;
+            pts.push(d + noise);
+        }
+        // dynamic objects append after the static world; a cluster is
+        // visible only while its center is inside the sensor range
+        let dt = cfg.ego.frame_period_s;
+        for mover in &self.movers {
+            let center = mover.center(self.frame, dt);
+            let rel = center - self.position;
+            if rel.x * rel.x + rel.y * rel.y > cfg.max_range * cfg.max_range {
+                continue;
+            }
+            for &off in &mover.offsets {
+                let d = (center + off - self.position).rotated_z(-heading);
+                let noise = Point3::new(gaussian(rng), gaussian(rng), gaussian(rng)) * cfg.noise_m;
+                pts.push(d + noise);
+            }
+        }
+        PointCloud::from_points(pts)
+    }
+
+    /// Extra heading applied from the rotation-burst frame onward.
+    fn burst_yaw(&self) -> f32 {
+        match self.cfg.scenario {
+            StreamScenario::RotationBurst { at_frame, yaw_rad } if self.frame >= at_frame => {
+                yaw_rad
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Percentage of world points kept this frame (100 outside the
+    /// variable-density scenario).
+    fn keep_pct(&self) -> usize {
+        match self.cfg.scenario {
+            StreamScenario::VariableDensity { min_keep_pct, period } => {
+                let min = usize::from(min_keep_pct.min(100));
+                let phase = std::f32::consts::TAU * self.frame as f32 / period.max(1) as f32;
+                min + (((100 - min) as f32) * 0.5 * (1.0 + phase.cos())).round() as usize
+            }
+            _ => 100,
         }
     }
 }
@@ -275,7 +447,11 @@ impl Crescent {
         let frames: Vec<Frame> = FrameStream::new(cfg).collect();
         let inputs: Vec<(&PointCloud, &[Point3])> =
             frames.iter().map(|f| (&f.cloud, f.queries.as_slice())).collect();
-        let search = StreamSearchConfig { radius: cfg.radius, max_neighbors: cfg.max_neighbors };
+        let search = StreamSearchConfig {
+            radius: cfg.radius,
+            max_neighbors: cfg.max_neighbors,
+            maintenance: cfg.maintenance,
+        };
         let (neighbor_sets, report) = run_frame_stream(&inputs, &search, self.knobs, &self.config);
         StreamOutcome { frames, neighbor_sets, report }
     }
@@ -370,5 +546,113 @@ mod tests {
         assert_eq!(outcome.report.ledger.len(), 5);
         assert!(outcome.total_neighbors() > 0);
         assert!(outcome.report.mean_reuse_fraction() > 0.3, "stream should show locality");
+    }
+
+    #[test]
+    fn registered_frames_keep_point_identity() {
+        let mut cfg = small_cfg();
+        cfg.scenario = StreamScenario::Registered;
+        let frames: Vec<Frame> = FrameStream::new(&cfg).collect();
+        let n = frames[0].cloud.len();
+        for f in &frames {
+            assert_eq!(f.cloud.len(), n, "registered stream must keep a stable size");
+        }
+        // point i stays the same physical point: across one frame of
+        // gentle ego motion it moves by much less than the scene extent
+        let moved = (frames[1].cloud.point(7) - frames[0].cloud.point(7)).norm();
+        assert!(moved < 2.0, "point 7 jumped {moved} — identity lost");
+    }
+
+    #[test]
+    fn registered_stream_refits_cheaper_with_identical_results() {
+        let mut cfg = small_cfg();
+        cfg.scenario = StreamScenario::Registered;
+        cfg.num_frames = 8;
+        // a registration pipeline outputs motion-compensated, denoised
+        // points: the stream is a per-frame rigid translation, which is
+        // order-preserving — the regime refit is built for (per-frame
+        // independent noise or rotation would trip the cross-plane
+        // validation and honestly fall back every frame)
+        cfg.noise_m = 0.0;
+        cfg.ego = EgoMotion { speed_mps: 8.0, yaw_rate_rps: 0.0, frame_period_s: 0.1 };
+        let system = Crescent::new();
+        cfg.maintenance = TreeMaintenance::RebuildEveryFrame;
+        let rebuild = system.run_stream(&cfg);
+        cfg.maintenance = TreeMaintenance::refit();
+        let refit = system.run_stream(&cfg);
+        assert_eq!(
+            rebuild.neighbor_sets, refit.neighbor_sets,
+            "maintenance policy must never change results"
+        );
+        assert!(
+            refit.report.pipelined_cycles < rebuild.report.pipelined_cycles,
+            "refit {} vs rebuild {}",
+            refit.report.pipelined_cycles,
+            rebuild.report.pipelined_cycles
+        );
+    }
+
+    #[test]
+    fn dynamic_objects_enter_and_leave() {
+        let mut cfg = small_cfg();
+        cfg.scenario = StreamScenario::DynamicObjects { movers: 3 };
+        cfg.num_frames = 12;
+        cfg.max_range = 12.0;
+        let frames: Vec<Frame> = FrameStream::new(&cfg).collect();
+        let sizes: Vec<usize> = frames.iter().map(|f| f.cloud.len()).collect();
+        assert!(
+            sizes.windows(2).any(|w| w[0] != w[1]),
+            "movers must change the cloud size at some point: {sizes:?}"
+        );
+        // the engine survives the size changes under refit, results equal
+        cfg.maintenance = TreeMaintenance::refit();
+        let refit = Crescent::new().run_stream(&cfg);
+        cfg.maintenance = TreeMaintenance::RebuildEveryFrame;
+        let rebuild = Crescent::new().run_stream(&cfg);
+        assert_eq!(refit.neighbor_sets, rebuild.neighbor_sets);
+    }
+
+    #[test]
+    fn variable_density_oscillates_and_forces_fallback() {
+        let mut cfg = small_cfg();
+        cfg.scenario = StreamScenario::VariableDensity { min_keep_pct: 40, period: 4 };
+        cfg.num_frames = 8;
+        let frames: Vec<Frame> = FrameStream::new(&cfg).collect();
+        let sizes: Vec<usize> = frames.iter().map(|f| f.cloud.len()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!((min as f64) < 0.7 * max as f64, "oscillation too shallow: {sizes:?}");
+        cfg.maintenance = TreeMaintenance::refit();
+        let outcome = Crescent::new().run_stream(&cfg);
+        // every size-changing frame is an honest full rebuild
+        for (w, f) in sizes.windows(2).zip(&outcome.report.frames[1..]) {
+            if w[0] != w[1] {
+                assert!(f.full_rebuild, "frame {} changed size but did not rebuild", f.frame);
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_burst_triggers_exactly_one_fallback() {
+        let mut cfg = small_cfg();
+        cfg.scenario = StreamScenario::RotationBurst { at_frame: 3, yaw_rad: 0.9 };
+        cfg.num_frames = 7;
+        cfg.noise_m = 0.0;
+        cfg.ego = EgoMotion { speed_mps: 2.0, yaw_rate_rps: 0.0, frame_period_s: 0.1 };
+        cfg.maintenance = TreeMaintenance::refit();
+        let system = Crescent::new();
+        let refit = system.run_stream(&cfg);
+        cfg.maintenance = TreeMaintenance::RebuildEveryFrame;
+        let rebuild = system.run_stream(&cfg);
+        assert_eq!(
+            refit.neighbor_sets, rebuild.neighbor_sets,
+            "the burst must not cost correctness"
+        );
+        assert!(
+            refit.report.frames[3].full_rebuild,
+            "a 0.9 rad heading jump must be detected as incoherent"
+        );
+        let fallbacks = refit.report.frames[1..].iter().filter(|f| f.full_rebuild).count();
+        assert!(fallbacks <= 2, "only the burst (±1 settling frame) may rebuild: {fallbacks}");
     }
 }

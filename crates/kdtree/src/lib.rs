@@ -13,6 +13,11 @@
 //! * [`batch`] — the batched two-stage search ([`SplitTree::search_batch`])
 //!   that amortizes top-tree fetches across a query batch and reuses its
 //!   descent state across the frames of a stream ([`BatchState`]);
+//! * [`refit`] — incremental frame-coherent tree maintenance
+//!   ([`KdTree::refit`]): in-place coordinate update + validation +
+//!   per-sub-tree repair for temporally coherent frames, with an honest
+//!   cost model ([`BuildStats`], [`RefitStats`]) for both maintenance
+//!   paths;
 //! * [`baselines`] — Tigris/QuickNN-style split-exhaustive search with
 //!   sub-tree reloading, used by the Fig 24 comparison.
 //!
@@ -42,6 +47,7 @@
 
 pub mod baselines;
 pub mod batch;
+pub mod refit;
 pub mod search;
 pub mod split;
 pub mod tree;
@@ -50,9 +56,10 @@ pub use baselines::{
     crescent_dram_bytes, exhaustive_visits, split_exhaustive_search, BaselineReport,
 };
 pub use batch::{BatchSearchStats, BatchState};
+pub use refit::{RebuildReason, RefitConfig, RefitOutcome, RefitStats};
 pub use search::{knn_search, radius_search, radius_search_traced, TraversalStats};
 pub use split::{
     subtree_radius_search, ElisionConfig, SplitSearchConfig, SplitSearchStats, SplitTree,
     SplitTreeError,
 };
-pub use tree::{height_for, left_subtree_size, KdNode, KdTree, NODE_BYTES};
+pub use tree::{height_for, left_subtree_size, BuildStats, KdNode, KdTree, NODE_BYTES};

@@ -90,6 +90,50 @@ impl<'a> SplitTree<'a> {
         Ok(SplitTree { tree, top_height, subtree_roots })
     }
 
+    /// Cheap re-validation path for a refitted tree: rebuilds the split
+    /// view around `tree` while recycling a root table recovered from a
+    /// previous split via [`SplitTree::into_subtree_roots`].
+    ///
+    /// [`KdTree::refit`](crate::KdTree::refit) mutates the tree in place
+    /// without changing its heap layout, so when the node count and
+    /// `top_height` are unchanged the old root table is *exactly* correct
+    /// and is validated in O(1) (first slot + length check) instead of
+    /// being recomputed; when anything changed (a size-changing rebuild
+    /// fallback, a different `top_height`) the table is recomputed into
+    /// the same allocation. Either way no per-frame allocation is made in
+    /// the steady state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SplitTreeError::TopHeightTooLarge`] under the same
+    /// conditions as [`SplitTree::new`].
+    pub fn resplit(
+        tree: &'a KdTree,
+        top_height: usize,
+        mut roots: Vec<usize>,
+    ) -> Result<Self, SplitTreeError> {
+        if !tree.is_empty() && top_height >= tree.height() {
+            return Err(SplitTreeError::TopHeightTooLarge {
+                requested: top_height,
+                tree_height: tree.height(),
+            });
+        }
+        let range = tree.subtree_root_range(top_height);
+        let reusable =
+            roots.len() == range.len() && (range.is_empty() || roots.first() == Some(&range.start));
+        if !reusable {
+            roots.clear();
+            roots.extend(range);
+        }
+        Ok(SplitTree { tree, top_height, subtree_roots: roots })
+    }
+
+    /// Consumes the split and returns its sub-tree root table so the
+    /// allocation can be recycled by a later [`SplitTree::resplit`].
+    pub fn into_subtree_roots(self) -> Vec<usize> {
+        self.subtree_roots
+    }
+
     /// The underlying tree.
     #[inline]
     pub fn tree(&self) -> &KdTree {
@@ -1046,5 +1090,40 @@ mod tests {
         assert!(res.is_empty());
         assert_eq!(stats.nodes_visited, 0);
         assert!(split.search_one(Point3::ZERO, 1.0, None).is_empty());
+    }
+
+    #[test]
+    fn resplit_reuses_a_matching_root_table() {
+        let cloud = random_cloud(500, 21);
+        let tree = KdTree::build(&cloud);
+        let split = SplitTree::new(&tree, 3).unwrap();
+        let roots_before = split.subtree_roots().to_vec();
+        let recovered = split.into_subtree_roots();
+        let again = SplitTree::resplit(&tree, 3, recovered).unwrap();
+        assert_eq!(again.subtree_roots(), roots_before.as_slice());
+        // and the resplit view searches identically
+        for &q in &random_queries(8, 22) {
+            assert_eq!(
+                again.search_one(q, 0.3, Some(8)),
+                SplitTree::new(&tree, 3).unwrap().search_one(q, 0.3, Some(8))
+            );
+        }
+    }
+
+    #[test]
+    fn resplit_recomputes_on_mismatch() {
+        let big = KdTree::build(&random_cloud(500, 23));
+        let small = KdTree::build(&random_cloud(40, 24));
+        let stale = SplitTree::new(&big, 3).unwrap().into_subtree_roots();
+        // same allocation, different tree and height: must recompute
+        let split = SplitTree::resplit(&small, 2, stale).unwrap();
+        assert_eq!(split.subtree_roots(), small.subtree_roots(2).as_slice());
+        // an oversized top height errors exactly like `new`
+        let err = SplitTree::resplit(&small, 40, Vec::new()).unwrap_err();
+        assert!(matches!(err, SplitTreeError::TopHeightTooLarge { .. }));
+        // empty tree: empty root table, no panic
+        let empty = KdTree::build(&PointCloud::new());
+        let split = SplitTree::resplit(&empty, 0, vec![99, 100]).unwrap();
+        assert!(split.subtree_roots().is_empty());
     }
 }

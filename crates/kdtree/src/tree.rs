@@ -10,11 +10,47 @@
 
 use serde::{Deserialize, Serialize};
 
-use crescent_pointcloud::{Point3, PointCloud};
+use crescent_pointcloud::{Point3, PointCloud, POINT_BYTES};
 
 /// Size of one tree node in the accelerator's DRAM layout: 12 B point +
 /// 4 B packed (axis, original point index).
 pub const NODE_BYTES: usize = 16;
+
+/// Cost model of one [`KdTree::build`] — the phase every streaming frame
+/// pays before a single query can run, and which a timing model must
+/// charge for (nothing about tree construction is free: the cloud is
+/// streamed in, every point participates in one partition pass per tree
+/// level, and the finished node image is streamed back out).
+///
+/// The build unit is modeled as a single-lane partitioner: one
+/// compare-and-move per cycle during median selection plus one node write
+/// per cycle, with the DRAM side (cloud in, image out) fully streaming
+/// and double-buffered against the datapath.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BuildStats {
+    /// Tree nodes written to the flat image (= number of points).
+    pub nodes_written: usize,
+    /// Points moved through partition passes (`select_nth` touches every
+    /// point once per recursion level, so this is ≈ `n · H`).
+    pub points_moved: usize,
+    /// DRAM bytes of the build's streaming schedule: the cloud read once
+    /// plus the node image written once.
+    pub dram_bytes: u64,
+    /// Datapath cycles of the build unit (one compare-and-move or node
+    /// write per cycle).
+    pub cycles: u64,
+}
+
+impl BuildStats {
+    pub(crate) fn for_cloud(n: usize, points_moved: usize) -> Self {
+        BuildStats {
+            nodes_written: n,
+            points_moved,
+            dram_bytes: (n * POINT_BYTES + n * NODE_BYTES) as u64,
+            cycles: (points_moved + n) as u64,
+        }
+    }
+}
 
 /// One K-d tree node.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -44,6 +80,7 @@ pub struct KdNode {
 pub struct KdTree {
     nodes: Vec<KdNode>,
     height: usize,
+    build_stats: BuildStats,
 }
 
 /// Number of nodes in the left subtree of a complete (left-balanced) binary
@@ -71,11 +108,20 @@ impl KdTree {
         let mut entries: Vec<(Point3, u32)> =
             cloud.iter().enumerate().map(|(i, p)| (*p, i as u32)).collect();
         let mut nodes = vec![KdNode { point: Point3::ZERO, axis: 0, point_index: u32::MAX }; n];
+        let mut points_moved = 0usize;
         if n > 0 {
-            build_recursive(&mut entries, 0, 0, &mut nodes);
+            build_recursive(&mut entries, 0, 0, &mut nodes, &mut points_moved);
         }
         let height = height_for(n);
-        KdTree { nodes, height }
+        KdTree { nodes, height, build_stats: BuildStats::for_cloud(n, points_moved) }
+    }
+
+    /// The cost of the [`KdTree::build`] that produced this tree (the
+    /// stats are *not* updated by [`KdTree::refit`](crate::refit), which
+    /// reports its own [`RefitStats`](crate::RefitStats)).
+    #[inline]
+    pub fn build_stats(&self) -> &BuildStats {
+        &self.build_stats
     }
 
     /// Number of nodes (== number of points).
@@ -100,6 +146,14 @@ impl KdTree {
     #[inline]
     pub fn nodes(&self) -> &[KdNode] {
         &self.nodes
+    }
+
+    /// Mutable node access for the in-place refit path (crate-internal:
+    /// callers outside `refit` must go through [`KdTree::build`] so the
+    /// layout invariants cannot be broken from the outside).
+    #[inline]
+    pub(crate) fn nodes_mut(&mut self) -> &mut [KdNode] {
+        &mut self.nodes
     }
 
     /// The node at heap slot `idx`.
@@ -144,17 +198,26 @@ impl KdTree {
         self.nodes.len() * NODE_BYTES
     }
 
+    /// Half-open heap-slot range of the sub-tree roots when the tree is
+    /// split below a top tree of height `top_height` (all existing slots
+    /// at level `top_height`; empty if `top_height >= self.height()`).
+    /// The single source of truth for [`KdTree::subtree_roots`] and the
+    /// [`SplitTree::resplit`](crate::SplitTree::resplit) fast path.
+    pub fn subtree_root_range(&self, top_height: usize) -> std::ops::Range<usize> {
+        if top_height >= self.height {
+            return 0..0;
+        }
+        let first = (1usize << top_height) - 1;
+        let last = ((1usize << (top_height + 1)) - 1).min(self.nodes.len());
+        first..last
+    }
+
     /// Heap slots of the sub-tree roots when the tree is split below a top
     /// tree of height `top_height` (i.e. all slots at level `top_height`).
     ///
     /// Returns an empty vector if `top_height >= self.height()`.
     pub fn subtree_roots(&self, top_height: usize) -> Vec<usize> {
-        if top_height >= self.height {
-            return Vec::new();
-        }
-        let first = (1usize << top_height) - 1;
-        let last = (1usize << (top_height + 1)) - 1;
-        (first..last.min(self.nodes.len())).collect()
+        self.subtree_root_range(top_height).collect()
     }
 
     /// Number of nodes in the sub-tree rooted at heap slot `root`.
@@ -224,16 +287,18 @@ pub fn height_for(n: usize) -> usize {
     }
 }
 
-fn build_recursive(
+pub(crate) fn build_recursive(
     entries: &mut [(Point3, u32)],
     heap_idx: usize,
     depth: usize,
     out: &mut [KdNode],
+    points_moved: &mut usize,
 ) {
     let n = entries.len();
     if n == 0 {
         return;
     }
+    *points_moved += n;
     let axis = (depth % 3) as u8;
     let mid = left_subtree_size(n);
     entries.select_nth_unstable_by(mid, |a, b| {
@@ -245,8 +310,8 @@ fn build_recursive(
     out[heap_idx] = KdNode { point, axis, point_index };
     let (lo, rest) = entries.split_at_mut(mid);
     let hi = &mut rest[1..];
-    build_recursive(lo, 2 * heap_idx + 1, depth + 1, out);
-    build_recursive(hi, 2 * heap_idx + 2, depth + 1, out);
+    build_recursive(lo, 2 * heap_idx + 1, depth + 1, out, points_moved);
+    build_recursive(hi, 2 * heap_idx + 2, depth + 1, out, points_moved);
 }
 
 #[cfg(test)]
@@ -360,6 +425,25 @@ mod tests {
         assert_eq!(tree.height(), 0);
         assert!(tree.check_invariants());
         assert!(tree.subtree_roots(0).is_empty());
+    }
+
+    #[test]
+    fn build_stats_model_the_construction_cost() {
+        let tree = KdTree::build(&random_cloud(1000, 8));
+        let s = *tree.build_stats();
+        assert_eq!(s.nodes_written, 1000);
+        // every level's partition pass touches ~n points: between n (one
+        // level) and n·H in total
+        assert!(s.points_moved >= 1000);
+        assert!(s.points_moved <= 1000 * tree.height());
+        assert_eq!(s.dram_bytes, (1000 * (crescent_pointcloud::POINT_BYTES + NODE_BYTES)) as u64);
+        assert_eq!(s.cycles, (s.points_moved + s.nodes_written) as u64);
+        // empty build is free
+        let empty = KdTree::build(&PointCloud::new());
+        assert_eq!(*empty.build_stats(), BuildStats::default());
+        // deterministic: same cloud, same bill
+        let again = KdTree::build(&random_cloud(1000, 8));
+        assert_eq!(*again.build_stats(), s);
     }
 
     #[test]

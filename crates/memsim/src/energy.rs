@@ -28,6 +28,11 @@ pub struct EnergyModel {
     pub sram_per_byte: f64,
     /// Energy per MAC operation.
     pub mac_op: f64,
+    /// Energy per tree-build datapath operation (one compare-and-move of a
+    /// point during partitioning, or one node write) in the tree-build
+    /// unit. Comparator + register traffic only — the DRAM side of a build
+    /// is charged through the streaming-DRAM category.
+    pub build_op: f64,
     /// Static/leakage energy per cycle for the whole accelerator.
     pub leakage_per_cycle: f64,
 }
@@ -40,6 +45,7 @@ impl Default for EnergyModel {
             dram_random_per_byte: 6.25,          // 25x SRAM
             dram_streaming_per_byte: 6.25 / 3.0, // 3:1 random:streaming
             mac_op: 0.05,
+            build_op: 0.05, // a compare-and-move costs about one MAC
             leakage_per_cycle: 0.02,
         }
     }
@@ -70,6 +76,10 @@ pub struct EnergyLedger {
     pub sram_global: f64,
     /// MAC / datapath energy.
     pub compute: f64,
+    /// Tree-build / tree-refit datapath energy (partition compares, node
+    /// writes, refit validation) — the category the streaming engine uses
+    /// to make tree maintenance show up in per-frame profiles.
+    pub tree_build: f64,
     /// Leakage.
     pub leakage: f64,
 }
@@ -88,6 +98,7 @@ impl EnergyLedger {
             + self.sram_aggregation
             + self.sram_global
             + self.compute
+            + self.tree_build
             + self.leakage
     }
 
@@ -109,6 +120,7 @@ impl EnergyLedger {
         self.sram_aggregation += other.sram_aggregation;
         self.sram_global += other.sram_global;
         self.compute += other.compute;
+        self.tree_build += other.tree_build;
         self.leakage += other.leakage;
     }
 
@@ -142,6 +154,12 @@ impl EnergyLedger {
         self.compute += model.mac_op * macs as f64;
     }
 
+    /// Charges tree-build / refit datapath operations (partition
+    /// compare-and-moves, node writes, validation checks).
+    pub fn charge_tree_build(&mut self, model: &EnergyModel, ops: u64) {
+        self.tree_build += model.build_op * ops as f64;
+    }
+
     /// Charges leakage for a cycle count.
     pub fn charge_leakage(&mut self, model: &EnergyModel, cycles: u64) {
         self.leakage += model.leakage_per_cycle * cycles as f64;
@@ -152,7 +170,7 @@ impl fmt::Display for EnergyLedger {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "energy[total={:.1} dram_rand={:.1} dram_stream={:.1} sram_search={:.1} sram_aggr={:.1} sram_global={:.1} compute={:.1} leak={:.1}]",
+            "energy[total={:.1} dram_rand={:.1} dram_stream={:.1} sram_search={:.1} sram_aggr={:.1} sram_global={:.1} compute={:.1} build={:.1} leak={:.1}]",
             self.total(),
             self.dram_random,
             self.dram_streaming,
@@ -160,6 +178,7 @@ impl fmt::Display for EnergyLedger {
             self.sram_aggregation,
             self.sram_global,
             self.compute,
+            self.tree_build,
             self.leakage
         )
     }
@@ -186,11 +205,13 @@ mod tests {
         l.charge_sram_aggregation(&m, 400);
         l.charge_sram_global(&m, 800);
         l.charge_macs(&m, 1000);
+        l.charge_tree_build(&m, 2000);
         l.charge_leakage(&m, 500);
         assert!(l.total() > 0.0);
         assert!((l.dram() - (100.0 * 6.25 + 300.0 * 6.25 / 3.0)).abs() < 1e-6);
         assert!((l.sram() - 0.25 * 1600.0).abs() < 1e-6);
         assert!((l.compute - 50.0).abs() < 1e-9);
+        assert!((l.tree_build - 100.0).abs() < 1e-9);
         assert!((l.leakage - 10.0).abs() < 1e-9);
     }
 
@@ -234,6 +255,7 @@ mod tests {
         l.charge_sram_aggregation(&m, 0);
         l.charge_sram_global(&m, 0);
         l.charge_macs(&m, 0);
+        l.charge_tree_build(&m, 0);
         l.charge_leakage(&m, 0);
         assert_eq!(l.total(), 0.0);
         assert_eq!(l, EnergyLedger::new(), "zero-count charges must not perturb the ledger");
@@ -251,6 +273,7 @@ mod tests {
             ("sram_aggregation", EnergyLedger::charge_sram_aggregation),
             ("sram_global", EnergyLedger::charge_sram_global),
             ("macs", EnergyLedger::charge_macs),
+            ("tree_build", EnergyLedger::charge_tree_build),
             ("leakage", EnergyLedger::charge_leakage),
         ];
         for &(name, charge) in charges {

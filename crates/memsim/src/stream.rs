@@ -76,6 +76,13 @@ impl StreamLedger {
         self.frames.is_empty()
     }
 
+    /// Total tree-build / refit energy across all frames — the
+    /// maintenance bill the streaming engine's `TreeMaintenance` policy
+    /// tries to shrink.
+    pub fn build_energy(&self) -> f64 {
+        self.total.tree_build
+    }
+
     /// Mean total energy per frame (0.0 if empty).
     pub fn mean_frame_energy(&self) -> f64 {
         if self.frames.is_empty() {
@@ -129,7 +136,19 @@ mod tests {
         let mut l = EnergyLedger::new();
         l.charge_dram_streaming(&m, bytes);
         l.charge_sram_search(&m, bytes / 2);
+        l.charge_tree_build(&m, bytes / 4);
         l
+    }
+
+    #[test]
+    fn build_energy_sums_the_tree_build_category() {
+        let mut s = StreamLedger::new();
+        assert_eq!(s.build_energy(), 0.0);
+        s.push_frame(frame_with(400));
+        s.push_frame(frame_with(800));
+        let per_frame: f64 = s.frames().iter().map(|l| l.tree_build).sum();
+        assert!(per_frame > 0.0);
+        assert!((s.build_energy() - per_frame).abs() < 1e-9);
     }
 
     #[test]

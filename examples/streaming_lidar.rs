@@ -44,6 +44,7 @@ fn main() {
                 format!("{}", frame.index),
                 format!("{}", frame.cloud.len()),
                 format!("{}", rep.neighbors),
+                format!("{}", rep.build_slot_cycles),
                 format!("{}", rep.slot_cycles),
                 format!("{:.1}x", rep.search.amortization_factor()),
                 format!("{:.0}%", rep.search.reuse_fraction() * 100.0),
@@ -54,7 +55,7 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["frame", "points", "neighbors", "cycles", "top-amort", "reuse", "energy"],
+            &["frame", "points", "neighbors", "build", "search", "top-amort", "reuse", "energy"],
             &rows
         )
     );
@@ -69,6 +70,11 @@ fn main() {
         rep.pipelined_cycles,
         rep.serial_cycles,
         rep.pipelining_speedup()
+    );
+    println!(
+        "  tree maintenance   {} build cycles total, {} hidden behind search",
+        rep.total_build_cycles(),
+        rep.overlapped_build_cycles
     );
     println!(
         "  energy             {:.0} total, {:.0} mean/frame (peak at frame {})",

@@ -3,9 +3,9 @@
 //! energy totals), batched-equals-per-query search, and the cross-frame
 //! accounting invariants.
 
-use crescent::accel::PE_PIPELINE_DEPTH;
+use crescent::accel::{TreeMaintenance, PE_PIPELINE_DEPTH};
 use crescent::kdtree::{BatchState, KdTree, SplitTree};
-use crescent::workload::{EgoMotion, FrameStream, FrameStreamConfig};
+use crescent::workload::{EgoMotion, FrameStream, FrameStreamConfig, StreamScenario};
 use crescent::Crescent;
 
 fn test_cfg() -> FrameStreamConfig {
@@ -99,25 +99,90 @@ fn stream_accounting_invariants() {
     let rep = &outcome.report;
     assert_eq!(rep.num_frames(), cfg.num_frames);
     assert_eq!(rep.ledger.len(), cfg.num_frames);
-    // pipelined latency: sum of slots + one fill; serial pays the fill per frame
-    let slots: u64 = rep.frames.iter().map(|f| f.slot_cycles).sum();
-    assert_eq!(rep.pipelined_cycles, slots + PE_PIPELINE_DEPTH);
+    // serial runs every frame standalone: build slot + search slot + one
+    // fill per frame; the pipelined schedule charges the fill once per
+    // stream and hides builds behind search — the exact identity:
+    let search_slots: u64 = rep.frames.iter().map(|f| f.slot_cycles).sum();
+    let build_slots: u64 = rep.frames.iter().map(|f| f.build_slot_cycles).sum();
     assert_eq!(
         rep.serial_cycles,
-        slots + cfg.num_frames as u64 * PE_PIPELINE_DEPTH,
-        "serial = slots + a fill per frame"
+        search_slots + build_slots + cfg.num_frames as u64 * PE_PIPELINE_DEPTH,
+        "serial = per-frame build + search + a fill per frame"
     );
+    assert_eq!(
+        rep.serial_cycles - rep.pipelined_cycles,
+        (cfg.num_frames as u64 - 1) * PE_PIPELINE_DEPTH + rep.overlapped_build_cycles,
+        "overlap hides (frames - 1) fills plus the overlapped build work, nothing else"
+    );
+    assert!(rep.overlapped_build_cycles <= build_slots);
+    // the pipelined latency can never dip below the serialized search work
+    // plus its single fill
+    assert!(rep.pipelined_cycles >= search_slots + PE_PIPELINE_DEPTH);
     assert!(rep.pipelined_cycles < rep.serial_cycles);
     for f in &rep.frames {
         assert_eq!(f.slot_cycles, f.compute_cycles.max(f.dma_cycles));
+        assert_eq!(f.build_slot_cycles, f.build_cycles.max(f.build_dma_cycles));
+        assert!(f.build_cycles > 0, "tree maintenance is never free (frame {})", f.frame);
+        assert!(f.build_dram_bytes > 0);
+        assert!(f.energy.tree_build > 0.0);
         assert!(f.dram_streaming_bytes > 0);
         assert_eq!(f.energy.dram_random, 0.0, "the streaming schedule is fully streaming");
         assert!(f.search.top_fetches <= f.search.top_fetches_unamortized);
         assert!(f.queries == cfg.queries_per_frame);
     }
-    // energy ledger total equals the sum of the per-frame entries
+    // energy ledger total equals the sum of the per-frame entries, and the
+    // build category is populated
     let sum: f64 = rep.ledger.frames().iter().map(|l| l.total()).sum();
     assert!((rep.ledger.total().total() - sum).abs() < 1e-9);
+    assert!(rep.ledger.build_energy() > 0.0);
+}
+
+#[test]
+fn zero_query_frames_cost_zero_search_compute() {
+    // regression for the fill bug: a frame with no queries used to charge
+    // leakage against a PE_PIPELINE_DEPTH-cycle slot
+    let mut cfg = test_cfg();
+    cfg.queries_per_frame = 0;
+    let outcome = Crescent::new().run_stream(&cfg);
+    for f in &outcome.report.frames {
+        assert_eq!(f.compute_cycles, 0, "frame {}", f.frame);
+        assert_eq!(f.slot_cycles, 0, "frame {}", f.frame);
+        assert!(f.build_cycles > 0, "the tree still gets built (frame {})", f.frame);
+    }
+    // the stream still pays exactly one fill — for the build pipeline,
+    // not per empty frame
+    let rep = &outcome.report;
+    let build_slots: u64 = rep.frames.iter().map(|f| f.build_slot_cycles).sum();
+    assert_eq!(rep.pipelined_cycles, build_slots + PE_PIPELINE_DEPTH);
+}
+
+#[test]
+fn refit_meets_the_acceptance_bar_on_a_coherent_16_frame_stream() {
+    // the ISSUE 3 acceptance criterion: default knobs, 16-frame coherent
+    // drifting stream, Refit >= 25% fewer pipelined cycles than
+    // RebuildEveryFrame with bit-identical neighbor sets
+    let mut cfg = FrameStreamConfig::default();
+    cfg.scene.total_points = 8_000;
+    cfg.scene.seed = 0xC0FFEE;
+    cfg.num_frames = 16;
+    cfg.queries_per_frame = 128;
+    cfg.scenario = StreamScenario::Registered;
+    cfg.noise_m = 0.0; // registered = motion-compensated output
+    cfg.ego = EgoMotion { speed_mps: 8.0, yaw_rate_rps: 0.0, frame_period_s: 0.1 };
+    let system = Crescent::new();
+    cfg.maintenance = TreeMaintenance::RebuildEveryFrame;
+    let rebuild = system.run_stream(&cfg);
+    cfg.maintenance = TreeMaintenance::refit();
+    let refit = system.run_stream(&cfg);
+    assert_eq!(rebuild.neighbor_sets, refit.neighbor_sets, "policies must agree bit-for-bit");
+    let (r, p) = (rebuild.report.pipelined_cycles, refit.report.pipelined_cycles);
+    assert!(p * 4 <= r * 3, "refit must save >= 25%: {p} vs {r}");
+    for f in &refit.report.frames {
+        assert!(f.build_cycles > 0 && f.build_dram_bytes > 0 && f.energy.tree_build > 0.0);
+    }
+    for f in &refit.report.frames[1..] {
+        assert!(!f.full_rebuild, "coherent frames must refit in place (frame {})", f.frame);
+    }
 }
 
 #[test]

@@ -1,0 +1,142 @@
+//! Property-based invariants of the streaming engine's corrected timing
+//! model (proptest): the pipeline fill is charged exactly once per
+//! stream, the serial-vs-pipelined gap decomposes exactly into hidden
+//! fills plus overlapped build work, and the incremental refit policy is
+//! bit-identical to rebuild-every-frame on drifting streams.
+
+use proptest::prelude::*;
+
+use crescent::accel::{
+    run_frame_stream, AcceleratorConfig, StreamSearchConfig, TreeMaintenance, PE_PIPELINE_DEPTH,
+};
+use crescent::kdtree::{KdTree, RefitConfig, RefitOutcome};
+use crescent::pointcloud::{Point3, PointCloud};
+use crescent::CrescentKnobs;
+
+/// A random base cloud of 32..150 points in a 4-unit box.
+fn arb_cloud() -> impl Strategy<Value = PointCloud> {
+    prop::collection::vec((-2.0f32..2.0, -2.0f32..2.0, -2.0f32..2.0), 32..150)
+        .prop_map(|v| v.into_iter().map(|(x, y, z)| Point3::new(x, y, z)).collect())
+}
+
+/// Per-frame drift translations: each frame shifts the whole cloud by a
+/// small random step (rigid translation — the order-preserving coherence
+/// class refit guarantees bit-identity on).
+fn arb_drifts() -> impl Strategy<Value = Vec<Point3>> {
+    prop::collection::vec((-0.05f32..0.05, -0.05f32..0.05, -0.02f32..0.02), 1..6)
+        .prop_map(|v| v.into_iter().map(|(x, y, z)| Point3::new(x, y, z)).collect())
+}
+
+/// Materializes the frame sequence: frame f is the base cloud translated
+/// by the cumulative drift, querying every 4th point.
+fn make_frames(base: &PointCloud, drifts: &[Point3]) -> Vec<(PointCloud, Vec<Point3>)> {
+    let mut offset = Point3::ZERO;
+    drifts
+        .iter()
+        .map(|&d| {
+            offset += d;
+            let cloud: PointCloud = base.iter().map(|&p| p + offset).collect();
+            let queries: Vec<Point3> = cloud.iter().copied().step_by(4).collect();
+            (cloud, queries)
+        })
+        .collect()
+}
+
+fn borrow(frames: &[(PointCloud, Vec<Point3>)]) -> Vec<(&PointCloud, &[Point3])> {
+    frames.iter().map(|(c, q)| (c, q.as_slice())).collect()
+}
+
+fn run(
+    frames: &[(PointCloud, Vec<Point3>)],
+    maintenance: TreeMaintenance,
+) -> (Vec<Vec<Vec<crescent::pointcloud::Neighbor>>>, crescent::accel::StreamReport) {
+    let search = StreamSearchConfig { radius: 0.4, max_neighbors: Some(16), maintenance };
+    run_frame_stream(
+        &borrow(frames),
+        &search,
+        CrescentKnobs::default(),
+        &AcceleratorConfig::default(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A 1-frame stream has nothing to overlap: pipelined == serial.
+    #[test]
+    fn one_frame_stream_has_no_overlap_benefit(
+        base in arb_cloud(),
+        dx in -0.1f32..0.1,
+    ) {
+        let frames = make_frames(&base, &[Point3::new(dx, 0.0, 0.0)]);
+        let (_, rep) = run(&frames, TreeMaintenance::RebuildEveryFrame);
+        prop_assert_eq!(rep.pipelined_cycles, rep.serial_cycles);
+        prop_assert_eq!(rep.overlapped_build_cycles, 0);
+    }
+
+    /// For every stream, the serial-vs-pipelined gap is EXACTLY
+    /// (frames − 1) fills plus the build cycles hidden behind search:
+    /// the fill is charged once per stream, once per standalone frame,
+    /// and nowhere else.
+    #[test]
+    fn fill_is_charged_exactly_once_per_stream(
+        base in arb_cloud(),
+        drifts in arb_drifts(),
+    ) {
+        for maintenance in [TreeMaintenance::RebuildEveryFrame, TreeMaintenance::refit()] {
+            let frames = make_frames(&base, &drifts);
+            let (_, rep) = run(&frames, maintenance);
+            let n = frames.len() as u64;
+            prop_assert_eq!(
+                rep.serial_cycles - rep.pipelined_cycles,
+                (n - 1) * PE_PIPELINE_DEPTH + rep.overlapped_build_cycles
+            );
+            let build: u64 = rep.frames.iter().map(|f| f.build_slot_cycles).sum();
+            let search: u64 = rep.frames.iter().map(|f| f.slot_cycles).sum();
+            prop_assert!(rep.overlapped_build_cycles <= build);
+            prop_assert_eq!(
+                rep.serial_cycles,
+                build + search + n * PE_PIPELINE_DEPTH
+            );
+            prop_assert!(rep.pipelined_cycles >= search + PE_PIPELINE_DEPTH);
+        }
+    }
+
+    /// Refit-vs-rebuild neighbor-set equality across random drifting
+    /// streams: the maintenance policy must never change a single result.
+    #[test]
+    fn refit_and_rebuild_agree_on_drifting_streams(
+        base in arb_cloud(),
+        drifts in arb_drifts(),
+    ) {
+        let frames = make_frames(&base, &drifts);
+        let (r_rebuild, _) = run(&frames, TreeMaintenance::RebuildEveryFrame);
+        let (r_refit, rep) = run(&frames, TreeMaintenance::refit());
+        prop_assert_eq!(r_rebuild, r_refit);
+        // rigid translations are order-preserving: no fallback after
+        // frame 0, and maintenance gets strictly cheaper
+        for f in &rep.frames[1..] {
+            prop_assert!(!f.full_rebuild);
+            prop_assert!(f.build_cycles > 0);
+        }
+    }
+
+    /// The refit result is the SAME TREE a fresh build would produce on
+    /// order-preserving frames (the guarantee the engine equality rests
+    /// on), and an arbitrary same-size cloud never breaks the K-d
+    /// invariant — it either refits validly or falls back.
+    #[test]
+    fn refit_always_leaves_a_valid_tree(
+        base in arb_cloud(),
+        dx in -0.2f32..0.2,
+        dy in -0.2f32..0.2,
+    ) {
+        let moved: PointCloud = base.iter().map(|&p| p + Point3::new(dx, dy, 0.01)).collect();
+        let mut tree = KdTree::build(&base);
+        let stats = tree.refit(&moved, &RefitConfig::default());
+        prop_assert_eq!(stats.outcome, RefitOutcome::InPlace);
+        let fresh = KdTree::build(&moved);
+        prop_assert_eq!(tree.nodes(), fresh.nodes());
+        prop_assert!(tree.check_invariants());
+    }
+}
