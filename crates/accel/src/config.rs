@@ -1,5 +1,7 @@
 //! Accelerator configuration (the Sec 6 "Architecture Design").
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
 
 use crescent_kdtree::ElisionConfig;
@@ -63,6 +65,44 @@ impl AcceleratorConfig {
         AcceleratorConfig::default()
     }
 
+    /// A validated builder starting from the Sec 6 defaults — the way
+    /// sweep engines construct configs without duplicating every field
+    /// (see [`ConfigBuilder`]).
+    pub fn builder() -> ConfigBuilder {
+        ConfigBuilder::default()
+    }
+
+    /// The PE count as a non-zero divisor. Every timing path that spreads
+    /// work across the PEs divides by this instead of by the raw field,
+    /// so a hand-rolled `num_pes == 0` config (which the builder rejects,
+    /// but the fields are public) degrades to single-PE timing instead of
+    /// panicking in one path and saturating in another.
+    pub fn pe_divisor(&self) -> u64 {
+        self.num_pes.max(1) as u64
+    }
+
+    /// Validates the invariants the timing model relies on. The builder
+    /// calls this on [`ConfigBuilder::build`]; hand-constructed configs
+    /// can call it directly.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.num_pes == 0 {
+            return Err(ConfigError::ZeroPes);
+        }
+        if self.tree_buffer.num_banks == 0 || self.point_buffer.num_banks == 0 {
+            return Err(ConfigError::ZeroBanks);
+        }
+        if self.tree_buffer_nodes() == 0 {
+            return Err(ConfigError::TreeBufferTooSmall { bytes: self.tree_buffer.capacity_bytes });
+        }
+        if self.systolic_rows == 0 || self.systolic_cols == 0 {
+            return Err(ConfigError::ZeroSystolic);
+        }
+        if self.dram.stream_bytes_per_cycle <= 0.0 || self.dram.stream_bytes_per_cycle.is_nan() {
+            return Err(ConfigError::ZeroDramBandwidth);
+        }
+        Ok(())
+    }
+
     /// The ANS+BCE configuration with the paper's default knobs
     /// (`h_e = 12`, tree-buffer banking).
     pub fn ans_bce(elision_height: usize) -> Self {
@@ -116,6 +156,135 @@ impl AcceleratorConfig {
     }
 }
 
+/// Why a configuration was rejected by [`AcceleratorConfig::validate`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `num_pes == 0`: the timing model divides lock-step work across
+    /// the PEs, so a zero-PE engine has no defined schedule.
+    ZeroPes,
+    /// An SRAM was configured with zero banks.
+    ZeroBanks,
+    /// The tree buffer cannot hold even one tree node.
+    TreeBufferTooSmall {
+        /// The rejected capacity.
+        bytes: usize,
+    },
+    /// The systolic array has a zero dimension.
+    ZeroSystolic,
+    /// DRAM streaming bandwidth must be positive.
+    ZeroDramBandwidth,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroPes => write!(f, "num_pes must be >= 1"),
+            ConfigError::ZeroBanks => write!(f, "SRAM bank counts must be >= 1"),
+            ConfigError::TreeBufferTooSmall { bytes } => {
+                write!(f, "tree buffer of {bytes} B cannot hold a single node")
+            }
+            ConfigError::ZeroSystolic => write!(f, "systolic array dimensions must be >= 1"),
+            ConfigError::ZeroDramBandwidth => {
+                write!(f, "DRAM stream_bytes_per_cycle must be > 0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder over [`AcceleratorConfig`]: starts from the Sec 6 defaults,
+/// overrides only the knobs a sweep point varies, and validates on
+/// [`build`](ConfigBuilder::build) — so design-space engines never
+/// duplicate the config field-by-field and can never construct a
+/// zero-PE (or otherwise degenerate) simulation.
+///
+/// # Examples
+///
+/// ```
+/// use crescent_accel::AcceleratorConfig;
+///
+/// let cfg = AcceleratorConfig::builder()
+///     .num_pes(8)
+///     .tree_buffer_kb(12)
+///     .elision_height(10)
+///     .build()
+///     .expect("valid sweep point");
+/// assert_eq!(cfg.num_pes, 8);
+/// assert_eq!(cfg.tree_buffer.capacity_bytes, 12 << 10);
+/// assert!(cfg.aggregation_elision);
+/// assert!(AcceleratorConfig::builder().num_pes(0).build().is_err());
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ConfigBuilder {
+    cfg: Option<AcceleratorConfig>,
+}
+
+impl ConfigBuilder {
+    fn cfg(&mut self) -> &mut AcceleratorConfig {
+        self.cfg.get_or_insert_with(AcceleratorConfig::default)
+    }
+
+    /// Sets the neighbor-search PE count.
+    pub fn num_pes(mut self, n: usize) -> Self {
+        self.cfg().num_pes = n;
+        self
+    }
+
+    /// Resizes the tree buffer (cache geometry knob), keeping its
+    /// banking and word size.
+    pub fn tree_buffer_kb(mut self, kb: usize) -> Self {
+        self.cfg().tree_buffer.capacity_bytes = kb << 10;
+        self
+    }
+
+    /// Sets the tree-buffer bank count (and keeps any elision config in
+    /// sync — the elision hardware arbitrates exactly these banks).
+    pub fn tree_banks(mut self, banks: usize) -> Self {
+        let c = self.cfg();
+        c.tree_buffer.num_banks = banks;
+        if let Some(e) = &mut c.search_elision {
+            e.num_banks = banks;
+        }
+        self
+    }
+
+    /// Sets the sustained streaming DRAM bandwidth in bytes per cycle.
+    pub fn dram_stream_bytes_per_cycle(mut self, bpc: f64) -> Self {
+        self.cfg().dram.stream_bytes_per_cycle = bpc;
+        self
+    }
+
+    /// Enables ANS+BCE-style elision at height `h_e` (search elision on
+    /// the current tree-buffer banking plus aggregation elision) — the
+    /// same shape as [`AcceleratorConfig::ans_bce`].
+    pub fn elision_height(mut self, h_e: usize) -> Self {
+        let c = self.cfg();
+        c.search_elision = Some(ElisionConfig {
+            elision_height: h_e,
+            num_banks: c.tree_buffer.num_banks,
+            descendant_reuse: false,
+        });
+        c.aggregation_elision = true;
+        self
+    }
+
+    /// Disables both elisions (the pure-ANS variant).
+    pub fn no_elision(mut self) -> Self {
+        let c = self.cfg();
+        c.search_elision = None;
+        c.aggregation_elision = false;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<AcceleratorConfig, ConfigError> {
+        let cfg = self.cfg.unwrap_or_default();
+        cfg.validate()?;
+        Ok(cfg)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,6 +324,66 @@ mod tests {
         assert!(lo <= hi);
         // an enormous tree cannot fit at all
         assert!(c.top_height_range(40).is_none());
+    }
+
+    #[test]
+    fn builder_starts_from_defaults_and_overrides_selectively() {
+        let cfg = AcceleratorConfig::builder()
+            .num_pes(16)
+            .tree_buffer_kb(3)
+            .tree_banks(8)
+            .dram_stream_bytes_per_cycle(10.24)
+            .elision_height(9)
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.num_pes, 16);
+        assert_eq!(cfg.tree_buffer.capacity_bytes, 3 << 10);
+        assert_eq!(cfg.tree_buffer.num_banks, 8);
+        assert_eq!(cfg.dram.stream_bytes_per_cycle, 10.24);
+        let e = cfg.search_elision.expect("elision enabled");
+        assert_eq!(e.elision_height, 9);
+        assert_eq!(e.num_banks, 8, "elision banking follows the tree buffer");
+        // untouched fields keep the Sec 6 defaults
+        let d = AcceleratorConfig::default();
+        assert_eq!(cfg.point_buffer.capacity_bytes, d.point_buffer.capacity_bytes);
+        assert_eq!(cfg.global_buffer_bytes, d.global_buffer_bytes);
+        // banks set after elision still propagate
+        let cfg2 = AcceleratorConfig::builder().elision_height(9).tree_banks(2).build().unwrap();
+        assert_eq!(cfg2.search_elision.unwrap().num_banks, 2);
+        // and no_elision clears both
+        let cfg3 = AcceleratorConfig::builder().elision_height(9).no_elision().build().unwrap();
+        assert!(cfg3.search_elision.is_none());
+        assert!(!cfg3.aggregation_elision);
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_configs() {
+        assert_eq!(
+            AcceleratorConfig::builder().num_pes(0).build().unwrap_err(),
+            ConfigError::ZeroPes
+        );
+        assert_eq!(
+            AcceleratorConfig::builder().tree_banks(0).build().unwrap_err(),
+            ConfigError::ZeroBanks
+        );
+        assert!(matches!(
+            AcceleratorConfig::builder().tree_buffer_kb(0).build(),
+            Err(ConfigError::TreeBufferTooSmall { .. })
+        ));
+        assert_eq!(
+            AcceleratorConfig::builder().dram_stream_bytes_per_cycle(0.0).build().unwrap_err(),
+            ConfigError::ZeroDramBandwidth
+        );
+        assert!(format!("{}", ConfigError::ZeroPes).contains("num_pes"));
+    }
+
+    #[test]
+    fn pe_divisor_never_zero() {
+        let mut cfg = AcceleratorConfig::default();
+        assert_eq!(cfg.pe_divisor(), 4);
+        cfg.num_pes = 0;
+        assert_eq!(cfg.pe_divisor(), 1, "hand-rolled zero-PE config degrades to one PE");
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

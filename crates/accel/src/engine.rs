@@ -99,7 +99,7 @@ pub fn run_tigris_search(
 
     // exhaustive scan streams the sub-tree through the PEs: one node per PE
     // per cycle, no backtracking, no bank conflicts
-    let compute = (base.nodes_visited as u64).div_ceil(config.num_pes as u64);
+    let compute = (base.nodes_visited as u64).div_ceil(config.pe_divisor());
     // Tigris/QuickNN flush partial query queues to scattered per-sub-tree
     // regions whenever a buffer fills: those write-backs are random, unlike
     // Crescent's phased staging (Sec 3.4)
@@ -145,8 +145,8 @@ pub fn run_unsplit_search(
         if total_nodes == 0 { 1.0 } else { (resident as f64 / total_nodes as f64).min(1.0) };
     let dram_fetches = ((visits as f64) * (1.0 - hit_frac)) as u64;
     let dram_random_bytes = dram_fetches * NODE_BYTES as u64;
-    let compute = visits.div_ceil(config.num_pes as u64);
-    let dma = config.dram.random_cycles(dram_fetches, config.num_pes as u64);
+    let compute = visits.div_ceil(config.pe_divisor());
+    let dma = config.dram.random_cycles(dram_fetches, config.pe_divisor());
     let stats = SplitSearchStats { nodes_visited: visits as usize, ..Default::default() };
     let report = SearchEngineReport {
         compute_cycles: compute,
@@ -281,6 +281,34 @@ mod tests {
         // requesting an absurd top height must not panic
         let (res, _) = run_crescent_search(&tree, 30, &qs, 0.5, Some(4), &cfg);
         assert_eq!(res.len(), 4);
+    }
+
+    #[test]
+    fn zero_pe_config_degrades_to_one_pe_everywhere() {
+        // regression: the Tigris path divided by the raw field and
+        // panicked on num_pes == 0 while the unsplit path saturated; all
+        // engine paths now share the pe_divisor() guard and match the
+        // timing of an explicit 1-PE config
+        let cloud = random_cloud(2048, 52);
+        let tree = KdTree::build(&cloud);
+        let qs = queries(32, 53);
+        let mut zero = AcceleratorConfig::ans();
+        zero.num_pes = 0;
+        let mut one = AcceleratorConfig::ans();
+        one.num_pes = 1;
+        assert!(zero.validate().is_err(), "builder-style validation rejects it");
+        let (rc0, c0) = run_crescent_search(&tree, 4, &qs, 0.25, Some(16), &zero);
+        let (rc1, c1) = run_crescent_search(&tree, 4, &qs, 0.25, Some(16), &one);
+        assert_eq!(rc0, rc1);
+        assert_eq!(c0.cycles, c1.cycles);
+        let (rt0, t0) = run_tigris_search(&tree, 4, &qs, 0.25, Some(16), &zero);
+        let (rt1, t1) = run_tigris_search(&tree, 4, &qs, 0.25, Some(16), &one);
+        assert_eq!(rt0, rt1);
+        assert_eq!(t0.cycles, t1.cycles);
+        let (ru0, u0) = run_unsplit_search(&tree, &qs, 0.25, Some(16), &zero);
+        let (ru1, u1) = run_unsplit_search(&tree, &qs, 0.25, Some(16), &one);
+        assert_eq!(ru0, ru1);
+        assert_eq!(u0.cycles, u1.cycles);
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod streaming;
 pub mod systolic;
 
 pub use aggregation::{conflict_rate_single_issue, simulate_aggregation, AggregationReport};
-pub use config::AcceleratorConfig;
+pub use config::{AcceleratorConfig, ConfigBuilder, ConfigError};
 pub use engine::{
     run_crescent_search, run_tigris_search, run_unsplit_search, SearchEngineReport,
     PE_PIPELINE_DEPTH,

@@ -317,8 +317,8 @@ pub fn run_frame_stream(
         // PEs then traverse independent queries in parallel. No fill in
         // here — it is charged once per stream below, and a frame with
         // no work costs nothing.
-        let compute = stats.top_fetches as u64
-            + (stats.subtree_visits as u64).div_ceil(config.num_pes.max(1) as u64);
+        let compute =
+            stats.top_fetches as u64 + (stats.subtree_visits as u64).div_ceil(config.pe_divisor());
         let dma = config.dram.stream_cycles(stats.dram_bytes);
         let slot = compute.max(dma);
         // Build stage: internally double-buffered the same way.

@@ -6,24 +6,42 @@
 //! repro [--quick] all            # every figure
 //! repro [--quick] fig14 fig24    # specific figures
 //! repro list                     # available ids
+//! repro sweep --quick --json target/sweep.json   # design-space sweep
+//! repro sweep --quick --check    # exact gate vs bench/baseline.json
 //! ```
 //!
 //! `--quick` shrinks the workloads (seconds instead of minutes); the
 //! trends are unchanged. Run with `--release` — the accuracy figures
-//! train networks.
+//! train networks. See `crescent_bench::sweep` for the sweep flags.
 
 use std::time::Instant;
 
-use crescent_bench::{run_figure, Scale, ALL_FIGURES};
+use crescent_bench::{run_figure, Scale, SweepArgs, ALL_FIGURES};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.first().map(String::as_str) == Some("sweep") {
+        let parsed = match SweepArgs::parse(&args[1..]) {
+            Ok(parsed) => parsed,
+            Err(err) => {
+                eprintln!("{err}");
+                eprintln!(
+                    "usage: repro sweep [--quick] [--json <path>] [--check] \
+                     [--baseline <path>] [--workers <n>]"
+                );
+                std::process::exit(2);
+            }
+        };
+        std::process::exit(crescent_bench::run_sweep_command(&parsed));
+    }
+
     let quick = args.iter().any(|a| a == "--quick");
     let scale = Scale::from_flag(quick);
     let ids: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
 
     if ids.is_empty() || ids.contains(&"help") {
-        eprintln!("usage: repro [--quick] <all|list|fig ids...>");
+        eprintln!("usage: repro [--quick] <all|list|fig ids...|sweep ...>");
         eprintln!("figures: {}", ALL_FIGURES.join(" "));
         return;
     }

@@ -11,8 +11,10 @@ pub mod accuracy;
 pub mod common;
 pub mod motivation;
 pub mod performance;
+pub mod sweep;
 
 pub use common::{FigRow, Figure, Scale};
+pub use sweep::{run_sweep_command, SweepArgs};
 
 /// Runs one figure by id; `None` if the id is unknown.
 ///

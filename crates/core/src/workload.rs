@@ -99,6 +99,37 @@ pub enum StreamScenario {
     },
 }
 
+impl StreamScenario {
+    /// The canonical scenario matrix: one instance of every variant with
+    /// the parameters the test suite and the design-space explorer
+    /// standardize on (3 movers, a 40 %–100 % density swing over 4
+    /// frames, a 0.9 rad heading burst at frame 3). Sweeps iterate this
+    /// to cover every qualitative workload shape; anything needing other
+    /// parameters constructs the variant directly.
+    pub fn canonical_matrix() -> [StreamScenario; 5] {
+        [
+            StreamScenario::Sweep,
+            StreamScenario::Registered,
+            StreamScenario::DynamicObjects { movers: 3 },
+            StreamScenario::VariableDensity { min_keep_pct: 40, period: 4 },
+            StreamScenario::RotationBurst { at_frame: 3, yaw_rad: 0.9 },
+        ]
+    }
+
+    /// Stable machine-readable name of the variant (parameters elided) —
+    /// the key sweep reports and baselines use, so it must never change
+    /// for an existing variant.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StreamScenario::Sweep => "sweep",
+            StreamScenario::Registered => "registered",
+            StreamScenario::DynamicObjects { .. } => "dynamic_objects",
+            StreamScenario::VariableDensity { .. } => "variable_density",
+            StreamScenario::RotationBurst { .. } => "rotation_burst",
+        }
+    }
+}
+
 /// Configuration of a [`FrameStream`].
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct FrameStreamConfig {
@@ -468,6 +499,28 @@ mod tests {
         cfg.num_frames = 5;
         cfg.queries_per_frame = 64;
         cfg
+    }
+
+    #[test]
+    fn canonical_matrix_covers_every_variant_with_unique_labels() {
+        let matrix = StreamScenario::canonical_matrix();
+        let labels: Vec<&str> = matrix.iter().map(StreamScenario::label).collect();
+        assert_eq!(
+            labels,
+            ["sweep", "registered", "dynamic_objects", "variable_density", "rotation_burst"]
+        );
+        // every scenario renders a non-empty, deterministic stream
+        for scenario in matrix {
+            let mut cfg = small_cfg();
+            cfg.scenario = scenario;
+            let a: Vec<Frame> = FrameStream::new(&cfg).collect();
+            let b: Vec<Frame> = FrameStream::new(&cfg).collect();
+            assert_eq!(a.len(), 5, "{}", scenario.label());
+            assert!(a.iter().all(|f| !f.cloud.is_empty()), "{}", scenario.label());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.cloud, y.cloud, "{}", scenario.label());
+            }
+        }
     }
 
     #[test]

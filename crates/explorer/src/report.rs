@@ -1,0 +1,465 @@
+//! Machine-readable sweep reports: schema-versioned JSON emission, the
+//! per-scenario Pareto summary, and the exact drift comparator the CI
+//! gate runs against the checked-in baseline.
+
+use serde::{Deserialize, Serialize};
+
+use crescent_memsim::EnergyLedger;
+
+use crate::json::Json;
+use crate::spec::SweepSpec;
+
+/// Schema identifier embedded in every report. Bump the `/v1` suffix on
+/// any change to the report layout, key set, or metric semantics — the
+/// CI comparator is exact, so an unversioned layout change would show up
+/// as inexplicable metric drift instead of an obvious schema break.
+pub const SCHEMA: &str = "crescent-sweep/v1";
+
+/// One sweep point's configuration echo plus its modeled metrics. All
+/// metrics are *modeled* (cycles, bytes, energy units, recall against a
+/// brute-force oracle) — no wall-clock anywhere — so every field is
+/// bit-reproducible across runs, worker counts, and machines.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepRow {
+    /// Row index == grid expansion index.
+    pub index: usize,
+    /// Scenario label (see `StreamScenario::label`).
+    pub scenario: &'static str,
+    /// Maintenance-policy label (see `maintenance_label`).
+    pub maintenance: &'static str,
+    /// Neighbor-search PE count.
+    pub num_pes: usize,
+    /// Tree-buffer capacity in KiB.
+    pub tree_kb: usize,
+    /// Streaming DRAM bandwidth in bytes per cycle.
+    pub dram_bytes_per_cycle: f64,
+    /// Top-tree height `h_t`.
+    pub top_height: usize,
+    /// Elision height `h_e`.
+    pub elision_height: usize,
+    /// The `h_t` the sweep *granted*: the requested height clamped into
+    /// the Sec 3.3 feasibility range of the point's tree buffer against
+    /// frame 0's tree — the coupling through which cache geometry
+    /// constrains the split depth. Both engines additionally clamp to
+    /// each actual tree's height, so a frame whose tree ends up
+    /// shallower than this (or an infeasibly small tree buffer, for
+    /// which no feasible range exists and the requested `h_t` passes
+    /// through) runs at its own tighter clamp.
+    pub top_height_used: usize,
+    /// Frames simulated.
+    pub frames: usize,
+    /// Total queries across the stream.
+    pub queries: usize,
+    /// Total neighbors returned.
+    pub neighbors: usize,
+    /// Stream latency with inter-frame double buffering.
+    pub pipelined_cycles: u64,
+    /// No-overlap upper bound.
+    pub serial_cycles: u64,
+    /// Total tree-maintenance slot cycles.
+    pub build_cycles: u64,
+    /// Total DRAM traffic, search + maintenance (bytes).
+    pub dram_bytes: u64,
+    /// Mean cross-frame sub-tree assignment reuse.
+    pub mean_reuse: f64,
+    /// Frames that (re)built the tree from scratch.
+    pub full_rebuilds: usize,
+    /// Sub-trees rebuilt in place by incremental refits.
+    pub subtrees_rebuilt: usize,
+    /// Energy by ledger category (serialized via
+    /// `EnergyLedger::category_rows`).
+    pub energy: EnergyLedger,
+    /// Mean recall of the stream's approximate neighbor sets against
+    /// the exact brute-force baseline (1.0 = every exact neighbor
+    /// found). The streaming path models the two-stage split (ANS) but
+    /// not elision, so this is `h_t`-sensitive only.
+    pub recall: f64,
+    /// FNV-1a fingerprint of every stream neighbor set (indices +
+    /// distance bits) — two rows with equal digests produced
+    /// bit-identical results.
+    pub digest: u64,
+    /// Standalone two-stage engine latency on frame 0 (the path that
+    /// models bank-conflict elision and lock-step PE scheduling).
+    pub engine_cycles: u64,
+    /// The engine pass's streaming DRAM bytes.
+    pub engine_dram_bytes: u64,
+    /// Tree nodes the engine pass visited.
+    pub nodes_visited: usize,
+    /// Conflicted fetches the engine pass elided (0 above `h_e`).
+    pub nodes_elided: usize,
+    /// Recall of the engine pass against the exact baseline — elision
+    /// drops neighbors, so this is where `h_e`, banking, and PE count
+    /// show up as accuracy.
+    pub engine_recall: f64,
+    /// FNV-1a fingerprint of the engine pass's neighbor sets.
+    pub engine_digest: u64,
+}
+
+impl SweepRow {
+    /// Total modeled cycles of the point's two passes (stream +
+    /// standalone engine) — the latency objective of the Pareto fronts.
+    pub fn total_cycles(&self) -> u64 {
+        self.pipelined_cycles + self.engine_cycles
+    }
+
+    /// Worst-case accuracy across the two passes — the accuracy
+    /// objective of the Pareto fronts.
+    pub fn worst_recall(&self) -> f64 {
+        self.recall.min(self.engine_recall)
+    }
+}
+
+impl SweepRow {
+    fn to_json(&self) -> Json {
+        let mut energy: Vec<(&'static str, Json)> = self
+            .energy
+            .category_rows()
+            .iter()
+            .map(|&(name, value)| (name, Json::F64(value)))
+            .collect();
+        energy.push(("total", Json::F64(self.energy.total())));
+        Json::Object(vec![
+            ("row", Json::U64(self.index as u64)),
+            ("scenario", Json::from(self.scenario)),
+            ("maintenance", Json::from(self.maintenance)),
+            ("num_pes", Json::U64(self.num_pes as u64)),
+            ("tree_kb", Json::U64(self.tree_kb as u64)),
+            ("dram_bytes_per_cycle", Json::F64(self.dram_bytes_per_cycle)),
+            ("h_t", Json::U64(self.top_height as u64)),
+            ("h_e", Json::U64(self.elision_height as u64)),
+            ("h_t_used", Json::U64(self.top_height_used as u64)),
+            ("frames", Json::U64(self.frames as u64)),
+            ("queries", Json::U64(self.queries as u64)),
+            ("neighbors", Json::U64(self.neighbors as u64)),
+            ("pipelined_cycles", Json::U64(self.pipelined_cycles)),
+            ("serial_cycles", Json::U64(self.serial_cycles)),
+            ("build_cycles", Json::U64(self.build_cycles)),
+            ("dram_bytes", Json::U64(self.dram_bytes)),
+            ("mean_reuse", Json::F64(self.mean_reuse)),
+            ("full_rebuilds", Json::U64(self.full_rebuilds as u64)),
+            ("subtrees_rebuilt", Json::U64(self.subtrees_rebuilt as u64)),
+            ("energy", Json::Object(energy)),
+            ("recall", Json::F64(self.recall)),
+            ("digest", Json::Str(format!("{:016x}", self.digest))),
+            ("engine_cycles", Json::U64(self.engine_cycles)),
+            ("engine_dram_bytes", Json::U64(self.engine_dram_bytes)),
+            ("nodes_visited", Json::U64(self.nodes_visited as u64)),
+            ("nodes_elided", Json::U64(self.nodes_elided as u64)),
+            ("engine_recall", Json::F64(self.engine_recall)),
+            ("engine_digest", Json::Str(format!("{:016x}", self.engine_digest))),
+        ])
+    }
+}
+
+/// A completed sweep: the spec that produced it plus one row per grid
+/// point, in grid order.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// The spec the sweep ran.
+    pub spec: SweepSpec,
+    /// One row per grid point, ordered by [`SweepRow::index`].
+    pub rows: Vec<SweepRow>,
+}
+
+impl SweepReport {
+    /// The per-scenario Pareto fronts over the cycles × energy ×
+    /// accuracy triple — cycles = [`SweepRow::total_cycles`] (stream +
+    /// standalone engine), energy = the stream's total ledger energy,
+    /// accuracy = [`SweepRow::worst_recall`] (the worse of the two
+    /// passes' recalls). For each scenario label, the row indices not
+    /// dominated by any other row *of the same scenario* (comparing
+    /// operating points across different workloads would be
+    /// meaningless). A row dominates another if it is no worse on all
+    /// three objectives and strictly better on at least one.
+    pub fn pareto(&self) -> Vec<(&'static str, Vec<usize>)> {
+        let mut fronts = Vec::new();
+        let mut seen: Vec<&'static str> = Vec::new();
+        for row in &self.rows {
+            if !seen.contains(&row.scenario) {
+                seen.push(row.scenario);
+            }
+        }
+        for scenario in seen {
+            let members: Vec<&SweepRow> =
+                self.rows.iter().filter(|r| r.scenario == scenario).collect();
+            let mut front = Vec::new();
+            for a in &members {
+                let dominated = members.iter().any(|b| {
+                    b.index != a.index
+                        && b.total_cycles() <= a.total_cycles()
+                        && b.energy.total() <= a.energy.total()
+                        && b.worst_recall() >= a.worst_recall()
+                        && (b.total_cycles() < a.total_cycles()
+                            || b.energy.total() < a.energy.total()
+                            || b.worst_recall() > a.worst_recall())
+                });
+                if !dominated {
+                    front.push(a.index);
+                }
+            }
+            fronts.push((scenario, front));
+        }
+        fronts
+    }
+
+    /// Serializes the report: pretty top-level structure with each row
+    /// (and each Pareto front) on its own line, so the exact comparator
+    /// can point at individual sweep points when a metric drifts. The
+    /// output is a pure function of the report — byte-identical across
+    /// runs and worker counts.
+    pub fn to_json(&self) -> String {
+        let w = &self.spec.workload;
+        let workload = Json::Object(vec![
+            ("total_points", Json::U64(w.scene.total_points as u64)),
+            ("seed", Json::U64(w.scene.seed)),
+            ("num_frames", Json::U64(w.num_frames as u64)),
+            ("queries_per_frame", Json::U64(w.queries_per_frame as u64)),
+            ("radius", Json::F64(w.radius as f64)),
+            // an unbounded cap is `null`, not a u64::MAX sentinel — the
+            // report must stay readable by float-backed JSON parsers
+            ("max_neighbors", w.max_neighbors.map(|k| Json::U64(k as u64)).unwrap_or(Json::Null)),
+            ("noise_m", Json::F64(w.noise_m as f64)),
+            ("max_range", Json::F64(w.max_range as f64)),
+        ]);
+        let grid = Json::Object(vec![
+            (
+                "scenarios",
+                Json::Array(self.spec.scenarios.iter().map(|s| Json::from(s.label())).collect()),
+            ),
+            (
+                "maintenance",
+                Json::Array(
+                    self.spec
+                        .maintenance
+                        .iter()
+                        .map(|&m| Json::from(crate::spec::maintenance_label(m)))
+                        .collect(),
+                ),
+            ),
+            (
+                "num_pes",
+                Json::Array(self.spec.num_pes.iter().map(|&v| Json::U64(v as u64)).collect()),
+            ),
+            (
+                "tree_kb",
+                Json::Array(self.spec.tree_kb.iter().map(|&v| Json::U64(v as u64)).collect()),
+            ),
+            (
+                "dram_bytes_per_cycle",
+                Json::Array(self.spec.dram_bytes_per_cycle.iter().map(|&v| Json::F64(v)).collect()),
+            ),
+            (
+                "h_t",
+                Json::Array(self.spec.top_heights.iter().map(|&v| Json::U64(v as u64)).collect()),
+            ),
+            (
+                "h_e",
+                Json::Array(
+                    self.spec.elision_heights.iter().map(|&v| Json::U64(v as u64)).collect(),
+                ),
+            ),
+        ]);
+
+        let mut out = String::with_capacity(256 * (self.rows.len() + 8));
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": {},\n", Json::from(SCHEMA).to_compact()));
+        out.push_str(&format!(
+            "  \"label\": {},\n",
+            Json::from(self.spec.label.as_str()).to_compact()
+        ));
+        out.push_str(&format!("  \"workload\": {},\n", workload.to_compact()));
+        out.push_str(&format!("  \"grid\": {},\n", grid.to_compact()));
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str("    ");
+            out.push_str(&row.to_json().to_compact());
+            out.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"pareto\": [\n");
+        let fronts = self.pareto();
+        for (i, (scenario, rows)) in fronts.iter().enumerate() {
+            let front = Json::Object(vec![
+                ("scenario", Json::from(*scenario)),
+                ("rows", Json::Array(rows.iter().map(|&r| Json::U64(r as u64)).collect())),
+            ]);
+            out.push_str("    ");
+            out.push_str(&front.to_compact());
+            out.push_str(if i + 1 < fronts.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Exact report comparator: `None` when `fresh` is byte-identical to
+/// `baseline`, otherwise a human-readable drift summary listing the
+/// first differing lines (a line is one sweep row, so the summary points
+/// straight at the drifted configurations). The comparison is exact on
+/// purpose — every metric is modeled, so ANY difference is a real
+/// behavioural change that must be either fixed or acknowledged by
+/// refreshing the baseline.
+pub fn diff_reports(baseline: &str, fresh: &str) -> Option<String> {
+    if baseline == fresh {
+        return None;
+    }
+    const MAX_SHOWN: usize = 8;
+    let base_lines: Vec<&str> = baseline.lines().collect();
+    let fresh_lines: Vec<&str> = fresh.lines().collect();
+    // A header mismatch means the two reports describe different specs
+    // (e.g. a full-grid report checked against the quick baseline, or a
+    // schema bump): say that directly instead of dumping hundreds of
+    // "drifted" rows that read like a behavioural regression.
+    fn header_line<'a>(lines: &[&'a str], key: &str) -> &'a str {
+        lines.iter().find(|l| l.trim_start().starts_with(key)).copied().unwrap_or("<missing>")
+    }
+    for key in ["\"schema\":", "\"label\":", "\"workload\":", "\"grid\":"] {
+        let b = header_line(&base_lines, key);
+        let f = header_line(&fresh_lines, key);
+        if b != f {
+            return Some(format!(
+                "sweep baseline was produced by a different spec — not metric drift\n  \
+                 baseline {key} {}\n  fresh    {key} {}\n  \
+                 (run the matching spec, or regenerate the baseline for this one)\n",
+                b.trim().trim_start_matches(key).trim_end_matches(','),
+                f.trim().trim_start_matches(key).trim_end_matches(',')
+            ));
+        }
+    }
+    let mut msg = String::from("sweep report drifted from baseline\n");
+    if base_lines.len() != fresh_lines.len() {
+        msg.push_str(&format!(
+            "  line count: baseline {} vs fresh {} (grid shape or schema changed?)\n",
+            base_lines.len(),
+            fresh_lines.len()
+        ));
+    }
+    let mut differing = 0usize;
+    for (i, (b, f)) in base_lines.iter().zip(&fresh_lines).enumerate() {
+        if b != f {
+            differing += 1;
+            if differing <= MAX_SHOWN {
+                msg.push_str(&format!("  line {}:\n  - {}\n  + {}\n", i + 1, b.trim(), f.trim()));
+            }
+        }
+    }
+    let extra = base_lines.len().abs_diff(fresh_lines.len());
+    differing += extra;
+    if differing > MAX_SHOWN {
+        msg.push_str(&format!("  ... {} differing line(s) total\n", differing));
+    }
+    Some(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SweepSpec;
+
+    fn row(
+        index: usize,
+        scenario: &'static str,
+        cycles: u64,
+        energy: f64,
+        recall: f64,
+    ) -> SweepRow {
+        let mut ledger = EnergyLedger::new();
+        ledger.compute = energy;
+        SweepRow {
+            index,
+            scenario,
+            maintenance: "rebuild",
+            num_pes: 4,
+            tree_kb: 6,
+            dram_bytes_per_cycle: 20.48,
+            top_height: 4,
+            elision_height: 12,
+            top_height_used: 4,
+            frames: 2,
+            queries: 8,
+            neighbors: 16,
+            pipelined_cycles: cycles,
+            serial_cycles: cycles + 5,
+            build_cycles: 10,
+            dram_bytes: 1024,
+            mean_reuse: 0.5,
+            full_rebuilds: 2,
+            subtrees_rebuilt: 0,
+            energy: ledger,
+            recall,
+            digest: 0xdead_beef,
+            engine_cycles: 0,
+            engine_dram_bytes: 512,
+            nodes_visited: 100,
+            nodes_elided: 3,
+            engine_recall: recall,
+            engine_digest: 0xdead_beef,
+        }
+    }
+
+    fn report(rows: Vec<SweepRow>) -> SweepReport {
+        SweepReport { spec: SweepSpec::quick(), rows }
+    }
+
+    #[test]
+    fn pareto_keeps_only_nondominated_rows_per_scenario() {
+        // row 1 dominates row 0 (faster, cheaper, same recall); row 2
+        // trades energy for speed vs row 1 -> both stay; row 3 is a
+        // different scenario and never competes with the others
+        let r = report(vec![
+            row(0, "sweep", 100, 10.0, 0.9),
+            row(1, "sweep", 50, 5.0, 0.9),
+            row(2, "sweep", 40, 8.0, 0.9),
+            row(3, "registered", 1000, 100.0, 0.5),
+        ]);
+        let fronts = r.pareto();
+        assert_eq!(fronts.len(), 2);
+        assert_eq!(fronts[0], ("sweep", vec![1, 2]));
+        assert_eq!(fronts[1], ("registered", vec![3]));
+    }
+
+    #[test]
+    fn identical_metrics_all_survive_pareto() {
+        let r = report(vec![row(0, "sweep", 50, 5.0, 0.9), row(1, "sweep", 50, 5.0, 0.9)]);
+        assert_eq!(r.pareto()[0].1, vec![0, 1], "ties dominate nobody");
+    }
+
+    #[test]
+    fn json_has_schema_one_row_per_line_and_is_reproducible() {
+        let r = report(vec![row(0, "sweep", 100, 10.0, 0.875), row(1, "sweep", 50, 5.0, 1.0)]);
+        let json = r.to_json();
+        assert!(json.starts_with("{\n  \"schema\": \"crescent-sweep/v1\",\n"));
+        assert_eq!(json.matches("{\"row\":").count(), 2);
+        let row_lines: Vec<&str> =
+            json.lines().filter(|l| l.trim_start().starts_with("{\"row\":")).collect();
+        assert_eq!(row_lines.len(), 2, "one row per line for line-level diffs");
+        assert!(json.contains("\"digest\":\"00000000deadbeef\""));
+        assert!(json.contains("\"recall\":0.875"));
+        assert!(json.ends_with("}\n"));
+        assert_eq!(json, r.to_json(), "serialization is a pure function");
+    }
+
+    #[test]
+    fn diff_reports_none_on_identical_and_points_at_lines() {
+        let a = "l1\nl2\nl3\n";
+        assert!(diff_reports(a, a).is_none());
+        let drift = diff_reports("l1\nl2\nl3\n", "l1\nl2x\nl3\n").expect("drift");
+        assert!(drift.contains("line 2"), "{drift}");
+        assert!(drift.contains("- l2"), "{drift}");
+        assert!(drift.contains("+ l2x"), "{drift}");
+        let shape = diff_reports("l1\n", "l1\nl2\n").expect("drift");
+        assert!(shape.contains("line count"), "{shape}");
+    }
+
+    #[test]
+    fn diff_reports_names_spec_mismatch_instead_of_metric_drift() {
+        let quick = report(vec![row(0, "sweep", 100, 10.0, 0.9)]).to_json();
+        let mut full_spec = SweepSpec::full();
+        full_spec.label = "full".to_string();
+        let full =
+            SweepReport { spec: full_spec, rows: vec![row(0, "sweep", 100, 10.0, 0.9)] }.to_json();
+        let msg = diff_reports(&quick, &full).expect("different specs differ");
+        assert!(msg.contains("different spec"), "{msg}");
+        assert!(!msg.contains("drifted from baseline"), "{msg}");
+    }
+}

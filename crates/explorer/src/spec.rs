@@ -1,0 +1,297 @@
+//! Declarative sweep specifications: a cartesian grid over architecture
+//! and workload knobs, expanded into an ordered list of sweep points.
+
+use serde::{Deserialize, Serialize};
+
+use crescent::workload::{EgoMotion, FrameStreamConfig, StreamScenario};
+use crescent_accel::{AcceleratorConfig, ConfigError, TreeMaintenance};
+use crescent_pointcloud::datasets::LidarSceneConfig;
+
+/// A cartesian design-space grid: the explorer runs every combination of
+/// the axes below against the shared streaming `workload` base (whose
+/// own `scenario` / `maintenance` fields are overridden per point).
+///
+/// Expansion order is fixed and documented ([`SweepSpec::expand`]), so a
+/// report row index identifies the same configuration forever — the
+/// property the checked-in CI baseline relies on.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Human-readable name of the spec (`"quick"`, `"full"`, ...);
+    /// echoed into the report header.
+    pub label: String,
+    /// The streaming workload every point runs (frame count, scene,
+    /// queries, radius). `scenario` and `maintenance` in here are
+    /// ignored — the grid supplies them.
+    pub workload: FrameStreamConfig,
+    /// Workload shapes to cover (outermost axis).
+    pub scenarios: Vec<StreamScenario>,
+    /// Tree-maintenance policies to cover.
+    pub maintenance: Vec<TreeMaintenance>,
+    /// Neighbor-search PE counts.
+    pub num_pes: Vec<usize>,
+    /// Tree-buffer capacities in KiB (cache-geometry axis).
+    pub tree_kb: Vec<usize>,
+    /// Streaming DRAM bandwidths in bytes per accelerator cycle.
+    pub dram_bytes_per_cycle: Vec<f64>,
+    /// Top-tree heights `h_t`.
+    pub top_heights: Vec<usize>,
+    /// Elision heights `h_e` (innermost axis).
+    pub elision_heights: Vec<usize>,
+}
+
+/// One expanded grid point, in expansion order.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Position in the expanded grid (== report row index).
+    pub index: usize,
+    /// Position of the scenario in [`SweepSpec::scenarios`] (used to
+    /// look up the per-scenario frame / exact-baseline caches).
+    pub scenario_idx: usize,
+    /// The workload shape.
+    pub scenario: StreamScenario,
+    /// The tree-maintenance policy.
+    pub maintenance: TreeMaintenance,
+    /// Neighbor-search PE count.
+    pub num_pes: usize,
+    /// Tree-buffer capacity in KiB.
+    pub tree_kb: usize,
+    /// Streaming DRAM bandwidth in bytes per cycle.
+    pub dram_bytes_per_cycle: f64,
+    /// Top-tree height `h_t`.
+    pub top_height: usize,
+    /// Elision height `h_e`.
+    pub elision_height: usize,
+}
+
+impl SweepPoint {
+    /// Builds the validated accelerator configuration for this point
+    /// (ANS+BCE shape: elision at `h_e` on the default banking).
+    pub fn config(&self) -> Result<AcceleratorConfig, ConfigError> {
+        AcceleratorConfig::builder()
+            .num_pes(self.num_pes)
+            .tree_buffer_kb(self.tree_kb)
+            .dram_stream_bytes_per_cycle(self.dram_bytes_per_cycle)
+            .elision_height(self.elision_height)
+            .build()
+    }
+}
+
+/// Stable machine-readable name of a maintenance policy (parameters
+/// elided) — a baseline key, so it must never change for a variant.
+pub fn maintenance_label(m: TreeMaintenance) -> &'static str {
+    match m {
+        TreeMaintenance::RebuildEveryFrame => "rebuild",
+        TreeMaintenance::Refit { .. } => "refit",
+    }
+}
+
+impl SweepSpec {
+    /// The CI-scale spec: every canonical scenario × both maintenance
+    /// policies × three PE counts × two elision heights on a small
+    /// 8-frame stream. 60 points, seconds to run, and the source of the
+    /// checked-in `bench/baseline.json`.
+    pub fn quick() -> Self {
+        SweepSpec {
+            label: "quick".to_string(),
+            workload: quick_workload(),
+            scenarios: StreamScenario::canonical_matrix().to_vec(),
+            maintenance: vec![TreeMaintenance::RebuildEveryFrame, TreeMaintenance::refit()],
+            num_pes: vec![2, 4, 8],
+            tree_kb: vec![6],
+            dram_bytes_per_cycle: vec![20.48],
+            top_heights: vec![4],
+            elision_heights: vec![8, 12],
+        }
+    }
+
+    /// The paper-scale spec: wider PE / cache / bandwidth / `h` axes on
+    /// a longer, denser stream. Hundreds of points — for offline
+    /// architecture studies, not the CI gate.
+    pub fn full() -> Self {
+        SweepSpec {
+            label: "full".to_string(),
+            workload: FrameStreamConfig {
+                scene: LidarSceneConfig {
+                    total_points: 12_000,
+                    num_cars: 8,
+                    num_poles: 16,
+                    num_walls: 4,
+                    half_extent: 30.0,
+                    seed: 0x5EED_C4E5,
+                },
+                num_frames: 10,
+                // straight-line, noise-free ego (a registration
+                // pipeline's output): the regime where the refit
+                // policies actually diverge — see quick_workload()
+                ego: EgoMotion { speed_mps: 6.0, yaw_rate_rps: 0.0, frame_period_s: 0.1 },
+                max_range: 14.0,
+                noise_m: 0.0,
+                queries_per_frame: 256,
+                radius: 0.5,
+                max_neighbors: Some(32),
+                ..FrameStreamConfig::default()
+            },
+            scenarios: StreamScenario::canonical_matrix().to_vec(),
+            maintenance: vec![TreeMaintenance::RebuildEveryFrame, TreeMaintenance::refit()],
+            num_pes: vec![1, 2, 4, 8, 16],
+            tree_kb: vec![3, 6, 12],
+            dram_bytes_per_cycle: vec![10.24, 20.48],
+            top_heights: vec![2, 4, 6],
+            elision_heights: vec![8, 12],
+        }
+    }
+
+    /// Number of points the grid expands to.
+    pub fn num_points(&self) -> usize {
+        self.scenarios.len()
+            * self.maintenance.len()
+            * self.num_pes.len()
+            * self.tree_kb.len()
+            * self.dram_bytes_per_cycle.len()
+            * self.top_heights.len()
+            * self.elision_heights.len()
+    }
+
+    /// Expands the grid in its fixed axis order — scenario, maintenance,
+    /// PE count, tree KiB, DRAM bandwidth, `h_t`, `h_e` (innermost).
+    pub fn expand(&self) -> Vec<SweepPoint> {
+        let mut points = Vec::with_capacity(self.num_points());
+        for (scenario_idx, &scenario) in self.scenarios.iter().enumerate() {
+            for &maintenance in &self.maintenance {
+                for &num_pes in &self.num_pes {
+                    for &tree_kb in &self.tree_kb {
+                        for &dram_bytes_per_cycle in &self.dram_bytes_per_cycle {
+                            for &top_height in &self.top_heights {
+                                for &elision_height in &self.elision_heights {
+                                    points.push(SweepPoint {
+                                        index: points.len(),
+                                        scenario_idx,
+                                        scenario,
+                                        maintenance,
+                                        num_pes,
+                                        tree_kb,
+                                        dram_bytes_per_cycle,
+                                        top_height,
+                                        elision_height,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        points
+    }
+
+    /// Validates the spec: every axis non-empty, a sane workload, and
+    /// every grid point's accelerator config constructible.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.scenarios.is_empty()
+            || self.maintenance.is_empty()
+            || self.num_pes.is_empty()
+            || self.tree_kb.is_empty()
+            || self.dram_bytes_per_cycle.is_empty()
+            || self.top_heights.is_empty()
+            || self.elision_heights.is_empty()
+        {
+            return Err("every sweep axis needs at least one value".to_string());
+        }
+        if self.workload.num_frames == 0 {
+            return Err("workload needs at least one frame".to_string());
+        }
+        for point in self.expand() {
+            point.config().map_err(|e| format!("grid point {}: {e}", point.index))?;
+        }
+        Ok(())
+    }
+}
+
+fn quick_workload() -> FrameStreamConfig {
+    FrameStreamConfig {
+        scene: LidarSceneConfig {
+            total_points: 2_500,
+            num_cars: 4,
+            num_poles: 8,
+            num_walls: 2,
+            half_extent: 30.0,
+            seed: 0x5EED_C4E5,
+        },
+        num_frames: 8,
+        // Straight-line, noise-free ego motion — i.e. the output of a
+        // registration/motion-compensation pipeline. Per-frame noise or
+        // yaw makes every refit honestly fall back to a rebuild, which
+        // would collapse the maintenance axis to a constant; a rigid
+        // translation is the regime the Refit policy exists for, so the
+        // sweep actually contrasts the two policies (Sweep re-sorts and
+        // RotationBurst rotates, so those still exercise the fallback).
+        ego: EgoMotion { speed_mps: 6.0, yaw_rate_rps: 0.0, frame_period_s: 0.1 },
+        // 12 m sensor range: small enough that the DynamicObjects
+        // movers (spawned at 1.4x range, closing at ~0.5-0.9 m/frame)
+        // actually enter the scene within the 8 simulated frames.
+        max_range: 12.0,
+        noise_m: 0.0,
+        queries_per_frame: 160,
+        radius: 0.4,
+        max_neighbors: Some(16),
+        ..FrameStreamConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_grid_shape_meets_the_ci_contract() {
+        let spec = SweepSpec::quick();
+        spec.validate().expect("quick spec is valid");
+        assert_eq!(spec.scenarios.len(), 5, "all scenarios");
+        assert_eq!(spec.maintenance.len(), 2, "both policies");
+        assert!(spec.num_pes.len() >= 3, ">= 3 PE counts");
+        assert_eq!(spec.num_points(), 60);
+        assert_eq!(spec.expand().len(), 60);
+    }
+
+    #[test]
+    fn expansion_order_is_stable_and_indexed() {
+        let spec = SweepSpec::quick();
+        let points = spec.expand();
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(p.index, i);
+        }
+        // innermost axis is h_e: consecutive points differ only there
+        assert_eq!(points[0].elision_height, 8);
+        assert_eq!(points[1].elision_height, 12);
+        assert_eq!(points[0].num_pes, points[1].num_pes);
+        assert_eq!(points[0].scenario.label(), points[1].scenario.label());
+        // outermost axis is the scenario
+        let per_scenario = spec.num_points() / spec.scenarios.len();
+        assert_eq!(points[per_scenario].scenario_idx, 1);
+        assert_eq!(points[per_scenario - 1].scenario_idx, 0);
+    }
+
+    #[test]
+    fn empty_axis_and_bad_point_are_rejected() {
+        let mut spec = SweepSpec::quick();
+        spec.num_pes.clear();
+        assert!(spec.validate().is_err());
+        let mut spec = SweepSpec::quick();
+        spec.num_pes = vec![0];
+        let err = spec.validate().unwrap_err();
+        assert!(err.contains("num_pes"), "{err}");
+    }
+
+    #[test]
+    fn full_spec_is_valid_and_larger() {
+        let spec = SweepSpec::full();
+        spec.validate().expect("full spec is valid");
+        assert!(spec.num_points() > SweepSpec::quick().num_points());
+    }
+
+    #[test]
+    fn maintenance_labels_are_stable() {
+        assert_eq!(maintenance_label(TreeMaintenance::RebuildEveryFrame), "rebuild");
+        assert_eq!(maintenance_label(TreeMaintenance::refit()), "refit");
+    }
+}

@@ -90,16 +90,26 @@ impl EnergyLedger {
         EnergyLedger::default()
     }
 
+    /// The ledger as `(category, energy)` rows in a fixed, documented
+    /// order — the serialization surface machine-readable reports (the
+    /// explorer's sweep JSON, CSV exporters) build on, so a new category
+    /// shows up in every report the moment it is added here.
+    pub fn category_rows(&self) -> [(&'static str, f64); 8] {
+        [
+            ("dram_random", self.dram_random),
+            ("dram_streaming", self.dram_streaming),
+            ("sram_search", self.sram_search),
+            ("sram_aggregation", self.sram_aggregation),
+            ("sram_global", self.sram_global),
+            ("compute", self.compute),
+            ("tree_build", self.tree_build),
+            ("leakage", self.leakage),
+        ]
+    }
+
     /// Total energy across all categories.
     pub fn total(&self) -> f64 {
-        self.dram_random
-            + self.dram_streaming
-            + self.sram_search
-            + self.sram_aggregation
-            + self.sram_global
-            + self.compute
-            + self.tree_build
-            + self.leakage
+        self.category_rows().iter().map(|(_, v)| v).sum()
     }
 
     /// Total DRAM energy.
@@ -237,6 +247,33 @@ mod tests {
         a.merge(&b);
         assert!((a.compute - 1.5).abs() < 1e-9);
         assert!((a.sram_global - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn category_rows_cover_every_field_exactly_once() {
+        let m = EnergyModel::default();
+        let mut l = EnergyLedger::new();
+        l.charge_dram_random(&m, 1);
+        l.charge_dram_streaming(&m, 2);
+        l.charge_sram_search(&m, 4);
+        l.charge_sram_aggregation(&m, 8);
+        l.charge_sram_global(&m, 16);
+        l.charge_macs(&m, 32);
+        l.charge_tree_build(&m, 64);
+        l.charge_leakage(&m, 128);
+        let rows = l.category_rows();
+        // all categories present, all distinct, all non-zero after the
+        // charges above, and the sum IS the total
+        let names: Vec<&str> = rows.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names.len(), 8);
+        for w in names.windows(2) {
+            assert_ne!(w[0], w[1]);
+        }
+        assert!(rows.iter().all(|(_, v)| *v > 0.0));
+        let sum: f64 = rows.iter().map(|(_, v)| v).sum();
+        assert!((sum - l.total()).abs() < 1e-12);
+        assert_eq!(rows[0].0, "dram_random");
+        assert_eq!(rows[7].0, "leakage");
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! The explorer's scenario × maintenance matrix, under the determinism
+//! contract the CI `sweep-gate` depends on.
+//!
+//! Runs every [`StreamScenario`] × both [`TreeMaintenance`] policies
+//! through the explorer's quick grid (pruned to one PE count / one
+//! `h_e` so the debug-profile test stays fast — the full 60-point grid
+//! runs in release in `examples/design_sweep.rs` and the CI gate) and
+//! asserts:
+//!
+//! * (a) neighbor sets are bit-identical across maintenance policies on
+//!   every scenario (the refit-correctness invariant, observed through
+//!   the report digests);
+//! * (b) the report is byte-identical across two runs and across
+//!   worker counts (1 vs. N).
+
+use crescent::workload::StreamScenario;
+use crescent_accel::TreeMaintenance;
+use crescent_explorer::{maintenance_label, run_sweep, SweepReport, SweepSpec};
+
+/// The quick spec pruned to a single architecture point per
+/// scenario × policy cell: 5 scenarios × 2 policies = 10 rows.
+fn matrix_spec() -> SweepSpec {
+    let mut spec = SweepSpec::quick();
+    spec.label = "quick-matrix".to_string();
+    spec.num_pes = vec![4];
+    spec.elision_heights = vec![12];
+    spec
+}
+
+fn run_matrix(workers: usize) -> SweepReport {
+    run_sweep(&matrix_spec(), workers).expect("matrix spec is valid")
+}
+
+#[test]
+fn matrix_covers_every_scenario_policy_cell() {
+    let report = run_matrix(2);
+    assert_eq!(report.rows.len(), 10);
+    for &scenario in StreamScenario::canonical_matrix().iter() {
+        for maintenance in [TreeMaintenance::RebuildEveryFrame, TreeMaintenance::refit()] {
+            let hits = report
+                .rows
+                .iter()
+                .filter(|r| {
+                    r.scenario == scenario.label()
+                        && r.maintenance == maintenance_label(maintenance)
+                })
+                .count();
+            assert_eq!(
+                hits,
+                1,
+                "cell {} x {} missing or duplicated",
+                scenario.label(),
+                maintenance_label(maintenance)
+            );
+        }
+    }
+}
+
+#[test]
+fn neighbor_sets_are_bit_identical_across_policies() {
+    let report = run_matrix(2);
+    for &scenario in StreamScenario::canonical_matrix().iter() {
+        let cell = |policy: &str| {
+            report
+                .rows
+                .iter()
+                .find(|r| r.scenario == scenario.label() && r.maintenance == policy)
+                .expect("cell exists")
+        };
+        let rebuild = cell("rebuild");
+        let refit = cell("refit");
+        assert_eq!(
+            rebuild.digest,
+            refit.digest,
+            "{}: maintenance policy changed the stream's neighbor sets",
+            scenario.label()
+        );
+        assert_eq!(rebuild.recall, refit.recall, "{}", scenario.label());
+        assert_eq!(rebuild.neighbors, refit.neighbors, "{}", scenario.label());
+        // the standalone engine pass never depends on maintenance at all
+        assert_eq!(rebuild.engine_digest, refit.engine_digest, "{}", scenario.label());
+        assert_eq!(rebuild.engine_cycles, refit.engine_cycles, "{}", scenario.label());
+    }
+}
+
+#[test]
+fn report_is_deterministic_across_runs_and_worker_counts() {
+    let a = run_matrix(1);
+    let b = run_matrix(1);
+    let c = run_matrix(3);
+    let json = a.to_json();
+    assert_eq!(json, b.to_json(), "same spec, same bytes");
+    assert_eq!(json, c.to_json(), "worker count must not leak into the report");
+    // and the digests really carry the result identity: every row is
+    // reproduced exactly
+    for (x, y) in a.rows.iter().zip(&c.rows) {
+        assert_eq!(x.digest, y.digest);
+        assert_eq!(x.engine_digest, y.engine_digest);
+        assert_eq!(x.pipelined_cycles, y.pipelined_cycles);
+        assert_eq!(x.energy.total(), y.energy.total());
+    }
+}
+
+#[test]
+fn refit_pays_off_exactly_where_the_scenarios_say_it_should() {
+    let report = run_matrix(2);
+    let cycles = |scenario: &str, policy: &str| {
+        report
+            .rows
+            .iter()
+            .find(|r| r.scenario == scenario && r.maintenance == policy)
+            .expect("cell exists")
+            .pipelined_cycles
+    };
+    let rebuilds = |scenario: &str, policy: &str| {
+        report
+            .rows
+            .iter()
+            .find(|r| r.scenario == scenario && r.maintenance == policy)
+            .expect("cell exists")
+            .full_rebuilds
+    };
+    // registered (coherent, order-preserving) streams: refit wins
+    assert!(cycles("registered", "refit") < cycles("registered", "rebuild"));
+    assert_eq!(rebuilds("registered", "refit"), 1, "only frame 0 builds");
+    // raw sweeps re-sort every frame: refit honestly falls back each time
+    assert_eq!(rebuilds("sweep", "refit"), report.rows[0].frames);
+    // the rebuild policy always rebuilds, everywhere
+    for &scenario in StreamScenario::canonical_matrix().iter() {
+        assert_eq!(rebuilds(scenario.label(), "rebuild"), report.rows[0].frames);
+    }
+}
