@@ -269,6 +269,15 @@ impl ConfigBuilder {
         self
     }
 
+    /// Sets aggregation elision independently of search elision — sweep
+    /// engines treat the two as separate axes (the streaming driver
+    /// models the Point-Buffer gather per frame, so this knob moves
+    /// stream cycles on its own).
+    pub fn aggregation_elision(mut self, on: bool) -> Self {
+        self.cfg().aggregation_elision = on;
+        self
+    }
+
     /// Disables both elisions (the pure-ANS variant).
     pub fn no_elision(mut self) -> Self {
         let c = self.cfg();

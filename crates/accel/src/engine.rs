@@ -97,8 +97,12 @@ pub fn run_tigris_search(
     let queue_capacity = (config.query_buffer_bytes / POINT_BYTES / 2).max(1); // double-buffered
     let base = split_exhaustive_search(&split, queries, radius, max_neighbors, queue_capacity);
 
-    // exhaustive scan streams the sub-tree through the PEs: one node per PE
-    // per cycle, no backtracking, no bank conflicts
+    // The exhaustive scan reads the sub-tree as one sequential stream,
+    // one node per PE per cycle with no backtracking. Sequential streams
+    // cannot bank-conflict (consecutive nodes hit consecutive banks), so
+    // unlike the pointer-chasing two-stage paths — whose conflicts both
+    // the engine model and the streaming wavefront now arbitrate — the
+    // Tigris datapath genuinely has no conflict term.
     let compute = (base.nodes_visited as u64).div_ceil(config.pe_divisor());
     // Tigris/QuickNN flush partial query queues to scattered per-sub-tree
     // regions whenever a buffer fills: those write-backs are random, unlike

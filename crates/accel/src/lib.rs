@@ -59,5 +59,6 @@ pub use pipeline::{
 };
 pub use streaming::{
     run_frame_stream, FrameReport, StreamReport, StreamSearchConfig, TreeMaintenance,
+    DEFAULT_STREAM_ELISION_DEPTH,
 };
 pub use systolic::{gemm_report, mlp_report, SystolicReport};

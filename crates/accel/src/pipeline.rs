@@ -501,13 +501,7 @@ fn merge_search(total: &mut SearchEngineReport, rep: &SearchEngineReport) {
     total.dram_streaming_bytes += rep.dram_streaming_bytes;
     total.dram_random_bytes += rep.dram_random_bytes;
     total.tree_buffer_reads += rep.tree_buffer_reads;
-    total.stats.nodes_visited += rep.stats.nodes_visited;
-    total.stats.nodes_elided += rep.stats.nodes_elided;
-    total.stats.nodes_skipped += rep.stats.nodes_skipped;
-    total.stats.conflict_stalls += rep.stats.conflict_stalls;
-    total.stats.bank_conflicts += rep.stats.bank_conflicts;
-    total.stats.fetch_attempts += rep.stats.fetch_attempts;
-    total.stats.rounds += rep.stats.rounds;
+    total.stats.merge(&rep.stats);
 }
 
 #[cfg(test)]

@@ -18,11 +18,24 @@
 //!
 //! # Timing model
 //!
-//! Within a frame, each stage is double-buffered against its own DMA:
+//! The search stage runs the **unified banked-arbitration model**: the
+//! wavefront's stage-2 sub-tree traversals go through the same
+//! lock-step, bank-arbitrated tree buffer as the standalone engine
+//! ([`crate::run_crescent_search`]), so bank conflicts serialize rounds
+//! and the depth-from-leaves elision knob
+//! ([`StreamSearchConfig::elision_depth`], the streaming `h_e`) trades
+//! neighbors for cycles *inside the stream* — no second engine pass is
+//! needed to see `h_e`. After the search, the aggregation unit gathers
+//! every query's neighbors from the banked Point Buffer
+//! ([`crate::simulate_aggregation`]), honoring
+//! `AcceleratorConfig::aggregation_elision`.
+//!
+//! Within a frame, the datapath work (search rounds, then gather
+//! rounds) is double-buffered against the frame's streaming DMA:
 //! the build stage occupies `max(build compute, build DMA)` cycles
-//! ([`FrameReport::build_slot_cycles`]) and the search stage
-//! `max(search compute, search DMA)` ([`FrameReport::slot_cycles`]).
-//! Across frames, two overlaps apply:
+//! ([`FrameReport::build_slot_cycles`]) and the search+aggregate stage
+//! `max(search compute + aggregation, search DMA)`
+//! ([`FrameReport::slot_cycles`]). Across frames, two overlaps apply:
 //!
 //! * frame `i+1`'s **build** (its DMA and partitioning) runs while frame
 //!   `i` is still **searching** — the build unit writes the next tree
@@ -46,10 +59,13 @@
 
 use serde::{Deserialize, Serialize};
 
-use crescent_kdtree::{BatchSearchStats, BatchState, KdTree, RefitConfig, SplitTree, NODE_BYTES};
+use crescent_kdtree::{
+    BatchSearchConfig, BatchSearchStats, BatchState, KdTree, RefitConfig, SplitTree, NODE_BYTES,
+};
 use crescent_memsim::{EnergyLedger, StreamLedger};
-use crescent_pointcloud::{Neighbor, Point3, PointCloud};
+use crescent_pointcloud::{Neighbor, Point3, PointCloud, POINT_BYTES};
 
+use crate::aggregation::simulate_aggregation;
 use crate::config::AcceleratorConfig;
 use crate::engine::PE_PIPELINE_DEPTH;
 use crate::pipeline::CrescentKnobs;
@@ -82,6 +98,12 @@ impl TreeMaintenance {
     }
 }
 
+/// The default streaming elision depth: conflicted fetches in the 4
+/// deepest tree levels are dropped — the streaming-side counterpart of
+/// the paper's Fig 13 operating point (`h_e = 12` level-based on the
+/// ~16-level evaluation trees ⇒ 4 elidable levels above the leaves).
+pub const DEFAULT_STREAM_ELISION_DEPTH: usize = 4;
+
 /// Search parameters applied to every frame of a stream.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct StreamSearchConfig {
@@ -91,6 +113,14 @@ pub struct StreamSearchConfig {
     pub max_neighbors: Option<usize>,
     /// Per-frame tree maintenance policy.
     pub maintenance: TreeMaintenance,
+    /// The streaming `h_e`: conflicted tree-buffer fetches in this many
+    /// of the deepest tree levels are elided (dropped with their
+    /// subtree) instead of stalling. `0` disables elision — every
+    /// conflict serializes and results are bit-identical to per-query
+    /// [`SplitTree::search_one`]. Depth-from-leaves keeps the knob
+    /// meaningful across frames whose tree heights differ; each frame
+    /// converts it to the engine's level threshold `height − depth`.
+    pub elision_depth: usize,
 }
 
 impl Default for StreamSearchConfig {
@@ -99,6 +129,7 @@ impl Default for StreamSearchConfig {
             radius: 0.5,
             max_neighbors: Some(32),
             maintenance: TreeMaintenance::default(),
+            elision_depth: DEFAULT_STREAM_ELISION_DEPTH,
         }
     }
 }
@@ -114,14 +145,33 @@ pub struct FrameReport {
     pub queries: usize,
     /// Total neighbors returned across all queries.
     pub neighbors: usize,
-    /// Search datapath cycles (amortized top-tree stage + sub-tree
-    /// stage). The pipeline fill is *not* in here — it is charged once
-    /// per stream; a frame that does no search work costs zero.
+    /// Search datapath cycles: amortized top-tree fetches plus the
+    /// stage-2 lock-step arbitration rounds of the unified banked model
+    /// (conflict stalls lengthen them, `h_e` elision shortens them). The
+    /// pipeline fill is *not* in here — it is charged once per stream; a
+    /// frame that does no search work costs zero.
     pub compute_cycles: u64,
+    /// Aggregation-unit cycles: banked Point-Buffer gather rounds for
+    /// every query's neighbor list (serializing on conflicts unless
+    /// `AcceleratorConfig::aggregation_elision` replicates them away).
+    pub agg_cycles: u64,
     /// Streaming-DMA cycles for the frame's search DRAM traffic.
     pub dma_cycles: u64,
-    /// The search stage's pipeline-slot occupancy: `max(compute, dma)`.
+    /// The search stage's pipeline-slot occupancy:
+    /// `max(compute + aggregation, dma)`.
     pub slot_cycles: u64,
+    /// Search rounds in which at least one tree-buffer fetch stalled on
+    /// a bank conflict — the serialization cycles a conflict-free SRAM
+    /// (or deeper elision) would win back.
+    pub conflict_stall_cycles: u64,
+    /// Conflicted tree-buffer fetches dropped by `h_e` elision this
+    /// frame (0 whenever `elision_depth == 0`).
+    pub elided_conflicts: u64,
+    /// Point-Buffer gather conflicts during aggregation.
+    pub agg_conflicts: u64,
+    /// Aggregation conflicts resolved by neighbor replication instead of
+    /// serialization (0 with `aggregation_elision` off).
+    pub agg_elided: u64,
     /// Tree-maintenance datapath cycles (build partitioning, or refit
     /// patch + validation + sub-tree repairs).
     pub build_cycles: u64,
@@ -212,6 +262,37 @@ impl StreamReport {
         self.frames.iter().map(|f| f.build_slot_cycles).sum()
     }
 
+    /// Total stage-2 lock-step arbitration rounds across the stream —
+    /// the banked tree buffer's share of the search compute.
+    pub fn total_arb_rounds(&self) -> u64 {
+        self.frames.iter().map(|f| f.search.subtree_rounds as u64).sum()
+    }
+
+    /// Total tree-buffer fetch attempts that lost bank arbitration.
+    pub fn total_bank_conflicts(&self) -> u64 {
+        self.frames.iter().map(|f| f.search.bank_conflicts as u64).sum()
+    }
+
+    /// Total rounds in which at least one fetch stalled on a conflict.
+    pub fn total_conflict_stall_cycles(&self) -> u64 {
+        self.frames.iter().map(|f| f.conflict_stall_cycles).sum()
+    }
+
+    /// Total conflicted fetches dropped by `h_e` elision.
+    pub fn total_elided_conflicts(&self) -> u64 {
+        self.frames.iter().map(|f| f.elided_conflicts).sum()
+    }
+
+    /// Total aggregation-unit gather rounds across the stream.
+    pub fn total_agg_cycles(&self) -> u64 {
+        self.frames.iter().map(|f| f.agg_cycles).sum()
+    }
+
+    /// Total aggregation conflicts resolved by replication.
+    pub fn total_agg_elided(&self) -> u64 {
+        self.frames.iter().map(|f| f.agg_elided).sum()
+    }
+
     /// Mean cross-frame sub-tree assignment reuse over frames 1.., the
     /// temporal-locality figure of merit (0.0 for streams of < 2 frames).
     pub fn mean_reuse_fraction(&self) -> f64 {
@@ -238,12 +319,19 @@ impl StreamReport {
 /// driver maintains the K-d tree under `search.maintenance` (charging
 /// build/refit cycles, DMA, and energy), re-splits it below
 /// `knobs.top_height` through the allocation-recycling
-/// [`SplitTree::resplit`] path, runs the batched two-stage search, and
-/// charges cycles and energy; the shared [`BatchState`] carries descent
-/// buffers and the cross-frame locality metric from frame to frame.
-/// Returns each frame's per-query neighbor lists (identical to per-query
-/// [`SplitTree::search_one`] — see `tests/streaming.rs`) alongside the
-/// report.
+/// [`SplitTree::resplit`] path, runs the batched two-stage search through
+/// the banked tree-buffer arbitration model (`config.num_pes` lock-step
+/// PEs over `config.tree_buffer.num_banks` banks, conflicts stalling or
+/// eliding per `search.elision_depth`), gathers the neighbor lists
+/// through the banked Point Buffer, and charges cycles and energy; the
+/// shared [`BatchState`] carries descent buffers and the cross-frame
+/// locality metric from frame to frame.
+///
+/// At `search.elision_depth == 0` the returned neighbor lists are
+/// bit-identical to per-query [`SplitTree::search_one`] (see
+/// `tests/elision_unified.rs`); with a positive depth, elision drops
+/// neighbors (never invents one) in exchange for fewer arbitration
+/// rounds.
 ///
 /// For [`TreeMaintenance::Refit`], frame `i`'s cloud must give frame
 /// `i−1`'s points at the same indices (temporally coherent, identity-
@@ -307,20 +395,40 @@ pub fn run_frame_stream(
         };
         let split = SplitTree::resplit(tree_ref, ht, std::mem::take(&mut roots_pool))
             .expect("clamped top height is valid");
-        let (frame_results, stats) =
-            split.search_batch(queries, search.radius, search.max_neighbors, &mut state);
+        let batch_cfg = BatchSearchConfig::banked(
+            search.radius,
+            search.max_neighbors,
+            config.num_pes,
+            config.tree_buffer.num_banks,
+            search.elision_depth,
+        );
+        let (frame_results, stats) = split.search_batch(queries, &batch_cfg, &mut state);
         roots_pool = split.into_subtree_roots();
+
+        // ---- aggregation ----
+        // The aggregation unit gathers every query's neighbor list from
+        // the banked Point Buffer; conflicted gathers serialize unless
+        // aggregation elision replicates the winner's neighbor.
+        let neighbor_lists: Vec<Vec<usize>> =
+            frame_results.iter().map(|hits| hits.iter().map(|n| n.index).collect()).collect();
+        let agg = simulate_aggregation(
+            &neighbor_lists,
+            config.point_buffer,
+            config.point_buffer.num_banks,
+            config.aggregation_elision,
+        );
 
         // ---- timing ----
         // Search stage: the wavefront issues one fetch per touched
         // top-tree node (payload shared by every query on the node); the
-        // PEs then traverse independent queries in parallel. No fill in
-        // here — it is charged once per stream below, and a frame with
-        // no work costs nothing.
-        let compute =
-            stats.top_fetches as u64 + (stats.subtree_visits as u64).div_ceil(config.pe_divisor());
+        // PEs then drain each sub-tree queue in lock-step through the
+        // banked tree buffer, so the round count already carries both PE
+        // parallelism and conflict serialization. No fill in here — it
+        // is charged once per stream below, and a frame with no work
+        // costs nothing.
+        let compute = stats.top_fetches as u64 + stats.subtree_rounds as u64;
         let dma = config.dram.stream_cycles(stats.dram_bytes);
-        let slot = compute.max(dma);
+        let slot = (compute + agg.rounds).max(dma);
         // Build stage: internally double-buffered the same way.
         let build_dma = config.dram.stream_cycles(build_dram_bytes);
         let build_slot = build_cycles.max(build_dma);
@@ -339,8 +447,14 @@ pub fn run_frame_stream(
         let mut energy = EnergyLedger::new();
         energy.charge_dram_streaming(em, stats.dram_bytes + build_dram_bytes);
         energy.charge_tree_build(em, build_cycles);
+        // only honored fetches read data out of the tree buffer; stalled
+        // re-issues retry, elided ones never return their own node
         let reads = (stats.top_fetches + stats.subtree_visits) as u64;
         energy.charge_sram_search(em, reads * NODE_BYTES as u64);
+        // granted gathers move one point record each; every issue also
+        // reads one 4-byte word of the neighbor-index matrix; elided
+        // gathers reuse the winner's data for free
+        energy.charge_sram_aggregation(em, agg.grants * POINT_BYTES as u64 + agg.requests * 4);
         energy.charge_leakage(em, build_slot + slot);
 
         report.frames.push(FrameReport {
@@ -349,8 +463,13 @@ pub fn run_frame_stream(
             queries: queries.len(),
             neighbors: frame_results.iter().map(Vec::len).sum(),
             compute_cycles: compute,
+            agg_cycles: agg.rounds,
             dma_cycles: dma,
             slot_cycles: slot,
+            conflict_stall_cycles: stats.stall_rounds as u64,
+            elided_conflicts: stats.conflicts_elided as u64,
+            agg_conflicts: agg.conflicts,
+            agg_elided: agg.elided,
             build_cycles,
             build_dma_cycles: build_dma,
             build_slot_cycles: build_slot,

@@ -149,7 +149,9 @@ pub fn render_summary(report: &SweepReport) -> String {
                 format!("{idx}"),
                 r.maintenance.to_string(),
                 format!("{}", r.num_pes),
-                format!("<{},{}>", r.top_height_used, r.elision_height),
+                format!("{}", r.tree_banks),
+                if r.aggregation_elision { "on".to_string() } else { "off".to_string() },
+                format!("<{},{}>", r.top_height_used, r.elision_depth),
                 format!("{}", r.total_cycles()),
                 format!("{:.0}", r.energy.total()),
                 format!("{:.4}", r.worst_recall()),
@@ -161,7 +163,18 @@ pub fn render_summary(report: &SweepReport) -> String {
         report.rows.len()
     ));
     out.push_str(&format_table(
-        &["scenario", "row", "maint", "pes", "<h_t,h_e>", "cycles", "energy", "recall"],
+        &[
+            "scenario",
+            "row",
+            "maint",
+            "pes",
+            "banks",
+            "agg",
+            "<h_t,h_e>",
+            "cycles",
+            "energy",
+            "recall",
+        ],
         &rows,
     ));
     out

@@ -157,6 +157,11 @@ pub struct FrameStreamConfig {
     pub scenario: StreamScenario,
     /// Per-frame tree-maintenance policy handed to the engine.
     pub maintenance: TreeMaintenance,
+    /// The streaming `h_e` handed to the engine: conflicted tree-buffer
+    /// fetches in this many of the deepest tree levels are elided
+    /// instead of stalling (`0` = exact stall-only search; see
+    /// [`StreamSearchConfig::elision_depth`]).
+    pub elision_depth: usize,
 }
 
 impl Default for FrameStreamConfig {
@@ -179,6 +184,7 @@ impl Default for FrameStreamConfig {
             max_neighbors: Some(32),
             scenario: StreamScenario::Sweep,
             maintenance: TreeMaintenance::RebuildEveryFrame,
+            elision_depth: crescent_accel::DEFAULT_STREAM_ELISION_DEPTH,
         }
     }
 }
@@ -482,6 +488,7 @@ impl Crescent {
             radius: cfg.radius,
             max_neighbors: cfg.max_neighbors,
             maintenance: cfg.maintenance,
+            elision_depth: cfg.elision_depth,
         };
         let (neighbor_sets, report) = run_frame_stream(&inputs, &search, self.knobs, &self.config);
         StreamOutcome { frames, neighbor_sets, report }

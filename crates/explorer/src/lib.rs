@@ -33,7 +33,8 @@
 //! // shrink the grid for the doctest
 //! spec.scenarios.truncate(1);
 //! spec.num_pes.truncate(1);
-//! spec.elision_heights.truncate(1);
+//! spec.tree_banks.truncate(1);
+//! spec.elision_depths.truncate(1);
 //! let report = run_sweep(&spec, 2).expect("valid spec");
 //! assert_eq!(report.rows.len(), spec.num_points());
 //! let again = run_sweep(&spec, 1).expect("valid spec");

@@ -9,11 +9,18 @@ use crescent_memsim::EnergyLedger;
 use crate::json::Json;
 use crate::spec::SweepSpec;
 
-/// Schema identifier embedded in every report. Bump the `/v1` suffix on
+/// Schema identifier embedded in every report. Bump the `/v2` suffix on
 /// any change to the report layout, key set, or metric semantics — the
 /// CI comparator is exact, so an unversioned layout change would show up
 /// as inexplicable metric drift instead of an obvious schema break.
-pub const SCHEMA: &str = "crescent-sweep/v1";
+///
+/// `v2` (this version): the streaming pass carries the unified
+/// banked-arbitration model, so `h_e` became the depth-from-leaves
+/// `elision_depth` axis, `tree_banks` and `aggregation_elision` became
+/// real axes, and rows grew the streaming conflict/elision/aggregation
+/// columns. Field-by-field documentation lives in
+/// [`docs/SWEEP_SCHEMA.md`](../../../docs/SWEEP_SCHEMA.md).
+pub const SCHEMA: &str = "crescent-sweep/v2";
 
 /// One sweep point's configuration echo plus its modeled metrics. All
 /// metrics are *modeled* (cycles, bytes, energy units, recall against a
@@ -31,12 +38,22 @@ pub struct SweepRow {
     pub num_pes: usize,
     /// Tree-buffer capacity in KiB.
     pub tree_kb: usize,
+    /// Tree-buffer bank count the fetches are arbitrated over.
+    pub tree_banks: usize,
     /// Streaming DRAM bandwidth in bytes per cycle.
     pub dram_bytes_per_cycle: f64,
+    /// Whether Point-Buffer aggregation conflicts are elided
+    /// (replicated) instead of serialized.
+    pub aggregation_elision: bool,
     /// Top-tree height `h_t`.
     pub top_height: usize,
-    /// Elision height `h_e`.
-    pub elision_height: usize,
+    /// Streaming elision depth `h_e` (depth-from-leaves; 0 = exact
+    /// stall-only search).
+    pub elision_depth: usize,
+    /// The level threshold the engine cross-check ran at:
+    /// `height(frame 0 tree) − elision_depth` — the paper's level-based
+    /// form of the same `h_e` point.
+    pub engine_elision_level: usize,
     /// The `h_t` the sweep *granted*: the requested height clamped into
     /// the Sec 3.3 feasibility range of the point's tree buffer against
     /// frame 0's tree — the coupling through which cache geometry
@@ -62,6 +79,20 @@ pub struct SweepRow {
     pub dram_bytes: u64,
     /// Mean cross-frame sub-tree assignment reuse.
     pub mean_reuse: f64,
+    /// Stage-2 lock-step arbitration rounds summed over the stream —
+    /// the banked tree buffer's share of the search compute.
+    pub arb_rounds: u64,
+    /// Tree-buffer fetch attempts that lost bank arbitration.
+    pub bank_conflicts: u64,
+    /// Rounds in which at least one fetch stalled on a conflict.
+    pub conflict_stall_cycles: u64,
+    /// Conflicted fetches dropped by `h_e` elision (0 on `h_e = 0`
+    /// rows — the gated exactness witness).
+    pub elided_conflicts: u64,
+    /// Aggregation-unit gather rounds summed over the stream.
+    pub agg_cycles: u64,
+    /// Aggregation conflicts resolved by replication.
+    pub agg_elided: u64,
     /// Frames that (re)built the tree from scratch.
     pub full_rebuilds: usize,
     /// Sub-trees rebuilt in place by incremental refits.
@@ -71,15 +102,16 @@ pub struct SweepRow {
     pub energy: EnergyLedger,
     /// Mean recall of the stream's approximate neighbor sets against
     /// the exact brute-force baseline (1.0 = every exact neighbor
-    /// found). The streaming path models the two-stage split (ANS) but
-    /// not elision, so this is `h_t`-sensitive only.
+    /// found). The streaming path models the two-stage split AND bank
+    /// conflict elision, so both `h_t` and `h_e` move it.
     pub recall: f64,
     /// FNV-1a fingerprint of every stream neighbor set (indices +
     /// distance bits) — two rows with equal digests produced
     /// bit-identical results.
     pub digest: u64,
-    /// Standalone two-stage engine latency on frame 0 (the path that
-    /// models bank-conflict elision and lock-step PE scheduling).
+    /// Standalone two-stage engine latency on frame 0 — the per-query
+    /// lock-step model evaluated at the same `h` point, kept as a
+    /// cross-check column against the streaming pass.
     pub engine_cycles: u64,
     /// The engine pass's streaming DRAM bytes.
     pub engine_dram_bytes: u64,
@@ -124,9 +156,12 @@ impl SweepRow {
             ("maintenance", Json::from(self.maintenance)),
             ("num_pes", Json::U64(self.num_pes as u64)),
             ("tree_kb", Json::U64(self.tree_kb as u64)),
+            ("tree_banks", Json::U64(self.tree_banks as u64)),
             ("dram_bytes_per_cycle", Json::F64(self.dram_bytes_per_cycle)),
+            ("agg_elision", Json::Bool(self.aggregation_elision)),
             ("h_t", Json::U64(self.top_height as u64)),
-            ("h_e", Json::U64(self.elision_height as u64)),
+            ("h_e", Json::U64(self.elision_depth as u64)),
+            ("engine_h_e_level", Json::U64(self.engine_elision_level as u64)),
             ("h_t_used", Json::U64(self.top_height_used as u64)),
             ("frames", Json::U64(self.frames as u64)),
             ("queries", Json::U64(self.queries as u64)),
@@ -136,6 +171,12 @@ impl SweepRow {
             ("build_cycles", Json::U64(self.build_cycles)),
             ("dram_bytes", Json::U64(self.dram_bytes)),
             ("mean_reuse", Json::F64(self.mean_reuse)),
+            ("arb_rounds", Json::U64(self.arb_rounds)),
+            ("bank_conflicts", Json::U64(self.bank_conflicts)),
+            ("conflict_stall_cycles", Json::U64(self.conflict_stall_cycles)),
+            ("elided_conflicts", Json::U64(self.elided_conflicts)),
+            ("agg_cycles", Json::U64(self.agg_cycles)),
+            ("agg_elided", Json::U64(self.agg_elided)),
             ("full_rebuilds", Json::U64(self.full_rebuilds as u64)),
             ("subtrees_rebuilt", Json::U64(self.subtrees_rebuilt as u64)),
             ("energy", Json::Object(energy)),
@@ -249,13 +290,21 @@ impl SweepReport {
                 Json::Array(self.spec.dram_bytes_per_cycle.iter().map(|&v| Json::F64(v)).collect()),
             ),
             (
+                "tree_banks",
+                Json::Array(self.spec.tree_banks.iter().map(|&v| Json::U64(v as u64)).collect()),
+            ),
+            (
+                "agg_elision",
+                Json::Array(self.spec.aggregation_elision.iter().map(|&v| Json::Bool(v)).collect()),
+            ),
+            (
                 "h_t",
                 Json::Array(self.spec.top_heights.iter().map(|&v| Json::U64(v as u64)).collect()),
             ),
             (
                 "h_e",
                 Json::Array(
-                    self.spec.elision_heights.iter().map(|&v| Json::U64(v as u64)).collect(),
+                    self.spec.elision_depths.iter().map(|&v| Json::U64(v as u64)).collect(),
                 ),
             ),
         ]);
@@ -335,12 +384,35 @@ pub fn diff_reports(baseline: &str, fresh: &str) -> Option<String> {
         ));
     }
     let mut differing = 0usize;
+    let mut field_histogram: Vec<(String, usize)> = Vec::new();
     for (i, (b, f)) in base_lines.iter().zip(&fresh_lines).enumerate() {
-        if b != f {
-            differing += 1;
-            if differing <= MAX_SHOWN {
+        if b == f {
+            continue;
+        }
+        differing += 1;
+        let shown = differing <= MAX_SHOWN;
+        match field_level_diff(b, f) {
+            Some(fields) if !fields.is_empty() => {
+                for (name, _, _) in &fields {
+                    match field_histogram.iter_mut().find(|(n, _)| n == name) {
+                        Some((_, count)) => *count += 1,
+                        None => field_histogram.push((name.clone(), 1)),
+                    }
+                }
+                if shown {
+                    let detail: Vec<String> = fields
+                        .iter()
+                        .map(|(name, was, now)| format!("{name}: {was} -> {now}"))
+                        .collect();
+                    msg.push_str(&format!("  line {}: {}\n", i + 1, detail.join("; ")));
+                }
+            }
+            _ if shown => {
+                // not a row object (header / structure): fall back to
+                // whole-line diff
                 msg.push_str(&format!("  line {}:\n  - {}\n  + {}\n", i + 1, b.trim(), f.trim()));
             }
+            _ => {}
         }
     }
     let extra = base_lines.len().abs_diff(fresh_lines.len());
@@ -348,7 +420,69 @@ pub fn diff_reports(baseline: &str, fresh: &str) -> Option<String> {
     if differing > MAX_SHOWN {
         msg.push_str(&format!("  ... {} differing line(s) total\n", differing));
     }
+    if !field_histogram.is_empty() {
+        field_histogram.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let summary: Vec<String> =
+            field_histogram.iter().map(|(name, count)| format!("{name} x{count}")).collect();
+        msg.push_str(&format!("  drifted fields across all rows: {}\n", summary.join(", ")));
+    }
     Some(msg)
+}
+
+/// Splits one compact JSON object line (a report row) into its top-level
+/// `(key, raw value)` pairs. Returns `None` for lines that are not a
+/// single object — the comparator then falls back to whole-line output.
+fn top_level_fields(line: &str) -> Option<Vec<(String, String)>> {
+    let t = line.trim().trim_end_matches(',');
+    let inner = t.strip_prefix('{')?.strip_suffix('}')?;
+    let mut fields = Vec::new();
+    let (mut depth, mut in_str, mut escaped) = (0usize, false, false);
+    let mut token = String::new();
+    // key:value — the key is a quoted string, the value is raw text
+    fn push(token: &mut String, fields: &mut Vec<(String, String)>) -> Option<()> {
+        if token.is_empty() {
+            return Some(());
+        }
+        let (key, value) = token.split_once(':')?;
+        fields.push((key.trim().trim_matches('"').to_string(), value.trim().to_string()));
+        token.clear();
+        Some(())
+    }
+    for c in inner.chars() {
+        match c {
+            '"' if !escaped => in_str = !in_str,
+            '{' | '[' if !in_str => depth += 1,
+            '}' | ']' if !in_str => depth = depth.checked_sub(1)?,
+            ',' if !in_str && depth == 0 => {
+                push(&mut token, &mut fields)?;
+                continue;
+            }
+            _ => {}
+        }
+        escaped = c == '\\' && !escaped;
+        token.push(c);
+    }
+    push(&mut token, &mut fields)?;
+    (!fields.is_empty()).then_some(fields)
+}
+
+/// The field-by-field difference between two row lines:
+/// `(field, baseline value, fresh value)` triples, in row order.
+/// `None` when either line is not a row object or the key sets differ
+/// (a schema change, which the header check upstream already names).
+fn field_level_diff(base: &str, fresh: &str) -> Option<Vec<(String, String, String)>> {
+    let b = top_level_fields(base)?;
+    let f = top_level_fields(fresh)?;
+    if b.len() != f.len() || b.iter().zip(&f).any(|((bk, _), (fk, _))| bk != fk) {
+        return None;
+    }
+    Some(
+        b.into_iter()
+            .zip(f)
+            .filter(|((_, bv), (_, fv))| bv != fv)
+            .map(|((k, bv), (_, fv))| (k, bv, fv))
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -371,9 +505,12 @@ mod tests {
             maintenance: "rebuild",
             num_pes: 4,
             tree_kb: 6,
+            tree_banks: 4,
             dram_bytes_per_cycle: 20.48,
+            aggregation_elision: true,
             top_height: 4,
-            elision_height: 12,
+            elision_depth: 4,
+            engine_elision_level: 8,
             top_height_used: 4,
             frames: 2,
             queries: 8,
@@ -383,6 +520,12 @@ mod tests {
             build_cycles: 10,
             dram_bytes: 1024,
             mean_reuse: 0.5,
+            arb_rounds: 40,
+            bank_conflicts: 7,
+            conflict_stall_cycles: 5,
+            elided_conflicts: 2,
+            agg_cycles: 12,
+            agg_elided: 3,
             full_rebuilds: 2,
             subtrees_rebuilt: 0,
             energy: ledger,
@@ -428,7 +571,7 @@ mod tests {
     fn json_has_schema_one_row_per_line_and_is_reproducible() {
         let r = report(vec![row(0, "sweep", 100, 10.0, 0.875), row(1, "sweep", 50, 5.0, 1.0)]);
         let json = r.to_json();
-        assert!(json.starts_with("{\n  \"schema\": \"crescent-sweep/v1\",\n"));
+        assert!(json.starts_with("{\n  \"schema\": \"crescent-sweep/v2\",\n"));
         assert_eq!(json.matches("{\"row\":").count(), 2);
         let row_lines: Vec<&str> =
             json.lines().filter(|l| l.trim_start().starts_with("{\"row\":")).collect();
@@ -449,6 +592,42 @@ mod tests {
         assert!(drift.contains("+ l2x"), "{drift}");
         let shape = diff_reports("l1\n", "l1\nl2\n").expect("drift");
         assert!(shape.contains("line count"), "{shape}");
+    }
+
+    #[test]
+    fn diff_reports_lists_the_drifted_fields_of_a_row() {
+        let mut base = report(vec![row(0, "sweep", 100, 10.0, 0.9), row(1, "sweep", 50, 5.0, 0.8)]);
+        let mut fresh = base.clone();
+        fresh.rows[1].pipelined_cycles = 51;
+        fresh.rows[1].elided_conflicts = 7;
+        // keep the headers identical so the row comparator runs
+        base.spec.label = "quick".into();
+        fresh.spec.label = "quick".into();
+        let msg = diff_reports(&base.to_json(), &fresh.to_json()).expect("drift");
+        assert!(msg.contains("pipelined_cycles: 50 -> 51"), "{msg}");
+        assert!(msg.contains("elided_conflicts: 2 -> 7"), "{msg}");
+        assert!(
+            msg.contains("drifted fields across all rows:"),
+            "summary histogram missing: {msg}"
+        );
+        assert!(msg.contains("elided_conflicts x1"), "{msg}");
+        // undrifted fields are not named
+        assert!(!msg.contains("serial_cycles:"), "{msg}");
+    }
+
+    #[test]
+    fn field_parser_handles_nested_objects_and_strings() {
+        let line =
+            r#"    {"row":3,"scenario":"sweep","energy":{"a":1.0,"b":2.0},"digest":"00ff"},"#;
+        let fields = top_level_fields(line).expect("parses");
+        assert_eq!(fields[0], ("row".to_string(), "3".to_string()));
+        assert_eq!(fields[1], ("scenario".to_string(), "\"sweep\"".to_string()));
+        assert_eq!(fields[2], ("energy".to_string(), "{\"a\":1.0,\"b\":2.0}".to_string()));
+        assert_eq!(fields[3], ("digest".to_string(), "\"00ff\"".to_string()));
+        assert!(top_level_fields("  \"label\": \"quick\",").is_none(), "not an object");
+        let diff = field_level_diff(r#"{"a":1,"b":{"x":2}}"#, r#"{"a":1,"b":{"x":3}}"#)
+            .expect("same keys");
+        assert_eq!(diff, vec![("b".to_string(), "{\"x\":2}".to_string(), "{\"x\":3}".to_string())]);
     }
 
     #[test]

@@ -2,6 +2,15 @@
 //! brute-force-solves each scenario's frame stream once, then fans the
 //! grid points out over a `std::thread::scope` worker pool.
 //!
+//! Since the streaming wavefront learned the unified banked-arbitration
+//! model, ONE `h_e`-sensitive streaming pass per point carries every
+//! axis — maintenance, `h_t`, `h_e`, PE count, tree banks, aggregation
+//! elision, cache geometry, DRAM bandwidth. The standalone engine pass
+//! survives only as a *cross-check column*: the same `h = <h_t, h_e>`
+//! point evaluated on frame 0 by the per-query lock-step model, so a
+//! divergence between the two implementations of the same hardware
+//! shows up as baseline drift instead of going unnoticed.
+//!
 //! # Determinism
 //!
 //! The report is a pure function of the spec, whatever the worker count:
@@ -38,10 +47,12 @@ struct ScenarioCache {
     tree0: KdTree,
 }
 
-/// Memo key for the standalone engine pass: every axis EXCEPT the
-/// maintenance policy, which cannot influence a single-tree search (the
-/// DRAM bandwidth is keyed by its bit pattern — only identity matters).
-type EngineKey = (usize, usize, usize, u64, usize, usize);
+/// Memo key for the standalone engine cross-check pass: every axis
+/// EXCEPT the maintenance policy (which cannot influence a single-tree
+/// search) and aggregation elision (the engine pass has no aggregation
+/// stage). The DRAM bandwidth is keyed by its bit pattern — only
+/// identity matters.
+type EngineKey = (usize, usize, usize, usize, u64, usize, usize);
 
 /// The engine pass's contribution to a row, shared by the sibling rows
 /// that differ only in maintenance policy.
@@ -109,16 +120,22 @@ pub fn run_sweep(spec: &SweepSpec, workers: usize) -> Result<SweepReport, String
     Ok(SweepReport { spec: spec.clone(), rows })
 }
 
-/// Simulates one grid point and derives its report row. Two engine
-/// passes per point:
+/// Simulates one grid point and derives its report row.
 ///
-/// * the streaming pipeline (the `run_frame_stream` driver behind
-///   `Crescent::run_stream`) over every cached frame — maintenance
-///   policy, `h_t`, PE count, and DRAM bandwidth show up here;
-/// * the standalone two-stage engine (`run_crescent_search`) on frame
-///   0's tree and queries — this is the path that models bank-conflict
-///   elision and lock-step PE scheduling, so `h_e`, banking, and PE
-///   count move its cycles *and* its recall.
+/// The **streaming pass** (the `run_frame_stream` driver behind
+/// `Crescent::run_stream`) over every cached frame is the pass of
+/// record: with the unified banked-arbitration model every axis moves it
+/// — maintenance, `h_t`, PE count, tree banks, DRAM bandwidth, `h_e`
+/// (which trades stream recall for arbitration rounds), and aggregation
+/// elision (which trades nothing for gather rounds, Sec 4.2).
+///
+/// The **engine cross-check** (`run_crescent_search` on frame 0's tree
+/// and queries) evaluates the same `h = <h_t, h_e>` point on the
+/// per-query lock-step model — its columns exist so the two
+/// implementations of the same hardware are diffed by the CI gate, not
+/// because the sweep needs a second pass for `h_e` sensitivity anymore.
+/// The depth-based `h_e` is converted to the engine's level threshold
+/// `height(frame 0 tree) − h_e` (`SweepRow::engine_elision_level`).
 ///
 /// The requested `h_t` is first clamped into the Sec 3.3 feasibility
 /// range for the point's tree buffer against frame 0's tree
@@ -128,28 +145,34 @@ pub fn run_sweep(spec: &SweepSpec, workers: usize) -> Result<SweepReport, String
 /// the *granted* height — individual shallow frames may run below it
 /// (see [`SweepRow::top_height_used`](crate::SweepRow)).
 ///
-/// The engine pass is memoized across the maintenance axis (it searches
-/// one fixed tree, so the policy cannot touch it — the quick grid would
-/// otherwise compute every engine result twice, the full grid once per
-/// policy on a 12k-point scene). A racing recompute of the same key is
-/// harmless: the pass is deterministic, so both writers insert
-/// identical values.
+/// The engine pass is memoized across the maintenance and
+/// aggregation-elision axes (it searches one fixed tree and has no
+/// gather stage, so neither can touch it). A racing recompute of the
+/// same key is harmless: the pass is deterministic, so both writers
+/// insert identical values.
 fn run_point(
     spec: &SweepSpec,
     point: &SweepPoint,
     cache: &ScenarioCache,
     engine_memo: &Mutex<HashMap<EngineKey, EnginePass>>,
 ) -> SweepRow {
-    let config = point.config().expect("spec validation checked every grid point");
+    let mut config = point.config().expect("spec validation checked every grid point");
+    // the engine cross-check's level threshold is a per-tree quantity:
+    // depth-from-leaves h_e on frame 0's tree
+    let engine_elision_level = cache.tree0.height().saturating_sub(point.elision_depth);
+    if let Some(e) = config.search_elision.as_mut() {
+        e.elision_height = engine_elision_level;
+    }
     let top_height_used = match config.top_height_range(cache.tree0.height()) {
         Some((lo, hi)) => point.top_height.clamp(lo, hi),
         None => point.top_height,
     };
-    let knobs = CrescentKnobs { top_height: top_height_used, elision_height: point.elision_height };
+    let knobs = CrescentKnobs { top_height: top_height_used, elision_height: engine_elision_level };
     let search = StreamSearchConfig {
         radius: spec.workload.radius,
         max_neighbors: spec.workload.max_neighbors,
         maintenance: point.maintenance,
+        elision_depth: point.elision_depth,
     };
     let inputs: Vec<(&PointCloud, &[Point3])> =
         cache.frames.iter().map(|f| (&f.cloud, f.queries.as_slice())).collect();
@@ -159,9 +182,10 @@ fn run_point(
         point.scenario_idx,
         point.num_pes,
         point.tree_kb,
+        point.tree_banks,
         point.dram_bytes_per_cycle.to_bits(),
         point.top_height,
-        point.elision_height,
+        point.elision_depth,
     );
     let memoized = engine_memo.lock().expect("engine memo poisoned").get(&key).copied();
     let engine = memoized.unwrap_or_else(|| {
@@ -191,9 +215,12 @@ fn run_point(
         maintenance: maintenance_label(point.maintenance),
         num_pes: point.num_pes,
         tree_kb: point.tree_kb,
+        tree_banks: point.tree_banks,
         dram_bytes_per_cycle: point.dram_bytes_per_cycle,
+        aggregation_elision: point.aggregation_elision,
         top_height: point.top_height,
-        elision_height: point.elision_height,
+        elision_depth: point.elision_depth,
+        engine_elision_level,
         top_height_used,
         frames: cache.frames.len(),
         queries: report.total_queries(),
@@ -203,6 +230,12 @@ fn run_point(
         build_cycles: report.total_build_cycles(),
         dram_bytes: report.total_dram_bytes(),
         mean_reuse: report.mean_reuse_fraction(),
+        arb_rounds: report.total_arb_rounds(),
+        bank_conflicts: report.total_bank_conflicts(),
+        conflict_stall_cycles: report.total_conflict_stall_cycles(),
+        elided_conflicts: report.total_elided_conflicts(),
+        agg_cycles: report.total_agg_cycles(),
+        agg_elided: report.total_agg_elided(),
         full_rebuilds: report.frames.iter().filter(|f| f.full_rebuild).count(),
         subtrees_rebuilt: report.frames.iter().map(|f| f.subtrees_rebuilt).sum(),
         energy: *report.ledger.total(),
@@ -322,9 +355,11 @@ mod tests {
             maintenance: vec![TreeMaintenance::RebuildEveryFrame, TreeMaintenance::refit()],
             num_pes: vec![2, 4],
             tree_kb: vec![6],
+            tree_banks: vec![4],
             dram_bytes_per_cycle: vec![20.48],
+            aggregation_elision: vec![true],
             top_heights: vec![3],
-            elision_heights: vec![10],
+            elision_depths: vec![2],
         }
     }
 

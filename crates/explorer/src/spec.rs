@@ -31,12 +31,22 @@ pub struct SweepSpec {
     pub num_pes: Vec<usize>,
     /// Tree-buffer capacities in KiB (cache-geometry axis).
     pub tree_kb: Vec<usize>,
+    /// Tree-buffer bank counts (the arbitration-width axis: fewer banks
+    /// ⇒ more conflicts ⇒ more stall rounds or more elision, in both
+    /// the streaming pass and the engine cross-check).
+    pub tree_banks: Vec<usize>,
     /// Streaming DRAM bandwidths in bytes per accelerator cycle.
     pub dram_bytes_per_cycle: Vec<f64>,
+    /// Aggregation (Point-Buffer) elision on/off — moves the streaming
+    /// pass's per-frame gather rounds.
+    pub aggregation_elision: Vec<bool>,
     /// Top-tree heights `h_t`.
     pub top_heights: Vec<usize>,
-    /// Elision heights `h_e` (innermost axis).
-    pub elision_heights: Vec<usize>,
+    /// Streaming elision depths `h_e` (innermost axis): conflicted
+    /// fetches in the `h_e` deepest tree levels are dropped; `0` = exact
+    /// stall-only search. The engine cross-check pass converts each
+    /// value to its level threshold `height − h_e`.
+    pub elision_depths: Vec<usize>,
 }
 
 /// One expanded grid point, in expansion order.
@@ -55,23 +65,34 @@ pub struct SweepPoint {
     pub num_pes: usize,
     /// Tree-buffer capacity in KiB.
     pub tree_kb: usize,
+    /// Tree-buffer bank count.
+    pub tree_banks: usize,
     /// Streaming DRAM bandwidth in bytes per cycle.
     pub dram_bytes_per_cycle: f64,
+    /// Aggregation elision on/off.
+    pub aggregation_elision: bool,
     /// Top-tree height `h_t`.
     pub top_height: usize,
-    /// Elision height `h_e`.
-    pub elision_height: usize,
+    /// Streaming elision depth `h_e` (depth-from-leaves, 0 = off).
+    pub elision_depth: usize,
 }
 
 impl SweepPoint {
-    /// Builds the validated accelerator configuration for this point
-    /// (ANS+BCE shape: elision at `h_e` on the default banking).
+    /// Builds the validated accelerator configuration for this point.
+    ///
+    /// The search-elision *level* threshold is a per-tree quantity
+    /// (`height − h_e`), so it is installed here as the stall-only
+    /// placeholder `usize::MAX` and patched by the runner once frame 0's
+    /// tree height is known; banking, capacity, bandwidth, and the
+    /// aggregation-elision flag are fully determined by the point.
     pub fn config(&self) -> Result<AcceleratorConfig, ConfigError> {
         AcceleratorConfig::builder()
             .num_pes(self.num_pes)
             .tree_buffer_kb(self.tree_kb)
+            .tree_banks(self.tree_banks)
             .dram_stream_bytes_per_cycle(self.dram_bytes_per_cycle)
-            .elision_height(self.elision_height)
+            .elision_height(usize::MAX)
+            .aggregation_elision(self.aggregation_elision)
             .build()
     }
 }
@@ -87,20 +108,24 @@ pub fn maintenance_label(m: TreeMaintenance) -> &'static str {
 
 impl SweepSpec {
     /// The CI-scale spec: every canonical scenario × both maintenance
-    /// policies × three PE counts × two elision heights on a small
-    /// 8-frame stream. 60 points, seconds to run, and the source of the
-    /// checked-in `bench/baseline.json`.
+    /// policies × two PE counts × two bank counts × `h_e ∈ {0, 4}` on a
+    /// small 8-frame stream. 80 points, seconds to run, and the source
+    /// of the checked-in `bench/baseline.json` — `h_e = 0` rows double
+    /// as the exact stall-only reference the elided rows are judged
+    /// against.
     pub fn quick() -> Self {
         SweepSpec {
             label: "quick".to_string(),
             workload: quick_workload(),
             scenarios: StreamScenario::canonical_matrix().to_vec(),
             maintenance: vec![TreeMaintenance::RebuildEveryFrame, TreeMaintenance::refit()],
-            num_pes: vec![2, 4, 8],
+            num_pes: vec![2, 8],
             tree_kb: vec![6],
+            tree_banks: vec![2, 4],
             dram_bytes_per_cycle: vec![20.48],
+            aggregation_elision: vec![true],
             top_heights: vec![4],
-            elision_heights: vec![8, 12],
+            elision_depths: vec![0, 4],
         }
     }
 
@@ -135,9 +160,11 @@ impl SweepSpec {
             maintenance: vec![TreeMaintenance::RebuildEveryFrame, TreeMaintenance::refit()],
             num_pes: vec![1, 2, 4, 8, 16],
             tree_kb: vec![3, 6, 12],
+            tree_banks: vec![2, 4, 8],
             dram_bytes_per_cycle: vec![10.24, 20.48],
+            aggregation_elision: vec![false, true],
             top_heights: vec![2, 4, 6],
-            elision_heights: vec![8, 12],
+            elision_depths: vec![0, 2, 4, 8],
         }
     }
 
@@ -147,33 +174,42 @@ impl SweepSpec {
             * self.maintenance.len()
             * self.num_pes.len()
             * self.tree_kb.len()
+            * self.tree_banks.len()
             * self.dram_bytes_per_cycle.len()
+            * self.aggregation_elision.len()
             * self.top_heights.len()
-            * self.elision_heights.len()
+            * self.elision_depths.len()
     }
 
     /// Expands the grid in its fixed axis order — scenario, maintenance,
-    /// PE count, tree KiB, DRAM bandwidth, `h_t`, `h_e` (innermost).
+    /// PE count, tree KiB, tree banks, DRAM bandwidth, aggregation
+    /// elision, `h_t`, `h_e` (innermost).
     pub fn expand(&self) -> Vec<SweepPoint> {
         let mut points = Vec::with_capacity(self.num_points());
         for (scenario_idx, &scenario) in self.scenarios.iter().enumerate() {
             for &maintenance in &self.maintenance {
                 for &num_pes in &self.num_pes {
                     for &tree_kb in &self.tree_kb {
-                        for &dram_bytes_per_cycle in &self.dram_bytes_per_cycle {
-                            for &top_height in &self.top_heights {
-                                for &elision_height in &self.elision_heights {
-                                    points.push(SweepPoint {
-                                        index: points.len(),
-                                        scenario_idx,
-                                        scenario,
-                                        maintenance,
-                                        num_pes,
-                                        tree_kb,
-                                        dram_bytes_per_cycle,
-                                        top_height,
-                                        elision_height,
-                                    });
+                        for &tree_banks in &self.tree_banks {
+                            for &dram_bytes_per_cycle in &self.dram_bytes_per_cycle {
+                                for &aggregation_elision in &self.aggregation_elision {
+                                    for &top_height in &self.top_heights {
+                                        for &elision_depth in &self.elision_depths {
+                                            points.push(SweepPoint {
+                                                index: points.len(),
+                                                scenario_idx,
+                                                scenario,
+                                                maintenance,
+                                                num_pes,
+                                                tree_kb,
+                                                tree_banks,
+                                                dram_bytes_per_cycle,
+                                                aggregation_elision,
+                                                top_height,
+                                                elision_depth,
+                                            });
+                                        }
+                                    }
                                 }
                             }
                         }
@@ -191,9 +227,11 @@ impl SweepSpec {
             || self.maintenance.is_empty()
             || self.num_pes.is_empty()
             || self.tree_kb.is_empty()
+            || self.tree_banks.is_empty()
             || self.dram_bytes_per_cycle.is_empty()
+            || self.aggregation_elision.is_empty()
             || self.top_heights.is_empty()
-            || self.elision_heights.is_empty()
+            || self.elision_depths.is_empty()
         {
             return Err("every sweep axis needs at least one value".to_string());
         }
@@ -248,9 +286,12 @@ mod tests {
         spec.validate().expect("quick spec is valid");
         assert_eq!(spec.scenarios.len(), 5, "all scenarios");
         assert_eq!(spec.maintenance.len(), 2, "both policies");
-        assert!(spec.num_pes.len() >= 3, ">= 3 PE counts");
-        assert_eq!(spec.num_points(), 60);
-        assert_eq!(spec.expand().len(), 60);
+        assert!(spec.num_pes.len() >= 2, ">= 2 PE counts");
+        assert!(spec.tree_banks.len() >= 2, ">= 2 bank counts");
+        assert!(spec.elision_depths.contains(&0), "the exact h_e = 0 reference is gated");
+        assert!(spec.elision_depths.iter().any(|&d| d > 0), "a real elision point is gated");
+        assert_eq!(spec.num_points(), 80);
+        assert_eq!(spec.expand().len(), 80);
     }
 
     #[test]
@@ -261,8 +302,9 @@ mod tests {
             assert_eq!(p.index, i);
         }
         // innermost axis is h_e: consecutive points differ only there
-        assert_eq!(points[0].elision_height, 8);
-        assert_eq!(points[1].elision_height, 12);
+        assert_eq!(points[0].elision_depth, 0);
+        assert_eq!(points[1].elision_depth, 4);
+        assert_eq!(points[0].tree_banks, points[1].tree_banks);
         assert_eq!(points[0].num_pes, points[1].num_pes);
         assert_eq!(points[0].scenario.label(), points[1].scenario.label());
         // outermost axis is the scenario

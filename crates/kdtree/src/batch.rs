@@ -1,16 +1,37 @@
-//! Batched two-stage search with amortized top-tree traversal and
-//! frame-to-frame state reuse — the hot path of the streaming multi-frame
-//! workload engine.
+//! Batched two-stage search with amortized top-tree traversal,
+//! frame-to-frame state reuse, and the **same banked-arbitration timing
+//! model as the per-query engine** — the hot path of the streaming
+//! multi-frame workload engine.
 //!
-//! [`SplitTree::batch_search`] simulates the lock-step PE hardware and is
-//! the right tool for cycle/conflict modeling; this module is the
-//! *algorithmic* batched counterpart. [`SplitTree::search_batch`] routes a
-//! whole query batch down the top tree as one **wavefront**: every top-tree
-//! node is fetched at most once per batch and its payload is shared by all
-//! queries whose routing paths pass through it, instead of once per query.
-//! Stage 2 then answers each sub-tree's queue with the same confined exact
-//! traversal [`SplitTree::search_one`] uses, so the per-query neighbor sets
-//! are **identical** to per-query search — only the fetch schedule changes.
+//! [`SplitTree::search_batch`] routes a whole query batch down the top
+//! tree as one **wavefront**: every top-tree node is fetched at most once
+//! per batch and its payload is shared by all queries whose routing paths
+//! pass through it, instead of once per query. Because each stage-1 step
+//! issues exactly one shared fetch, the wavefront's top-tree descent is
+//! conflict-free *by construction* — the amortization is also a
+//! serialization-free schedule.
+//!
+//! Stage 2 is where the banked tree buffer bites, and it is modeled, not
+//! assumed away: with [`BatchSearchConfig::banking`] set, each sub-tree's
+//! query queue is drained in lock-step by `num_pes` PEs through the same
+//! [`crescent_memsim::BankedSram`]-backed arbiter the per-query engine
+//! model ([`SplitTree::batch_search`]) uses — one shared implementation,
+//! so the two paths cannot drift apart. A fetch that loses bank
+//! arbitration **stalls** (re-issues next round) unless its node lies in
+//! the `h_e` deepest levels of the tree, in which case it is **elided**:
+//! dropped together with the subtree beneath it (Sec 4's selective
+//! conflict elision, parameterized here by depth-from-leaves so the knob
+//! is stable across frames of varying tree height; the engine path's
+//! level threshold is `height − h_e`).
+//!
+//! At `h_e = 0` nothing is ever dropped, so the neighbor sets are
+//! bit-identical to per-query [`SplitTree::search_one`] — and since the
+//! stall-only queues are identical to the engine path's, the stage-2
+//! conflict/round counts match [`SplitTree::batch_search`] exactly
+//! (property-tested in `tests/elision_unified.rs`). With
+//! `banking = None` the module degrades to the pure *algorithmic*
+//! batched search (no timing model, results always identical to
+//! `search_one`).
 //!
 //! Across consecutive frames of a stream, a [`BatchState`] carries the
 //! descent state forward: the wavefront and per-sub-tree queue allocations
@@ -21,7 +42,7 @@
 
 use crescent_pointcloud::{Neighbor, Point3, POINT_BYTES};
 
-use crate::split::{finalize, subtree_radius_search, SplitTree};
+use crate::split::{drain_subtree_queue, finalize, subtree_radius_search, SplitTree, TreeArbiter};
 use crate::tree::NODE_BYTES;
 
 /// Reusable state for [`SplitTree::search_batch`], designed to live across
@@ -75,6 +96,66 @@ impl BatchState {
     }
 }
 
+/// Configuration of [`SplitTree::search_batch`].
+#[derive(Clone, Copy, Debug)]
+pub struct BatchSearchConfig {
+    /// Search radius.
+    pub radius: f32,
+    /// Cap on returned neighbors per query (`None` = unbounded).
+    pub max_neighbors: Option<usize>,
+    /// PEs draining each sub-tree queue in lock-step (stage 2). Ignored
+    /// when `banking` is `None` (the algorithmic mode has no timing).
+    pub num_pes: usize,
+    /// The banked tree-buffer model; `None` = pure algorithmic batching
+    /// (no arbitration rounds, results always equal `search_one`).
+    pub banking: Option<BatchBankModel>,
+}
+
+impl BatchSearchConfig {
+    /// Pure algorithmic batching: amortized fetch schedule, no timing
+    /// model — the pre-unification behavior.
+    pub fn algorithmic(radius: f32, max_neighbors: Option<usize>) -> Self {
+        BatchSearchConfig { radius, max_neighbors, num_pes: 1, banking: None }
+    }
+
+    /// The unified banked model: `num_pes` lock-step PEs over `num_banks`
+    /// tree-buffer banks, eliding conflicted fetches in the
+    /// `elision_depth` deepest tree levels (`0` = stall-only, exact).
+    pub fn banked(
+        radius: f32,
+        max_neighbors: Option<usize>,
+        num_pes: usize,
+        num_banks: usize,
+        elision_depth: usize,
+    ) -> Self {
+        BatchSearchConfig {
+            radius,
+            max_neighbors,
+            num_pes,
+            banking: Some(BatchBankModel { num_banks, elision_depth, descendant_reuse: false }),
+        }
+    }
+}
+
+/// The banked-SRAM side of a [`BatchSearchConfig`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchBankModel {
+    /// Tree-buffer banks (low-order interleaved on node index).
+    pub num_banks: usize,
+    /// The streaming form of the paper's `h_e` knob, measured as a depth
+    /// from the leaves: a conflicted fetch is dropped iff its node lies
+    /// in the `elision_depth` deepest levels of the tree (level
+    /// `>= height − elision_depth`). `0` disables elision entirely
+    /// (conflicts only stall, results stay exact); values `>= height`
+    /// elide every conflict. Depth-from-leaves is what a stream can hold
+    /// constant while per-frame tree heights wobble; the engine path's
+    /// level-based [`ElisionConfig::elision_height`](crate::ElisionConfig)
+    /// is recovered as `height − elision_depth`.
+    pub elision_depth: usize,
+    /// Sec 4.2 descendant-reuse salvage on elided fetches.
+    pub descendant_reuse: bool,
+}
+
 /// Statistics of one [`SplitTree::search_batch`] call.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct BatchSearchStats {
@@ -99,6 +180,34 @@ pub struct BatchSearchStats {
     pub dram_bytes: u64,
     /// 0-based index of this batch within the life of its [`BatchState`].
     pub frame_index: usize,
+    /// Stage-2 lock-step arbitration rounds — the banked model's compute
+    /// cycle count for the sub-tree stage (0 in algorithmic mode, where
+    /// no rounds are simulated). Conflict stalls lengthen it, elision
+    /// shortens it; at `h_e = 0` it equals the per-query engine model's
+    /// [`SplitSearchStats::subtree_rounds`](crate::SplitSearchStats) on
+    /// the same queues.
+    pub subtree_rounds: usize,
+    /// Rounds in which at least one fetch stalled on a bank conflict —
+    /// the serialization a conflict-free (or fully eliding) tree buffer
+    /// would win back.
+    pub stall_rounds: usize,
+    /// Stage-2 fetch attempts issued to the banked tree buffer,
+    /// including re-issues after stalls (0 in algorithmic mode).
+    pub fetch_attempts: usize,
+    /// Attempts that lost bank arbitration (stalled + elided + reused).
+    pub bank_conflicts: usize,
+    /// Lost attempts that stalled and re-issued next round.
+    pub conflict_stalls: usize,
+    /// Lost attempts dropped by `h_e` elision (each also drops the
+    /// subtree beneath the node — see
+    /// [`BatchSearchStats::nodes_skipped`]).
+    pub conflicts_elided: usize,
+    /// Lost attempts salvaged by descendant reuse
+    /// ([`BatchBankModel::descendant_reuse`]).
+    pub conflict_reuses: usize,
+    /// Tree nodes made unreachable by elision (dropped fetch + its whole
+    /// subtree) — the streaming counterpart of the Fig 9 metric.
+    pub nodes_skipped: usize,
 }
 
 impl BatchSearchStats {
@@ -121,25 +230,45 @@ impl BatchSearchStats {
             self.assignment_reuses as f64 / self.queries as f64
         }
     }
+
+    /// Fraction of stage-2 fetch attempts that bank-conflicted (the
+    /// Fig 4 metric on the streaming path; 0.0 in algorithmic mode).
+    pub fn conflict_rate(&self) -> f64 {
+        if self.fetch_attempts == 0 {
+            0.0
+        } else {
+            self.bank_conflicts as f64 / self.fetch_attempts as f64
+        }
+    }
 }
 
 impl SplitTree<'_> {
-    /// Batched two-stage search: one amortized top-tree descent for the
-    /// whole batch, then exact search confined to each assigned sub-tree.
+    /// Batched two-stage search: one amortized (conflict-free by
+    /// construction) top-tree wavefront for the whole batch, then search
+    /// confined to each assigned sub-tree — through the unified banked
+    /// arbitration model when [`BatchSearchConfig::banking`] is set.
     ///
-    /// Returns exactly the same per-query neighbor lists as calling
-    /// [`SplitTree::search_one`] on every query — batching changes the
-    /// fetch schedule (each top-tree node is read once per batch instead of
-    /// once per query), never the results. Pass the same `state` across the
-    /// frames of a stream to recycle its buffers and obtain the cross-frame
+    /// * With `banking = None`, or with `elision_depth = 0`, the
+    ///   per-query neighbor lists are **bit-identical** to calling
+    ///   [`SplitTree::search_one`] on every query — batching (and
+    ///   stall-only arbitration) changes fetch schedules and cycle
+    ///   counts, never results.
+    /// * With `elision_depth > 0`, conflicted fetches in the deepest
+    ///   `elision_depth` tree levels are dropped: results become a
+    ///   subset of the exact ones (approximation is always subtractive)
+    ///   and [`BatchSearchStats::subtree_rounds`] shrinks.
+    ///
+    /// Pass the same `state` across the frames of a stream to recycle its
+    /// buffers and obtain the cross-frame
     /// [`BatchSearchStats::assignment_reuses`] metric.
     pub fn search_batch(
         &self,
         queries: &[Point3],
-        radius: f32,
-        max_neighbors: Option<usize>,
+        config: &BatchSearchConfig,
         state: &mut BatchState,
     ) -> (Vec<Vec<Neighbor>>, BatchSearchStats) {
+        let radius = config.radius;
+        let max_neighbors = config.max_neighbors;
         let tree = self.tree();
         let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); queries.len()];
         let mut stats = BatchSearchStats {
@@ -230,7 +359,16 @@ impl SplitTree<'_> {
             }
         }
 
-        // ---- stage 2: exact search confined to each assigned sub-tree ----
+        // ---- stage 2: search confined to each assigned sub-tree ----
+        // The banked mode drains each queue through the SAME lock-step
+        // arbitration implementation the per-query engine model uses
+        // (`drain_subtree_queue`); the algorithmic mode walks each query
+        // sequentially with no timing model.
+        let mut arbiter = config.banking.map(|b| {
+            // depth-from-leaves h_e -> the engine's level threshold
+            let threshold = tree.height().saturating_sub(b.elision_depth);
+            TreeArbiter::banked(b.num_banks, threshold, b.descendant_reuse)
+        });
         for (s, queue) in state.queues.iter().enumerate() {
             if queue.is_empty() {
                 continue;
@@ -238,17 +376,42 @@ impl SplitTree<'_> {
             stats.subtrees_touched += 1;
             stats.dram_bytes += (self.subtree_len(s) * NODE_BYTES) as u64;
             let root = self.subtree_roots()[s];
-            for &qi in queue {
-                subtree_radius_search(
-                    tree,
-                    root,
-                    queries[qi],
-                    radius,
-                    &mut results[qi],
-                    &mut |_| {
-                        stats.subtree_visits += 1;
-                    },
-                );
+            match arbiter.as_mut() {
+                Some(arbiter) => {
+                    let q = drain_subtree_queue(
+                        tree,
+                        root,
+                        queue,
+                        queries,
+                        radius,
+                        config.num_pes,
+                        arbiter,
+                        &mut results,
+                    );
+                    stats.subtree_visits += q.visits;
+                    stats.subtree_rounds += q.rounds;
+                    stats.stall_rounds += q.stall_rounds;
+                    stats.fetch_attempts += q.attempts;
+                    stats.bank_conflicts += q.conflicts;
+                    stats.conflict_stalls += q.stalls;
+                    stats.conflicts_elided += q.elided;
+                    stats.conflict_reuses += q.reuses;
+                    stats.nodes_skipped += q.skipped;
+                }
+                None => {
+                    for &qi in queue {
+                        subtree_radius_search(
+                            tree,
+                            root,
+                            queries[qi],
+                            radius,
+                            &mut results[qi],
+                            &mut |_| {
+                                stats.subtree_visits += 1;
+                            },
+                        );
+                    }
+                }
             }
         }
         for hits in &mut results {
@@ -304,7 +467,11 @@ mod tests {
             let split = SplitTree::new(&tree, ht).unwrap();
             let queries = random_queries(128, seed + 100);
             let mut state = BatchState::new();
-            let (batch, _) = split.search_batch(&queries, 0.3, Some(16), &mut state);
+            let (batch, _) = split.search_batch(
+                &queries,
+                &BatchSearchConfig::algorithmic(0.3, Some(16)),
+                &mut state,
+            );
             for (qi, &q) in queries.iter().enumerate() {
                 let single = split.search_one(q, 0.3, Some(16));
                 assert_eq!(batch[qi], single, "ht {ht} query {qi}");
@@ -319,7 +486,8 @@ mod tests {
         let split = SplitTree::new(&tree, 5).unwrap();
         let queries = random_queries(512, 65);
         let mut state = BatchState::new();
-        let (_, stats) = split.search_batch(&queries, 0.2, None, &mut state);
+        let (_, stats) =
+            split.search_batch(&queries, &BatchSearchConfig::algorithmic(0.2, None), &mut state);
         // the wavefront touches each top-tree node at most once
         assert!(stats.top_fetches <= split.top_len());
         // per-query routing would fetch one node per level per query
@@ -334,10 +502,18 @@ mod tests {
         let split = SplitTree::new(&tree, 3).unwrap();
         let queries = random_queries(96, 67);
         let mut state = BatchState::new();
-        let (_, first) = split.search_batch(&queries, 0.25, Some(8), &mut state);
+        let (_, first) = split.search_batch(
+            &queries,
+            &BatchSearchConfig::algorithmic(0.25, Some(8)),
+            &mut state,
+        );
         assert_eq!(first.assignment_reuses, 0, "no previous frame yet");
         assert_eq!(first.frame_index, 0);
-        let (_, second) = split.search_batch(&queries, 0.25, Some(8), &mut state);
+        let (_, second) = split.search_batch(
+            &queries,
+            &BatchSearchConfig::algorithmic(0.25, Some(8)),
+            &mut state,
+        );
         assert_eq!(second.assignment_reuses, queries.len(), "identical frame reuses everything");
         assert_eq!(second.frame_index, 1);
         assert!((second.reuse_fraction() - 1.0).abs() < 1e-12);
@@ -353,8 +529,9 @@ mod tests {
         let shifted: Vec<Point3> =
             queries.iter().map(|q| *q + Point3::new(0.01, -0.01, 0.005)).collect();
         let mut state = BatchState::new();
-        split.search_batch(&queries, 0.25, None, &mut state);
-        let (_, stats) = split.search_batch(&shifted, 0.25, None, &mut state);
+        split.search_batch(&queries, &BatchSearchConfig::algorithmic(0.25, None), &mut state);
+        let (_, stats) =
+            split.search_batch(&shifted, &BatchSearchConfig::algorithmic(0.25, None), &mut state);
         // a small drift keeps most queries in their sub-tree
         assert!(
             stats.assignment_reuses > queries.len() / 2,
@@ -372,7 +549,8 @@ mod tests {
         let split = SplitTree::new(&tree, 3).unwrap();
         let queries = random_queries(64, 71);
         let mut state = BatchState::new();
-        let (_, stats) = split.search_batch(&queries, 0.3, None, &mut state);
+        let (_, stats) =
+            split.search_batch(&queries, &BatchSearchConfig::algorithmic(0.3, None), &mut state);
         let reference = crate::baselines::crescent_dram_bytes(&split, &queries, 0.3);
         assert_eq!(stats.dram_bytes, reference);
     }
@@ -382,16 +560,127 @@ mod tests {
         let tree = KdTree::build(&PointCloud::new());
         let split = SplitTree::new(&tree, 0).unwrap();
         let mut state = BatchState::new();
-        let (res, stats) = split.search_batch(&[Point3::ZERO], 1.0, None, &mut state);
+        let (res, stats) = split.search_batch(
+            &[Point3::ZERO],
+            &BatchSearchConfig::algorithmic(1.0, None),
+            &mut state,
+        );
         assert!(res[0].is_empty());
         assert_eq!(stats.top_fetches, 0);
         let cloud = random_cloud(100, 72);
         let tree = KdTree::build(&cloud);
         let split = SplitTree::new(&tree, 2).unwrap();
-        let (res, stats) = split.search_batch(&[], 1.0, None, &mut state);
+        let (res, stats) =
+            split.search_batch(&[], &BatchSearchConfig::algorithmic(1.0, None), &mut state);
         assert!(res.is_empty());
         assert_eq!(stats.queries, 0);
         assert_eq!(stats.dram_bytes, 0);
+    }
+
+    #[test]
+    fn banked_stall_only_is_bit_identical_to_search_one() {
+        // h_e = 0: conflicts serialize but never drop, so the wavefront
+        // stays an exact oracle while the timing model runs
+        let cloud = random_cloud(4096, 75);
+        let tree = KdTree::build(&cloud);
+        let split = SplitTree::new(&tree, 3).unwrap();
+        let queries = random_queries(128, 76);
+        let cfg = BatchSearchConfig::banked(0.3, Some(16), 8, 4, 0);
+        let mut state = BatchState::new();
+        let (batch, stats) = split.search_batch(&queries, &cfg, &mut state);
+        for (qi, &q) in queries.iter().enumerate() {
+            assert_eq!(batch[qi], split.search_one(q, 0.3, Some(16)), "query {qi}");
+        }
+        assert_eq!(stats.conflicts_elided, 0, "h_e = 0 never drops a fetch");
+        assert_eq!(stats.nodes_skipped, 0);
+        assert!(stats.subtree_rounds > 0, "the banked model counts rounds");
+        assert!(stats.bank_conflicts > 0, "8 PEs on 4 banks must conflict");
+        assert_eq!(stats.bank_conflicts, stats.conflict_stalls, "every conflict stalls");
+        assert_eq!(
+            stats.fetch_attempts,
+            stats.subtree_visits + stats.bank_conflicts,
+            "every stage-2 attempt either visits or loses arbitration"
+        );
+        assert!(stats.stall_rounds > 0 && stats.stall_rounds <= stats.subtree_rounds);
+        // more rounds than the conflict-free lower bound, fewer than the
+        // fully serialized upper bound
+        assert!(stats.subtree_rounds >= stats.subtree_visits.div_ceil(8));
+        assert!(stats.subtree_rounds <= stats.fetch_attempts);
+    }
+
+    #[test]
+    fn banked_elision_subsets_results_and_saves_rounds() {
+        let cloud = random_cloud(4096, 77);
+        let tree = KdTree::build(&cloud);
+        let split = SplitTree::new(&tree, 2).unwrap();
+        let queries = random_queries(96, 78);
+        let exact = BatchSearchConfig::banked(0.3, None, 8, 4, 0);
+        let elide = BatchSearchConfig::banked(0.3, None, 8, 4, 6);
+        let (full, s0) = split.search_batch(&queries, &exact, &mut BatchState::new());
+        let (approx, s6) = split.search_batch(&queries, &elide, &mut BatchState::new());
+        assert!(s6.conflicts_elided > 0, "deep elision must fire");
+        assert!(s6.nodes_skipped >= s6.conflicts_elided);
+        assert!(s6.subtree_rounds < s0.subtree_rounds, "elision must save rounds");
+        for (a, f) in approx.iter().zip(&full) {
+            let fset: Vec<usize> = f.iter().map(|n| n.index).collect();
+            for n in a {
+                assert!(fset.contains(&n.index), "elision may drop, never invent");
+            }
+        }
+        let full_count: usize = full.iter().map(Vec::len).sum();
+        let approx_count: usize = approx.iter().map(Vec::len).sum();
+        assert!(approx_count <= full_count);
+    }
+
+    #[test]
+    fn banked_rounds_monotone_in_elision_depth() {
+        // the streaming h_e convention: deeper elision eligibility can
+        // only remove work (stalls turn into drops, drops shed subtrees)
+        let cloud = random_cloud(8192, 79);
+        let tree = KdTree::build(&cloud);
+        let split = SplitTree::new(&tree, 2).unwrap();
+        let queries = random_queries(128, 80);
+        let mut prev = usize::MAX;
+        for depth in [0usize, 2, 4, 6, 8] {
+            let cfg = BatchSearchConfig::banked(0.25, None, 8, 4, depth);
+            let (_, stats) = split.search_batch(&queries, &cfg, &mut BatchState::new());
+            let cycles = stats.top_fetches + stats.subtree_rounds;
+            assert!(cycles <= prev, "h_e {depth}: {cycles} rounds > previous {prev}");
+            prev = cycles;
+        }
+    }
+
+    #[test]
+    fn bank_axis_moves_the_conflict_rate() {
+        let cloud = random_cloud(4096, 81);
+        let tree = KdTree::build(&cloud);
+        let split = SplitTree::new(&tree, 2).unwrap();
+        let queries = random_queries(96, 82);
+        let mut prev_rate = 1.1f64;
+        let mut prev_rounds = usize::MAX;
+        for banks in [2usize, 4, 16] {
+            let cfg = BatchSearchConfig::banked(0.3, None, 8, banks, 0);
+            let (_, stats) = split.search_batch(&queries, &cfg, &mut BatchState::new());
+            assert!(stats.conflict_rate() <= prev_rate + 1e-9, "banks {banks}");
+            assert!(stats.subtree_rounds <= prev_rounds, "banks {banks}");
+            prev_rate = stats.conflict_rate();
+            prev_rounds = stats.subtree_rounds;
+        }
+    }
+
+    #[test]
+    fn algorithmic_mode_reports_no_arbitration() {
+        let cloud = random_cloud(1024, 83);
+        let tree = KdTree::build(&cloud);
+        let split = SplitTree::new(&tree, 3).unwrap();
+        let queries = random_queries(64, 84);
+        let cfg = BatchSearchConfig::algorithmic(0.3, Some(8));
+        let (_, stats) = split.search_batch(&queries, &cfg, &mut BatchState::new());
+        assert_eq!(stats.subtree_rounds, 0);
+        assert_eq!(stats.fetch_attempts, 0);
+        assert_eq!(stats.bank_conflicts, 0);
+        assert_eq!(stats.conflict_rate(), 0.0);
+        assert!(stats.subtree_visits > 0, "visits are still counted");
     }
 
     #[test]
@@ -401,10 +690,10 @@ mod tests {
         let split = SplitTree::new(&tree, 3).unwrap();
         let queries = random_queries(64, 74);
         let mut state = BatchState::new();
-        split.search_batch(&queries, 0.3, None, &mut state);
+        split.search_batch(&queries, &BatchSearchConfig::algorithmic(0.3, None), &mut state);
         let spare_after_first = state.spare.len();
         assert!(spare_after_first > 0, "wavefront lists must return to the spare pool");
-        split.search_batch(&queries, 0.3, None, &mut state);
+        split.search_batch(&queries, &BatchSearchConfig::algorithmic(0.3, None), &mut state);
         assert_eq!(state.spare.len(), spare_after_first, "steady state allocates nothing new");
     }
 }

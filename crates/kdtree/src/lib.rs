@@ -11,8 +11,11 @@
 //!   the fully-streaming two-stage search (Sec 3) and the lock-step
 //!   bank-conflict elision model (Sec 4);
 //! * [`batch`] — the batched two-stage search ([`SplitTree::search_batch`])
-//!   that amortizes top-tree fetches across a query batch and reuses its
-//!   descent state across the frames of a stream ([`BatchState`]);
+//!   that amortizes top-tree fetches across a query batch, reuses its
+//!   descent state across the frames of a stream ([`BatchState`]), and
+//!   drains each sub-tree queue through the same banked-arbitration model
+//!   as `batch_search` (conflicts stall or are elided per the
+//!   depth-from-leaves `h_e` knob of [`BatchBankModel`]);
 //! * [`refit`] — incremental frame-coherent tree maintenance
 //!   ([`KdTree::refit`]): in-place coordinate update + validation +
 //!   per-sub-tree repair for temporally coherent frames, with an honest
@@ -55,7 +58,7 @@ pub mod tree;
 pub use baselines::{
     crescent_dram_bytes, exhaustive_visits, split_exhaustive_search, BaselineReport,
 };
-pub use batch::{BatchSearchStats, BatchState};
+pub use batch::{BatchBankModel, BatchSearchConfig, BatchSearchStats, BatchState};
 pub use refit::{RebuildReason, RefitConfig, RefitOutcome, RefitStats};
 pub use search::{knn_search, radius_search, radius_search_traced, TraversalStats};
 pub use split::{

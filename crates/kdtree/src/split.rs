@@ -15,13 +15,17 @@
 //! * `h_e` (elision height): tree level at and below which a bank-conflicted
 //!   tree-buffer fetch is *dropped* (the subtree beneath it is skipped)
 //!   instead of stalling the PE. Smaller ⇒ more drops ⇒ faster but less
-//!   accurate.
+//!   accurate. The streaming wavefront exposes the same threshold in its
+//!   depth-from-leaves form (`height − h_e`, see
+//!   [`BatchBankModel`](crate::BatchBankModel)); both forms drive the one
+//!   shared arbitration implementation (`TreeArbiter`, in this module).
 
 use serde::{Deserialize, Serialize};
 
+use crescent_memsim::{BankedSram, PortOutcome, SramConfig};
 use crescent_pointcloud::{Neighbor, Point3};
 
-use crate::tree::KdTree;
+use crate::tree::{KdTree, NODE_BYTES};
 
 /// Error building a [`SplitTree`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -294,9 +298,11 @@ impl<'a> SplitTree<'a> {
         if self.tree.is_empty() || queries.is_empty() {
             return (results, stats);
         }
+        let mut arbiter = TreeArbiter::from_elision(&config.elision);
 
         // ---- stage 1: top-tree descent (lock-step, conflicts modeled) ----
-        let assignments = self.run_top_stage(queries, config, &mut results, &mut stats);
+        let assignments =
+            self.run_top_stage(queries, config, &mut arbiter, &mut results, &mut stats);
 
         // ---- group queries per sub-tree, preserving arrival order ----
         let mut queues: Vec<Vec<usize>> = vec![Vec::new(); self.num_subtrees()];
@@ -314,7 +320,17 @@ impl<'a> SplitTree<'a> {
         // ---- stage 2: per-sub-tree confined search ----
         for (s, queue) in queues.iter().enumerate() {
             let root = self.subtree_roots[s];
-            self.run_subtree_queue(root, queue, queries, config, &mut results, &mut stats);
+            let outcome = drain_subtree_queue(
+                self.tree,
+                root,
+                queue,
+                queries,
+                config.radius,
+                config.num_pes,
+                &mut arbiter,
+                &mut results,
+            );
+            stats.absorb_queue(&outcome);
         }
 
         for hits in &mut results {
@@ -330,6 +346,7 @@ impl<'a> SplitTree<'a> {
         &self,
         queries: &[Point3],
         config: &SplitSearchConfig,
+        arbiter: &mut TreeArbiter,
         results: &mut [Vec<Neighbor>],
         stats: &mut SplitSearchStats,
     ) -> Vec<Option<usize>> {
@@ -359,9 +376,13 @@ impl<'a> SplitTree<'a> {
             stats.rounds += 1;
             let requests: Vec<Option<usize>> =
                 pe_state.iter().map(|s| s.map(|(_, idx)| idx)).collect();
-            let honored = self.arbitrate(&requests, config, stats);
+            let honored = arbiter.arbitrate(self.tree, &requests);
             for (pe, slot) in pe_state.iter_mut().enumerate() {
                 let Some((qi, idx)) = *slot else { continue };
+                stats.fetch_attempts += 1;
+                if honored[pe] != Arbitration::Honored {
+                    stats.bank_conflicts += 1;
+                }
                 match honored[pe] {
                     Arbitration::Honored => {
                         stats.top_tree_visits += 1;
@@ -409,7 +430,9 @@ impl<'a> SplitTree<'a> {
                         // next round without re-requesting
                         stats.descendant_reuses += 1;
                     }
-                    Arbitration::Stalled => { /* retry next round */ }
+                    Arbitration::Stalled => {
+                        stats.conflict_stalls += 1; // retry next round
+                    }
                     Arbitration::Elided => {
                         // routing fetch lost and dropped: the query never
                         // reaches a sub-tree
@@ -422,164 +445,284 @@ impl<'a> SplitTree<'a> {
         }
         assignments
     }
+}
 
-    /// Stage-2 simulation of one sub-tree's query queue: idle PEs pull the
-    /// next queued query and traverse independently, stalling only on
-    /// tree-buffer bank conflicts.
-    fn run_subtree_queue(
-        &self,
-        root: usize,
-        queue: &[usize],
-        queries: &[Point3],
-        config: &SplitSearchConfig,
-        results: &mut [Vec<Neighbor>],
-        stats: &mut SplitSearchStats,
-    ) {
-        if queue.is_empty() {
-            return;
-        }
-        let r2 = config.radius * config.radius;
-        let num_pes = config.num_pes.max(1);
-        let mut next = 0usize;
-        let mut pe_query: Vec<Option<usize>> = vec![None; num_pes];
-        let mut stacks: Vec<Vec<usize>> = vec![Vec::new(); num_pes];
-        loop {
-            for (slot, stack) in pe_query.iter_mut().zip(&mut stacks) {
-                if slot.is_none() && next < queue.len() {
-                    *slot = Some(queue[next]);
-                    next += 1;
-                    stack.push(root);
-                }
-            }
-            if pe_query.iter().all(Option::is_none) {
-                break;
-            }
-            stats.rounds += 1;
-            let tops: Vec<Option<usize>> = stacks.iter().map(|s| s.last().copied()).collect();
-            let honored = self.arbitrate(&tops, config, stats);
-            for pe in 0..num_pes {
-                let Some(qi) = pe_query[pe] else { continue };
-                let Some(idx) = tops[pe] else { continue };
-                let mut visit: Option<usize> = None;
-                match honored[pe] {
-                    Arbitration::Honored => {
-                        stacks[pe].pop();
-                        visit = Some(idx);
-                    }
-                    Arbitration::Reused(w) => {
-                        stacks[pe].pop();
-                        stats.descendant_reuses += 1;
-                        if w == idx {
-                            // same node: the multicast data is exactly
-                            // what this PE asked for
-                            visit = Some(idx);
-                        } else {
-                            // continue beneath the winner; the bypassed
-                            // part of this subtree is skipped
-                            stats.nodes_skipped +=
-                                self.tree.subtree_len(idx) - self.tree.subtree_len(w);
-                            stacks[pe].push(w);
-                        }
-                    }
-                    Arbitration::Stalled => { /* keep stack top, retry */ }
-                    Arbitration::Elided => {
-                        // drop the node and everything beneath it
-                        stacks[pe].pop();
-                        stats.nodes_elided += 1;
-                        stats.nodes_skipped += self.tree.subtree_len(idx);
-                    }
-                }
-                if let Some(idx) = visit {
-                    stats.nodes_visited += 1;
-                    stats.subtree_visits += 1;
-                    let node = self.tree.node(idx);
-                    let q = queries[qi];
-                    let d2 = node.point.dist2(q);
-                    if d2 <= r2 {
-                        results[qi].push(Neighbor { index: node.point_index as usize, dist2: d2 });
-                    }
-                    let axis = node.axis as usize;
-                    let delta = q.coord(axis) - node.point.coord(axis);
-                    let (near, far) = if delta <= 0.0 {
-                        (self.tree.left(idx), self.tree.right(idx))
-                    } else {
-                        (self.tree.right(idx), self.tree.left(idx))
-                    };
-                    if delta * delta <= r2 {
-                        if let Some(f) = far {
-                            stacks[pe].push(f);
-                        }
-                    }
-                    if let Some(n) = near {
-                        stacks[pe].push(n);
-                    }
-                }
-                if stacks[pe].is_empty() {
-                    pe_query[pe] = None;
-                }
-            }
+/// The lock-step tree-buffer arbiter shared by *every* timing path that
+/// fetches tree nodes — the per-query engine model
+/// ([`SplitTree::batch_search`]) and the streaming wavefront
+/// ([`SplitTree::search_batch`](crate::batch)) route their node fetches
+/// through this one implementation, so "one unified timing model" is a
+/// structural property, not a testing aspiration.
+///
+/// Bank mapping and winner selection are delegated to `crescent-memsim`'s
+/// [`BankedSram`] (node index × [`NODE_BYTES`], word size = one node, so
+/// nodes are low-order interleaved across banks exactly like the
+/// engine's Fig 10 hardware); this type adds the tree-shaped policy on
+/// top: the `h_e` level comparator that decides whether a losing fetch
+/// stalls or is dropped, and the optional descendant-reuse salvage.
+#[derive(Debug)]
+pub(crate) struct TreeArbiter {
+    /// `None` = ideal SRAM (no banking model): every request is honored.
+    sram: Option<BankedSram>,
+    /// Elide a losing fetch iff its node's level is `>= threshold`
+    /// (levels are `0..height`); losers above the threshold stall.
+    threshold: usize,
+    /// Sec 4.2 descendant-reuse refinement on elided fetches.
+    reuse: bool,
+    /// Per-round scratch, reused so the innermost simulation loop does
+    /// not allocate (one arbitration round runs per simulated cycle).
+    addrs: Vec<Option<u64>>,
+    eligible: Vec<bool>,
+}
+
+impl TreeArbiter {
+    /// Arbiter for the engine path's [`ElisionConfig`] (`None` = the
+    /// pure-ANS ideal SRAM).
+    pub(crate) fn from_elision(elision: &Option<ElisionConfig>) -> Self {
+        match elision {
+            None => TreeArbiter {
+                sram: None,
+                threshold: usize::MAX,
+                reuse: false,
+                addrs: Vec::new(),
+                eligible: Vec::new(),
+            },
+            Some(e) => TreeArbiter::banked(e.num_banks, e.elision_height, e.descendant_reuse),
         }
     }
 
-    /// Bank arbitration for one lock-step round. `requests[pe]` is the
-    /// node each PE wants to fetch (None = idle).
-    fn arbitrate(
-        &self,
-        requests: &[Option<usize>],
-        config: &SplitSearchConfig,
-        stats: &mut SplitSearchStats,
-    ) -> Vec<Arbitration> {
-        let mut out = vec![Arbitration::Honored; requests.len()];
-        let Some(el) = &config.elision else {
-            // no banking model: every request is honored
-            for (pe, r) in requests.iter().enumerate() {
-                if r.is_some() {
-                    stats.fetch_attempts += 1;
-                } else {
-                    out[pe] = Arbitration::Stalled; // unused for idle PEs
-                }
-            }
-            return out;
+    /// Banked arbiter with an explicit level threshold: losing fetches at
+    /// level `>= threshold` are elided, the rest stall. The streaming
+    /// wavefront derives `threshold = height − h_e` from its
+    /// depth-from-leaves knob; the engine path passes the paper's raw
+    /// `elision_height`.
+    pub(crate) fn banked(num_banks: usize, threshold: usize, reuse: bool) -> Self {
+        let banks = num_banks.max(1);
+        let config = SramConfig {
+            num_banks: banks,
+            word_bytes: NODE_BYTES,
+            capacity_bytes: banks * NODE_BYTES,
         };
-        let banks = el.num_banks.max(1);
-        // winner per bank: the node whose data the bank will return
-        let mut winner_of_bank: Vec<Option<usize>> = vec![None; banks];
-        for (pe, r) in requests.iter().enumerate() {
-            let Some(idx) = *r else {
-                out[pe] = Arbitration::Stalled; // idle; value unused
-                continue;
-            };
-            stats.fetch_attempts += 1;
-            let bank = idx % banks;
-            match winner_of_bank[bank] {
-                None => {
-                    winner_of_bank[bank] = Some(idx);
-                    out[pe] = Arbitration::Honored;
-                }
-                Some(winner_node) => {
-                    stats.bank_conflicts += 1;
-                    if self.tree.level_of(idx) >= el.elision_height {
-                        if el.descendant_reuse && is_ancestor(idx, winner_node) {
+        TreeArbiter {
+            sram: Some(BankedSram::new(config)),
+            threshold,
+            reuse,
+            addrs: Vec::new(),
+            eligible: Vec::new(),
+        }
+    }
+
+    /// The underlying [`BankedSram`] counter block (cumulative across
+    /// every round this arbiter ran), if banked — the cross-check handle
+    /// tests use to tie the kdtree-level statistics to the memsim model.
+    #[cfg(test)]
+    pub(crate) fn sram_counters(&self) -> Option<crescent_memsim::SramCounters> {
+        self.sram.as_ref().map(|s| *s.counters())
+    }
+
+    /// Arbitrates one lock-step round. `requests[pe]` is the node each PE
+    /// wants to fetch (`None` = idle port).
+    pub(crate) fn arbitrate(
+        &mut self,
+        tree: &KdTree,
+        requests: &[Option<usize>],
+    ) -> Vec<Arbitration> {
+        let Some(sram) = &mut self.sram else {
+            // ideal SRAM: every request is honored (idle slots carry a
+            // placeholder the callers never read)
+            return requests
+                .iter()
+                .map(|r| if r.is_some() { Arbitration::Honored } else { Arbitration::Stalled })
+                .collect();
+        };
+        self.addrs.clear();
+        self.addrs.extend(requests.iter().map(|r| r.map(|idx| (idx * NODE_BYTES) as u64)));
+        self.eligible.clear();
+        self.eligible.extend(
+            requests.iter().map(|r| r.is_some_and(|idx| tree.level_of(idx) >= self.threshold)),
+        );
+        let outcomes = sram.arbitrate_selective(&self.addrs, &self.eligible);
+        let config = *sram.config();
+        outcomes
+            .iter()
+            .enumerate()
+            .map(|(pe, outcome)| {
+                let Some(idx) = requests[pe] else { return Arbitration::Stalled };
+                match outcome {
+                    PortOutcome::Granted => Arbitration::Honored,
+                    PortOutcome::Conflict => Arbitration::Stalled,
+                    // without descendant reuse an elided fetch is simply
+                    // dropped — no need to look up whose data the bank
+                    // multicast
+                    PortOutcome::Elided if !self.reuse => Arbitration::Elided,
+                    PortOutcome::Elided => {
+                        let bank = config.bank_of((idx * NODE_BYTES) as u64);
+                        let winner_port =
+                            sram.winner_of_bank(bank).expect("a lost bank has a winner");
+                        let winner_node = requests[winner_port].expect("winners requested a node");
+                        if is_ancestor(idx, winner_node) {
                             // the winner's data lies beneath the lost
                             // node: continuing from it terminates and
                             // skips fewer nodes (Sec 4.2 refinement)
-                            out[pe] = Arbitration::Reused(winner_node);
+                            Arbitration::Reused(winner_node)
                         } else {
-                            out[pe] = Arbitration::Elided;
+                            Arbitration::Elided
                         }
-                    } else {
-                        stats.conflict_stalls += 1;
-                        out[pe] = Arbitration::Stalled;
                     }
                 }
-            }
-        }
-        out
+            })
+            .collect()
     }
 }
 
+/// Accounting of one sub-tree queue drained by [`drain_subtree_queue`] —
+/// the per-queue slice of the unified stage-2 timing model, absorbed
+/// into [`SplitSearchStats`] by the engine path and into
+/// [`BatchSearchStats`](crate::BatchSearchStats) by the wavefront.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct QueueOutcome {
+    /// Lock-step arbitration rounds (the stage-2 cycle proxy).
+    pub rounds: usize,
+    /// Rounds in which at least one fetch lost arbitration and stalled —
+    /// the cycles a conflict-free SRAM could win back.
+    pub stall_rounds: usize,
+    /// Fetch attempts issued (including re-issues after stalls).
+    pub attempts: usize,
+    /// Attempts that lost bank arbitration (stalled + elided + reused).
+    pub conflicts: usize,
+    /// Lost attempts that stalled and re-issued.
+    pub stalls: usize,
+    /// Lost attempts dropped by elision.
+    pub elided: usize,
+    /// Lost attempts salvaged by descendant reuse.
+    pub reuses: usize,
+    /// Nodes made unreachable by elision (dropped node + its subtree).
+    pub skipped: usize,
+    /// Honored node visits.
+    pub visits: usize,
+}
+
+/// Drains one sub-tree's query queue in lock-step: idle PEs pull the next
+/// queued query and traverse independently (own stack), every simulated
+/// cycle each active PE issues its stack-top node to `arbiter`, and
+/// losing fetches stall, elide, or reuse per the arbiter's policy.
+///
+/// This is THE stage-2 simulation — [`SplitTree::batch_search`] and the
+/// banked [`SplitTree::search_batch`](crate::batch) both call it, which
+/// is what makes their conflict/round accounting identical whenever they
+/// are handed identical queues (property-tested in
+/// `tests/elision_unified.rs`).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn drain_subtree_queue(
+    tree: &KdTree,
+    root: usize,
+    queue: &[usize],
+    queries: &[Point3],
+    radius: f32,
+    num_pes: usize,
+    arbiter: &mut TreeArbiter,
+    results: &mut [Vec<Neighbor>],
+) -> QueueOutcome {
+    let mut out = QueueOutcome::default();
+    if queue.is_empty() {
+        return out;
+    }
+    let r2 = radius * radius;
+    let num_pes = num_pes.max(1);
+    let mut next = 0usize;
+    let mut pe_query: Vec<Option<usize>> = vec![None; num_pes];
+    let mut stacks: Vec<Vec<usize>> = vec![Vec::new(); num_pes];
+    loop {
+        for (slot, stack) in pe_query.iter_mut().zip(&mut stacks) {
+            if slot.is_none() && next < queue.len() {
+                *slot = Some(queue[next]);
+                next += 1;
+                stack.push(root);
+            }
+        }
+        if pe_query.iter().all(Option::is_none) {
+            break;
+        }
+        out.rounds += 1;
+        let mut round_stalled = false;
+        let tops: Vec<Option<usize>> = stacks.iter().map(|s| s.last().copied()).collect();
+        let honored = arbiter.arbitrate(tree, &tops);
+        for pe in 0..num_pes {
+            let Some(qi) = pe_query[pe] else { continue };
+            let Some(idx) = tops[pe] else { continue };
+            out.attempts += 1;
+            if honored[pe] != Arbitration::Honored {
+                out.conflicts += 1;
+            }
+            let mut visit: Option<usize> = None;
+            match honored[pe] {
+                Arbitration::Honored => {
+                    stacks[pe].pop();
+                    visit = Some(idx);
+                }
+                Arbitration::Reused(w) => {
+                    stacks[pe].pop();
+                    out.reuses += 1;
+                    if w == idx {
+                        // same node: the multicast data is exactly
+                        // what this PE asked for
+                        visit = Some(idx);
+                    } else {
+                        // continue beneath the winner; the bypassed
+                        // part of this subtree is skipped
+                        out.skipped += tree.subtree_len(idx) - tree.subtree_len(w);
+                        stacks[pe].push(w);
+                    }
+                }
+                Arbitration::Stalled => {
+                    // keep stack top, retry next round
+                    out.stalls += 1;
+                    round_stalled = true;
+                }
+                Arbitration::Elided => {
+                    // drop the node and everything beneath it
+                    stacks[pe].pop();
+                    out.elided += 1;
+                    out.skipped += tree.subtree_len(idx);
+                }
+            }
+            if let Some(idx) = visit {
+                out.visits += 1;
+                let node = tree.node(idx);
+                let q = queries[qi];
+                let d2 = node.point.dist2(q);
+                if d2 <= r2 {
+                    results[qi].push(Neighbor { index: node.point_index as usize, dist2: d2 });
+                }
+                let axis = node.axis as usize;
+                let delta = q.coord(axis) - node.point.coord(axis);
+                let (near, far) = if delta <= 0.0 {
+                    (tree.left(idx), tree.right(idx))
+                } else {
+                    (tree.right(idx), tree.left(idx))
+                };
+                if delta * delta <= r2 {
+                    if let Some(f) = far {
+                        stacks[pe].push(f);
+                    }
+                }
+                if let Some(n) = near {
+                    stacks[pe].push(n);
+                }
+            }
+            if stacks[pe].is_empty() {
+                pe_query[pe] = None;
+            }
+        }
+        if round_stalled {
+            out.stall_rounds += 1;
+        }
+    }
+    out
+}
+
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Arbitration {
+pub(crate) enum Arbitration {
     Honored,
     Stalled,
     Elided,
@@ -670,6 +813,12 @@ pub struct SplitSearchStats {
     /// Lock-step rounds executed (a cycle-count proxy; the accel crate
     /// refines it with pipeline latencies).
     pub rounds: usize,
+    /// The stage-2 slice of [`SplitSearchStats::rounds`]: lock-step
+    /// arbitration rounds spent draining sub-tree queues. The streaming
+    /// wavefront shares the stage-2 implementation, so at `h_e = 0` this
+    /// equals the wavefront's `subtree_rounds` on identical queues — the
+    /// unified-timing-model invariant `tests/elision_unified.rs` checks.
+    pub subtree_rounds: usize,
     /// Node fetches during stage 1 (top-tree descent).
     pub top_tree_visits: usize,
     /// Node fetches during stage 2 (sub-tree search).
@@ -686,6 +835,42 @@ impl SplitSearchStats {
             queries_per_subtree: vec![0; num_subtrees],
             ..SplitSearchStats::default()
         }
+    }
+
+    /// Adds another run's counters (used when a pipeline aggregates the
+    /// per-layer search statistics). Lives next to the struct so a new
+    /// counter field cannot be silently dropped from merged reports —
+    /// the hand-rolled copy this replaces forgot `descendant_reuses`,
+    /// `top_tree_visits`, and `subtree_visits` at various points.
+    /// `queries_per_subtree` is per-tree and not meaningful across runs,
+    /// so it is left untouched.
+    pub fn merge(&mut self, other: &SplitSearchStats) {
+        self.nodes_visited += other.nodes_visited;
+        self.nodes_elided += other.nodes_elided;
+        self.nodes_skipped += other.nodes_skipped;
+        self.conflict_stalls += other.conflict_stalls;
+        self.descendant_reuses += other.descendant_reuses;
+        self.bank_conflicts += other.bank_conflicts;
+        self.fetch_attempts += other.fetch_attempts;
+        self.rounds += other.rounds;
+        self.subtree_rounds += other.subtree_rounds;
+        self.top_tree_visits += other.top_tree_visits;
+        self.subtree_visits += other.subtree_visits;
+        self.queries_dropped += other.queries_dropped;
+    }
+
+    /// Folds one drained sub-tree queue into the aggregate counters.
+    fn absorb_queue(&mut self, q: &QueueOutcome) {
+        self.rounds += q.rounds;
+        self.subtree_rounds += q.rounds;
+        self.fetch_attempts += q.attempts;
+        self.bank_conflicts += q.conflicts;
+        self.conflict_stalls += q.stalls;
+        self.nodes_elided += q.elided;
+        self.nodes_skipped += q.skipped;
+        self.descendant_reuses += q.reuses;
+        self.nodes_visited += q.visits;
+        self.subtree_visits += q.visits;
     }
 
     /// Fraction of fetch attempts that bank-conflicted.
@@ -1012,6 +1197,43 @@ mod tests {
         );
         // (c) more neighbors survive in aggregate
         assert!(total_reuse >= total_plain, "reuse found {total_reuse} vs plain {total_plain}");
+    }
+
+    #[test]
+    fn queue_accounting_matches_the_memsim_counters() {
+        // the kdtree-level statistics and the underlying BankedSram
+        // counter block are two views of the same arbitration stream:
+        // they must agree exactly
+        let cloud = random_cloud(2048, 25);
+        let tree = KdTree::build(&cloud);
+        let split = SplitTree::new(&tree, 2).unwrap();
+        let queries = random_queries(64, 26);
+        let queue: Vec<usize> = (0..queries.len()).collect();
+        let root = split.subtree_roots()[0];
+        let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); queries.len()];
+        for threshold in [usize::MAX, 8, 4] {
+            let mut arbiter = TreeArbiter::banked(4, threshold, false);
+            let q = drain_subtree_queue(
+                &tree,
+                root,
+                &queue,
+                &queries,
+                0.3,
+                8,
+                &mut arbiter,
+                &mut results,
+            );
+            let c = arbiter.sram_counters().expect("banked arbiter carries counters");
+            assert_eq!(c.rounds, q.rounds as u64, "threshold {threshold}");
+            assert_eq!(c.requests, q.attempts as u64);
+            assert_eq!(c.grants, q.visits as u64);
+            assert_eq!(c.conflicts, q.conflicts as u64);
+            assert_eq!(c.elided, (q.elided + q.reuses) as u64);
+            assert_eq!(q.conflicts, q.stalls + q.elided + q.reuses);
+            for r in &mut results {
+                r.clear();
+            }
+        }
     }
 
     #[test]

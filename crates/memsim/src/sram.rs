@@ -131,6 +131,31 @@ impl BankedSram {
     /// [`PortOutcome::Elided`] — the Fig 10 AND gate lowering the conflict
     /// signal.
     pub fn arbitrate(&mut self, requests: &[Option<u64>], elide: bool) -> Vec<PortOutcome> {
+        let eligible = vec![elide; requests.len()];
+        self.arbitrate_selective(requests, &eligible)
+    }
+
+    /// Arbitrates one cycle with a *per-port* elision eligibility — the
+    /// form the selective-elision hardware of Sec 4.4 actually needs: a
+    /// losing request is elided only if its `eligible` flag is set (the
+    /// `h_e` comparator output for that port's address), and stalls
+    /// ([`PortOutcome::Conflict`]) otherwise.
+    ///
+    /// The winning port of every bank is retained until the next round
+    /// and can be read back through [`BankedSram::winner_of_bank`], so a
+    /// caller implementing a data-forwarding refinement (e.g. the
+    /// descendant-reuse salvage in `crescent-kdtree`) can look up whose
+    /// data an elided port was handed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eligible` is shorter than `requests`.
+    pub fn arbitrate_selective(
+        &mut self,
+        requests: &[Option<u64>],
+        eligible: &[bool],
+    ) -> Vec<PortOutcome> {
+        assert!(eligible.len() >= requests.len(), "one eligibility flag per port");
         self.counters.rounds += 1;
         for w in &mut self.bank_winner {
             *w = None;
@@ -148,7 +173,7 @@ impl BankedSram {
                 }
                 Some(_) => {
                     self.counters.conflicts += 1;
-                    if elide {
+                    if eligible[port] {
                         self.counters.elided += 1;
                         out[port] = PortOutcome::Elided;
                     } else {
@@ -158,6 +183,16 @@ impl BankedSram {
             }
         }
         out
+    }
+
+    /// The port that won `bank` in the most recent arbitration round
+    /// (`None` if no request hit that bank, or no round has run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank >= config().num_banks`.
+    pub fn winner_of_bank(&self, bank: usize) -> Option<usize> {
+        self.bank_winner[bank]
     }
 
     /// Runs a gather of `addrs` to completion under baseline (serializing)
@@ -252,6 +287,38 @@ mod tests {
         assert_eq!(out[1], PortOutcome::Elided);
         assert_eq!(out[2], PortOutcome::Elided);
         assert_eq!(s.counters().elided, 2);
+    }
+
+    #[test]
+    fn selective_elision_decides_per_port() {
+        let mut s = sram(2);
+        // ports 0..3 all hit bank 0: port 0 wins, port 1 is eligible and
+        // elides, port 2 is not eligible and stalls
+        let out = s.arbitrate_selective(&[Some(0), Some(8), Some(16)], &[false, true, false]);
+        assert_eq!(out, vec![PortOutcome::Granted, PortOutcome::Elided, PortOutcome::Conflict]);
+        assert_eq!(s.counters().conflicts, 2);
+        assert_eq!(s.counters().elided, 1);
+        assert_eq!(s.winner_of_bank(0), Some(0), "port 0 holds bank 0");
+        assert_eq!(s.winner_of_bank(1), None, "nobody requested bank 1");
+    }
+
+    #[test]
+    fn broadcast_arbitrate_matches_selective() {
+        let reqs = [Some(0u64), Some(8), Some(4), Some(12)];
+        for elide in [false, true] {
+            let mut a = sram(2);
+            let mut b = sram(2);
+            let flags = vec![elide; reqs.len()];
+            assert_eq!(a.arbitrate(&reqs, elide), b.arbitrate_selective(&reqs, &flags));
+            assert_eq!(a.counters(), b.counters());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one eligibility flag per port")]
+    fn selective_needs_enough_flags() {
+        let mut s = sram(2);
+        let _ = s.arbitrate_selective(&[Some(0), Some(8)], &[true]);
     }
 
     #[test]

@@ -36,7 +36,8 @@ fn main() {
             if a.index < b.index
                 && a.scenario == b.scenario
                 && a.num_pes == b.num_pes
-                && a.elision_height == b.elision_height
+                && a.tree_banks == b.tree_banks
+                && a.elision_depth == b.elision_depth
                 && a.maintenance != b.maintenance
             {
                 assert_eq!(
@@ -45,6 +46,31 @@ fn main() {
                     a.index, b.index
                 );
                 assert_eq!(a.recall, b.recall);
+            }
+        }
+    }
+
+    // the unified model: h_e moves the STREAMING pass on its own — the
+    // sweep no longer needs the engine pass for elision sensitivity
+    for a in &report.rows {
+        for b in &report.rows {
+            if a.index < b.index
+                && a.scenario == b.scenario
+                && a.maintenance == b.maintenance
+                && a.num_pes == b.num_pes
+                && a.tree_banks == b.tree_banks
+                && a.elision_depth == 0
+                && b.elision_depth > 0
+            {
+                assert_eq!(a.elided_conflicts, 0, "row {}: h_e = 0 must not elide", a.index);
+                assert!(b.elided_conflicts > 0, "row {}: h_e > 0 must elide", b.index);
+                assert!(
+                    b.pipelined_cycles <= a.pipelined_cycles,
+                    "rows {} {}: elision must never cost stream cycles",
+                    a.index,
+                    b.index
+                );
+                assert!(b.recall <= a.recall, "elision can only lose stream recall");
             }
         }
     }
@@ -65,19 +91,32 @@ fn main() {
     let refit = stream_cycles("registered", "refit");
     assert!(refit < rebuild, "refit {refit} must beat rebuild {rebuild} on registered streams");
 
-    // recall is a real measurement: approximate, but not garbage
+    // recall is a real measurement: approximate, but not garbage. The
+    // stall-only h_e = 0 rows lose neighbors only across sub-tree
+    // boundaries (the h_t approximation), so they stay high; elided
+    // rows trade real accuracy for rounds and only need a sanity floor
     for r in &report.rows {
-        assert!(r.recall > 0.5 && r.recall <= 1.0, "row {}: recall {}", r.index, r.recall);
+        let floor = if r.elision_depth == 0 { 0.5 } else { 0.2 };
         assert!(
-            r.engine_recall > 0.5 && r.engine_recall <= 1.0,
-            "row {}: engine recall {}",
+            r.recall > floor && r.recall <= 1.0,
+            "row {} (h_e {}): recall {}",
             r.index,
+            r.elision_depth,
+            r.recall
+        );
+        assert!(
+            r.engine_recall > floor && r.engine_recall <= 1.0,
+            "row {} (h_e {}): engine recall {}",
+            r.index,
+            r.elision_depth,
             r.engine_recall
         );
     }
-    // and elision actually fires somewhere in the grid, so the accuracy
-    // axis of the Pareto fronts is live
-    assert!(report.rows.iter().any(|r| r.nodes_elided > 0), "no grid point elided anything");
+    // and elision actually fires somewhere in the grid — in the stream
+    // AND in the engine cross-check — so the accuracy axis of the
+    // Pareto fronts is live
+    assert!(report.rows.iter().any(|r| r.elided_conflicts > 0), "no stream row elided anything");
+    assert!(report.rows.iter().any(|r| r.nodes_elided > 0), "no engine row elided anything");
 
     println!(
         "\nall sweep invariants hold ({} rows, refit {refit} vs rebuild {rebuild} stream cycles)",

@@ -6,13 +6,18 @@
 //! cargo run --release --example streaming_lidar
 //! ```
 //!
-//! Demonstrates the three pieces the streaming workload engine adds on top
-//! of single-cloud search: temporally-coherent frame generation
+//! Demonstrates the pieces the streaming workload engine adds on top of
+//! single-cloud search: temporally-coherent frame generation
 //! (`FrameStream`), the batched two-stage search whose wavefront fetches
-//! every top-tree node once per batch, and inter-frame pipelining with
-//! per-frame cycle/energy accounting. The whole run is a pure function of
-//! the config — this example runs the stream twice and checks the reruns
-//! are bit-identical.
+//! every top-tree node once per batch AND drains each sub-tree queue
+//! through the banked-arbitration model (conflicts stall or are elided
+//! per the streaming `h_e`), and inter-frame pipelining with per-frame
+//! cycle/energy accounting. The whole run is a pure function of the
+//! config — this example runs the stream twice and checks the reruns are
+//! bit-identical — and it doubles as an executable doc of the unified
+//! elision model: the default `h_e` provably elides conflicts on every
+//! frame's accounting, while an `h_e = 0` rerun provably never does
+//! (while still paying conflict stalls).
 
 use crescent::workload::FrameStreamConfig;
 use crescent::{format_table, Crescent};
@@ -25,12 +30,12 @@ fn main() {
 
     let system = Crescent::new();
     println!(
-        "Streaming {} frames of ~{} points, {} queries/frame (h_t = {}, h_e = {})\n",
+        "Streaming {} frames of ~{} points, {} queries/frame (h_t = {}, streaming h_e = {})\n",
         cfg.num_frames,
         cfg.scene.total_points,
         cfg.queries_per_frame,
         system.knobs.top_height,
-        system.knobs.elision_height
+        cfg.elision_depth
     );
 
     let outcome = system.run_stream(&cfg);
@@ -46,6 +51,8 @@ fn main() {
                 format!("{}", rep.neighbors),
                 format!("{}", rep.build_slot_cycles),
                 format!("{}", rep.slot_cycles),
+                format!("{}", rep.conflict_stall_cycles),
+                format!("{}", rep.elided_conflicts),
                 format!("{:.1}x", rep.search.amortization_factor()),
                 format!("{:.0}%", rep.search.reuse_fraction() * 100.0),
                 format!("{:.0}", rep.energy.total()),
@@ -55,7 +62,18 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["frame", "points", "neighbors", "build", "search", "top-amort", "reuse", "energy"],
+            &[
+                "frame",
+                "points",
+                "neighbors",
+                "build",
+                "search",
+                "stalls",
+                "elided",
+                "top-amort",
+                "reuse",
+                "energy"
+            ],
             &rows
         )
     );
@@ -85,6 +103,49 @@ fn main() {
     println!(
         "  cross-frame reuse  {:.0}% of queries kept their sub-tree frame-to-frame",
         rep.mean_reuse_fraction() * 100.0
+    );
+    println!(
+        "  bank arbitration   {} stage-2 rounds, {} conflicts ({} stall rounds, {} elided)",
+        rep.total_arb_rounds(),
+        rep.total_bank_conflicts(),
+        rep.total_conflict_stall_cycles(),
+        rep.total_elided_conflicts()
+    );
+    println!(
+        "  aggregation        {} gather rounds, {} conflicts replicated away",
+        rep.total_agg_cycles(),
+        rep.total_agg_elided()
+    );
+
+    // --- the unified elision model, asserted per frame ---
+    // default h_e: every frame of this dense stream elides conflicts
+    assert!(cfg.elision_depth > 0, "the default operating point elides");
+    for f in &rep.frames {
+        assert!(
+            f.elided_conflicts > 0,
+            "frame {}: default h_e must elide conflicts on a dense stream",
+            f.frame
+        );
+    }
+    // h_e = 0: conflicts still happen, but every one of them stalls —
+    // zero elisions, and the neighbor sets grow back to exact two-stage
+    let mut exact_cfg = cfg;
+    exact_cfg.elision_depth = 0;
+    let exact = system.run_stream(&exact_cfg);
+    for f in &exact.report.frames {
+        assert_eq!(f.elided_conflicts, 0, "frame {}: h_e = 0 must never elide", f.frame);
+    }
+    assert!(exact.report.total_bank_conflicts() > 0, "conflicts don't vanish, they stall");
+    assert!(rep.pipelined_cycles <= exact.report.pipelined_cycles, "elision must not cost cycles");
+    assert!(
+        outcome.total_neighbors() <= exact.total_neighbors(),
+        "elision may only drop neighbors"
+    );
+    println!(
+        "\nh_e = 0 rerun: 0 elisions, {} conflicts all stalled, {} vs {} pipelined cycles",
+        exact.report.total_bank_conflicts(),
+        exact.report.pipelined_cycles,
+        rep.pipelined_cycles
     );
 
     // the stream is a pure function of the config: rerun and compare

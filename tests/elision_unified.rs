@@ -1,0 +1,179 @@
+//! The unified timing model's contract, end to end: the streaming
+//! wavefront and the per-query lock-step engine are two schedules of the
+//! SAME banked-arbitration hardware, so
+//!
+//! * at `h_e = 0` (stall-only) the wavefront's neighbor sets are
+//!   bit-identical to per-query `search_one` on every frame of every
+//!   scenario, and its stage-2 conflict-round counts are identical to
+//!   the engine model's on the same queues;
+//! * raising `h_e` (eliding deeper) never costs stream cycles
+//!   (monotonicity) and never invents a neighbor;
+//! * the default operating point actually elides, and `h_e = 0`
+//!   provably does not — the assertions `examples/streaming_lidar.rs`
+//!   doubles as an executable doc for.
+
+use crescent::accel::{run_frame_stream, AcceleratorConfig, StreamSearchConfig};
+use crescent::kdtree::{
+    BatchSearchConfig, BatchState, ElisionConfig, KdTree, SplitSearchConfig, SplitTree,
+};
+use crescent::workload::{FrameStream, FrameStreamConfig, StreamScenario};
+use crescent::CrescentKnobs;
+use crescent_pointcloud::{Point3, PointCloud};
+
+fn stream_cfg(scenario: StreamScenario) -> FrameStreamConfig {
+    let mut cfg = FrameStreamConfig::default();
+    cfg.scene.total_points = 4_000;
+    cfg.scene.seed = 0xE11D;
+    cfg.num_frames = 5;
+    cfg.queries_per_frame = 96;
+    cfg.radius = 0.5;
+    cfg.max_neighbors = Some(16);
+    cfg.scenario = scenario;
+    cfg
+}
+
+fn borrowed(frames: &[(PointCloud, Vec<Point3>)]) -> Vec<(&PointCloud, &[Point3])> {
+    frames.iter().map(|(c, q)| (c, q.as_slice())).collect()
+}
+
+#[test]
+fn h_e_zero_matches_search_one_and_engine_rounds_on_every_scenario() {
+    let accel = AcceleratorConfig::default();
+    let (pes, banks) = (accel.num_pes, accel.tree_buffer.num_banks);
+    for scenario in StreamScenario::canonical_matrix() {
+        let cfg = stream_cfg(scenario);
+        let mut state = BatchState::new();
+        for frame in FrameStream::new(&cfg) {
+            let tree = KdTree::build(&frame.cloud);
+            let ht = CrescentKnobs::default().top_height.min(tree.height().saturating_sub(1));
+            let split = SplitTree::new(&tree, ht).unwrap();
+
+            // the wavefront at h_e = 0: banked, stall-only
+            let wave_cfg = BatchSearchConfig::banked(cfg.radius, cfg.max_neighbors, pes, banks, 0);
+            let (wave, wstats) = split.search_batch(&frame.queries, &wave_cfg, &mut state);
+
+            // (a) bit-identical to the per-query oracle
+            for (qi, &q) in frame.queries.iter().enumerate() {
+                let single = split.search_one(q, cfg.radius, cfg.max_neighbors);
+                assert_eq!(
+                    wave[qi],
+                    single,
+                    "{}: frame {} query {qi}",
+                    scenario.label(),
+                    frame.index
+                );
+            }
+            assert_eq!(wstats.conflicts_elided, 0, "{}", scenario.label());
+            assert_eq!(wstats.nodes_skipped, 0, "{}", scenario.label());
+
+            // (b) identical stage-2 conflict-round counts to the
+            // per-query engine model: stall-only stage 1 routes exactly
+            // like the wavefront, so the two paths drain IDENTICAL
+            // queues through the shared lock-step simulation
+            let engine_cfg = SplitSearchConfig {
+                radius: cfg.radius,
+                max_neighbors: cfg.max_neighbors,
+                num_pes: pes,
+                elision: Some(ElisionConfig::new(usize::MAX, banks)),
+            };
+            let (engine, estats) = split.batch_search(&frame.queries, &engine_cfg);
+            assert_eq!(engine, wave, "{}: frame {}", scenario.label(), frame.index);
+            assert_eq!(
+                wstats.subtree_rounds,
+                estats.subtree_rounds,
+                "{}: frame {} — the two models must count the same stage-2 rounds",
+                scenario.label(),
+                frame.index
+            );
+            assert_eq!(wstats.subtree_visits, estats.subtree_visits, "{}", scenario.label());
+            assert_eq!(estats.nodes_elided, 0);
+        }
+    }
+}
+
+#[test]
+fn stream_cycles_are_non_increasing_in_h_e() {
+    // elision monotonicity on the full streaming driver: deepening the
+    // elision window converts stalls into drops and sheds subtree work,
+    // so pipelined cycles can only go down (DMA is h_e-invariant: the
+    // sub-trees still stream from DRAM once per batch either way)
+    let accel = AcceleratorConfig::default();
+    for scenario in StreamScenario::canonical_matrix() {
+        let cfg = stream_cfg(scenario);
+        let frames: Vec<(PointCloud, Vec<Point3>)> =
+            FrameStream::new(&cfg).map(|f| (f.cloud, f.queries)).collect();
+        let mut prev_cycles = u64::MAX;
+        let mut prev_neighbors = usize::MAX;
+        for depth in [0usize, 2, 4, 8, 32] {
+            let search = StreamSearchConfig {
+                radius: cfg.radius,
+                max_neighbors: cfg.max_neighbors,
+                elision_depth: depth,
+                ..StreamSearchConfig::default()
+            };
+            let (results, rep) =
+                run_frame_stream(&borrowed(&frames), &search, CrescentKnobs::default(), &accel);
+            assert!(
+                rep.pipelined_cycles <= prev_cycles,
+                "{}: h_e {depth} costs {} cycles > previous {prev_cycles}",
+                scenario.label(),
+                rep.pipelined_cycles
+            );
+            let neighbors: usize = results.iter().flatten().map(Vec::len).sum();
+            assert!(
+                neighbors <= prev_neighbors,
+                "{}: h_e {depth} found MORE neighbors ({neighbors} > {prev_neighbors})",
+                scenario.label()
+            );
+            if depth == 0 {
+                assert_eq!(rep.total_elided_conflicts(), 0, "{}", scenario.label());
+            }
+            prev_cycles = rep.pipelined_cycles;
+            prev_neighbors = neighbors;
+        }
+    }
+}
+
+#[test]
+fn default_depth_elides_and_zero_depth_does_not() {
+    let accel = AcceleratorConfig::default();
+    let cfg = stream_cfg(StreamScenario::Registered);
+    let frames: Vec<(PointCloud, Vec<Point3>)> =
+        FrameStream::new(&cfg).map(|f| (f.cloud, f.queries)).collect();
+    let run = |depth: usize| {
+        let search = StreamSearchConfig {
+            radius: cfg.radius,
+            max_neighbors: cfg.max_neighbors,
+            elision_depth: depth,
+            ..StreamSearchConfig::default()
+        };
+        run_frame_stream(&borrowed(&frames), &search, CrescentKnobs::default(), &accel).1
+    };
+    let default_depth = StreamSearchConfig::default().elision_depth;
+    assert!(default_depth > 0, "the default operating point elides");
+    let at_default = run(default_depth);
+    let exact = run(0);
+    assert!(at_default.total_elided_conflicts() > 0, "default h_e must elide on a real stream");
+    assert_eq!(exact.total_elided_conflicts(), 0, "h_e = 0 must never elide");
+    assert!(exact.total_bank_conflicts() > 0, "conflicts still happen — they just stall");
+    assert!(at_default.pipelined_cycles <= exact.pipelined_cycles);
+    // aggregation elision is its own knob: switching it off serializes
+    // gathers and can only add cycles, without touching any result
+    let mut no_agg = accel;
+    no_agg.aggregation_elision = false;
+    let search = StreamSearchConfig {
+        radius: cfg.radius,
+        max_neighbors: cfg.max_neighbors,
+        ..StreamSearchConfig::default()
+    };
+    let mut agg_on = accel;
+    agg_on.aggregation_elision = true;
+    let (r_off, rep_off) =
+        run_frame_stream(&borrowed(&frames), &search, CrescentKnobs::default(), &no_agg);
+    let (r_on, rep_on) =
+        run_frame_stream(&borrowed(&frames), &search, CrescentKnobs::default(), &agg_on);
+    assert_eq!(r_off, r_on, "aggregation elision must never change neighbor sets");
+    assert!(rep_on.total_agg_cycles() <= rep_off.total_agg_cycles());
+    assert!(rep_on.total_agg_elided() > 0);
+    assert_eq!(rep_off.total_agg_elided(), 0);
+}

@@ -23,7 +23,8 @@ fn matrix_spec() -> SweepSpec {
     let mut spec = SweepSpec::quick();
     spec.label = "quick-matrix".to_string();
     spec.num_pes = vec![4];
-    spec.elision_heights = vec![12];
+    spec.tree_banks = vec![4];
+    spec.elision_depths = vec![4];
     spec
 }
 
@@ -98,6 +99,54 @@ fn report_is_deterministic_across_runs_and_worker_counts() {
         assert_eq!(x.engine_digest, y.engine_digest);
         assert_eq!(x.pipelined_cycles, y.pipelined_cycles);
         assert_eq!(x.energy.total(), y.energy.total());
+    }
+}
+
+#[test]
+fn streaming_pass_is_h_e_and_bank_sensitive_on_its_own() {
+    // the acceptance criterion of the unified model: the explorer no
+    // longer needs the standalone engine pass to see h_e — the
+    // STREAMING columns move when h_e or the bank count changes
+    let mut spec = matrix_spec();
+    spec.label = "sensitivity".to_string();
+    spec.scenarios = vec![StreamScenario::Registered];
+    spec.maintenance = vec![TreeMaintenance::refit()];
+    spec.tree_banks = vec![2, 4];
+    spec.elision_depths = vec![0, 4];
+    let report = run_sweep(&spec, 2).expect("sensitivity spec is valid");
+    assert_eq!(report.rows.len(), 4);
+    let row = |banks: usize, depth: usize| {
+        report
+            .rows
+            .iter()
+            .find(|r| r.tree_banks == banks && r.elision_depth == depth)
+            .expect("cell exists")
+    };
+    for banks in [2, 4] {
+        let exact = row(banks, 0);
+        let elided = row(banks, 4);
+        assert_eq!(exact.elided_conflicts, 0, "banks {banks}: h_e = 0 never elides");
+        assert!(elided.elided_conflicts > 0, "banks {banks}: h_e = 4 must elide");
+        assert_ne!(exact.digest, elided.digest, "banks {banks}: h_e must move stream results");
+        assert!(elided.recall < exact.recall, "banks {banks}: elision costs stream recall");
+        assert!(elided.arb_rounds < exact.arb_rounds, "banks {banks}: elision saves rounds");
+    }
+    for depth in [0, 4] {
+        let narrow = row(2, depth);
+        let wide = row(4, depth);
+        assert!(
+            narrow.bank_conflicts > wide.bank_conflicts,
+            "h_e {depth}: fewer banks must conflict more"
+        );
+        assert!(
+            narrow.arb_rounds >= wide.arb_rounds,
+            "h_e {depth}: fewer banks can only serialize more"
+        );
+    }
+    // and the engine cross-check agrees directionally with the stream
+    for banks in [2, 4] {
+        assert!(row(banks, 4).nodes_elided > 0, "engine cross-check elides at h_e = 4");
+        assert_eq!(row(banks, 0).nodes_elided, 0, "engine cross-check is exact at h_e = 0");
     }
 }
 

@@ -4,7 +4,7 @@
 //! accounting invariants.
 
 use crescent::accel::{TreeMaintenance, PE_PIPELINE_DEPTH};
-use crescent::kdtree::{BatchState, KdTree, SplitTree};
+use crescent::kdtree::{BatchSearchConfig, BatchState, KdTree, SplitTree};
 use crescent::workload::{EgoMotion, FrameStream, FrameStreamConfig, StreamScenario};
 use crescent::Crescent;
 
@@ -57,15 +57,26 @@ fn different_seed_changes_the_stream() {
 
 #[test]
 fn batched_search_matches_per_query_on_stream_frames() {
+    // the h_e = 0 exactness witness: the banked wavefront with elision
+    // off (conflicts stall, never drop) must stay bit-identical to
+    // per-query search_one on every stream frame
     let cfg = test_cfg();
-    let knobs = Crescent::new().knobs;
+    let system = Crescent::new();
+    let knobs = system.knobs;
+    let batch_cfg = BatchSearchConfig::banked(
+        cfg.radius,
+        cfg.max_neighbors,
+        system.config.num_pes,
+        system.config.tree_buffer.num_banks,
+        0,
+    );
     let mut state = BatchState::new();
     for frame in FrameStream::new(&cfg) {
         let tree = KdTree::build(&frame.cloud);
         let ht = knobs.top_height.min(tree.height().saturating_sub(1));
         let split = SplitTree::new(&tree, ht).unwrap();
-        let (batch, _) =
-            split.search_batch(&frame.queries, cfg.radius, cfg.max_neighbors, &mut state);
+        let (batch, stats) = split.search_batch(&frame.queries, &batch_cfg, &mut state);
+        assert_eq!(stats.conflicts_elided, 0, "h_e = 0 must never drop a fetch");
         for (qi, &q) in frame.queries.iter().enumerate() {
             let single = split.search_one(q, cfg.radius, cfg.max_neighbors);
             assert_eq!(batch[qi], single, "frame {} query {qi}", frame.index);
@@ -77,17 +88,24 @@ fn batched_search_matches_per_query_on_stream_frames() {
 #[test]
 fn facade_results_match_manual_batched_runs() {
     // run_stream is just frame generation + the accel driver: its neighbor
-    // sets must equal a by-hand batched run over the same frames
+    // sets must equal a by-hand banked batched run over the same frames
+    // at the same streaming h_e
     let cfg = test_cfg();
     let system = Crescent::new();
     let outcome = system.run_stream(&cfg);
+    let batch_cfg = BatchSearchConfig::banked(
+        cfg.radius,
+        cfg.max_neighbors,
+        system.config.num_pes,
+        system.config.tree_buffer.num_banks,
+        cfg.elision_depth,
+    );
     let mut state = BatchState::new();
     for (fi, frame) in FrameStream::new(&cfg).enumerate() {
         let tree = KdTree::build(&frame.cloud);
         let ht = system.knobs.top_height.min(tree.height().saturating_sub(1));
         let split = SplitTree::new(&tree, ht).unwrap();
-        let (batch, _) =
-            split.search_batch(&frame.queries, cfg.radius, cfg.max_neighbors, &mut state);
+        let (batch, _) = split.search_batch(&frame.queries, &batch_cfg, &mut state);
         assert_eq!(outcome.neighbor_sets[fi], batch, "frame {fi}");
     }
 }
@@ -120,7 +138,7 @@ fn stream_accounting_invariants() {
     assert!(rep.pipelined_cycles >= search_slots + PE_PIPELINE_DEPTH);
     assert!(rep.pipelined_cycles < rep.serial_cycles);
     for f in &rep.frames {
-        assert_eq!(f.slot_cycles, f.compute_cycles.max(f.dma_cycles));
+        assert_eq!(f.slot_cycles, (f.compute_cycles + f.agg_cycles).max(f.dma_cycles));
         assert_eq!(f.build_slot_cycles, f.build_cycles.max(f.build_dma_cycles));
         assert!(f.build_cycles > 0, "tree maintenance is never free (frame {})", f.frame);
         assert!(f.build_dram_bytes > 0);

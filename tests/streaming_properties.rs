@@ -50,7 +50,12 @@ fn run(
     frames: &[(PointCloud, Vec<Point3>)],
     maintenance: TreeMaintenance,
 ) -> (Vec<Vec<Vec<crescent::pointcloud::Neighbor>>>, crescent::accel::StreamReport) {
-    let search = StreamSearchConfig { radius: 0.4, max_neighbors: Some(16), maintenance };
+    let search = StreamSearchConfig {
+        radius: 0.4,
+        max_neighbors: Some(16),
+        maintenance,
+        ..StreamSearchConfig::default()
+    };
     run_frame_stream(
         &borrow(frames),
         &search,
