@@ -8,6 +8,8 @@
 //! repro list                     # available ids
 //! repro sweep --quick --json target/sweep.json   # design-space sweep
 //! repro sweep --quick --check    # exact gate vs bench/baseline.json
+//! repro sweep --quick --shard 2/3 --json shard-2.json   # one shard
+//! repro sweep-merge --check shard-*.json         # reassemble + gate
 //! ```
 //!
 //! `--quick` shrinks the workloads (seconds instead of minutes); the
@@ -16,7 +18,7 @@
 
 use std::time::Instant;
 
-use crescent_bench::{run_figure, Scale, SweepArgs, ALL_FIGURES};
+use crescent_bench::{run_figure, MergeArgs, Scale, SweepArgs, ALL_FIGURES};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,7 +30,7 @@ fn main() {
                 eprintln!("{err}");
                 eprintln!(
                     "usage: repro sweep [--quick] [--json <path>] [--check] \
-                     [--baseline <path>] [--workers <n>]"
+                     [--baseline <path>] [--workers <n>] [--shard <i/N>]"
                 );
                 std::process::exit(2);
             }
@@ -36,12 +38,27 @@ fn main() {
         std::process::exit(crescent_bench::run_sweep_command(&parsed));
     }
 
+    if args.first().map(String::as_str) == Some("sweep-merge") {
+        let parsed = match MergeArgs::parse(&args[1..]) {
+            Ok(parsed) => parsed,
+            Err(err) => {
+                eprintln!("{err}");
+                eprintln!(
+                    "usage: repro sweep-merge [--json <path>] [--check] \
+                     [--baseline <path>] <shard.json>..."
+                );
+                std::process::exit(2);
+            }
+        };
+        std::process::exit(crescent_bench::run_sweep_merge_command(&parsed));
+    }
+
     let quick = args.iter().any(|a| a == "--quick");
     let scale = Scale::from_flag(quick);
     let ids: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
 
     if ids.is_empty() || ids.contains(&"help") {
-        eprintln!("usage: repro [--quick] <all|list|fig ids...|sweep ...>");
+        eprintln!("usage: repro [--quick] <all|list|fig ids...|sweep ...|sweep-merge ...>");
         eprintln!("figures: {}", ALL_FIGURES.join(" "));
         return;
     }

@@ -14,7 +14,7 @@ pub mod performance;
 pub mod sweep;
 
 pub use common::{FigRow, Figure, Scale};
-pub use sweep::{run_sweep_command, SweepArgs};
+pub use sweep::{run_sweep_command, run_sweep_merge_command, MergeArgs, SweepArgs};
 
 /// Runs one figure by id; `None` if the id is unknown.
 ///

@@ -22,7 +22,13 @@
 //! * [`diff_reports`] — the *exact* comparator behind the CI
 //!   `sweep-gate`: every metric is modeled (never wall-clock), so the
 //!   report is bit-reproducible and any drift against the checked-in
-//!   `bench/baseline.json` is a real behavioural change.
+//!   `bench/baseline.json` is a real behavioural change;
+//! * [`run_sweep_shard`] / [`merge_shards`] — the grid is embarrassingly
+//!   parallel, so a sweep can shard across processes or machines
+//!   (`repro sweep --shard i/N`): every shard report carries the spec
+//!   fingerprint plus its shard coordinates, and the merger verifies the
+//!   shards form a complete disjoint partition of one spec before
+//!   reassembling **byte-identical** output to a single-process run.
 //!
 //! # Example
 //!
@@ -44,11 +50,15 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod merge;
 pub mod report;
 pub mod runner;
 pub mod spec;
 
 pub use json::Json;
-pub use report::{diff_reports, SweepReport, SweepRow, SCHEMA};
-pub use runner::{default_workers, run_sweep};
+pub use merge::{merge_shards, ShardFile};
+pub use report::{diff_reports, spec_fingerprint, ShardInfo, SweepReport, SweepRow, SCHEMA};
+pub use runner::{
+    default_workers, run_sweep, run_sweep_shard, run_sweep_with_stats, SweepRunStats,
+};
 pub use spec::{maintenance_label, SweepPoint, SweepSpec};

@@ -1,0 +1,515 @@
+//! Byte-exact reassembly of sharded sweep reports.
+//!
+//! `repro sweep --shard i/N` runs the round-robin subset
+//! ([`SweepSpec::shard_points`](crate::SweepSpec::shard_points)) of the
+//! grid and writes a report whose header carries the shard coordinates
+//! plus the spec fingerprint. [`merge_shards`] takes the N shard files
+//! and reassembles **the exact bytes a single-process run would have
+//! produced**: it verifies every shard ran the same spec (schema, label,
+//! fingerprint, workload and grid echoes all byte-identical), that the
+//! shard set is a complete partition (indices `1..=N`, no duplicates,
+//! none missing), and that the covered rows form exactly the disjoint
+//! union `0..points`; then it re-emits the header with `"shard": null`,
+//! the row lines verbatim in global grid order, and the Pareto fronts
+//! recomputed over the full row set — through the same renderer
+//! (`render_body` in `crate::report`) the single-process writer uses,
+//! so the two paths cannot drift.
+//!
+//! The merge never re-runs a simulation and never re-serializes a row:
+//! rows travel as verbatim report lines. Byte-identity therefore reduces
+//! to (a) every grid point's row being a pure function of the spec —
+//! the determinism contract the explorer already gates — and (b) the
+//! header/Pareto sections being rendered by shared code.
+
+use crate::report::{pareto_fronts, render_body, top_level_fields, ParetoPoint, SCHEMA};
+
+/// One shard report as handed to [`merge_shards`]: a display name (the
+/// file path — every rejection names its offender with it) plus the raw
+/// report text.
+#[derive(Clone, Debug)]
+pub struct ShardFile {
+    /// Where the text came from, for error messages.
+    pub name: String,
+    /// The shard report bytes as written by `repro sweep --shard`.
+    pub text: String,
+}
+
+/// The parsed skeleton of one shard report.
+struct ParsedShard<'a> {
+    name: &'a str,
+    /// Header lines, verbatim: schema, label, fingerprint, workload,
+    /// grid (the shard line is excluded — it differs per shard).
+    header: [&'a str; 5],
+    index: usize,
+    count: usize,
+    declared_rows: usize,
+    points: usize,
+    /// `(global row index, compact row object)` per row line, verbatim.
+    rows: Vec<(usize, &'a str)>,
+}
+
+/// Merges shard reports into the byte-exact whole-grid report.
+///
+/// Errors (always naming the offending file) when a shard is not a
+/// `crescent-sweep/v3` shard report, when the shards disagree on the
+/// spec (fingerprint or any header echo), when the shard set is not a
+/// complete partition `1..=N` (missing, duplicate, or foreign-count
+/// shards), or when the row coverage is not exactly the disjoint union
+/// of `0..points`.
+pub fn merge_shards(shards: &[ShardFile]) -> Result<String, String> {
+    if shards.is_empty() {
+        return Err("no shard reports to merge".to_string());
+    }
+    let parsed: Vec<ParsedShard<'_>> = shards.iter().map(parse_shard).collect::<Result<_, _>>()?;
+
+    // one spec across the whole partition
+    let reference = &parsed[0];
+    for shard in &parsed[1..] {
+        for (a, b) in reference.header.iter().zip(&shard.header) {
+            if a != b {
+                return Err(format!(
+                    "{} and {} were produced by different specs — refusing to merge\n  {}\n  {}",
+                    reference.name,
+                    shard.name,
+                    a.trim(),
+                    b.trim()
+                ));
+            }
+        }
+        if shard.count != reference.count {
+            return Err(format!(
+                "{} is shard {}/{} but {} is shard {}/{}: mixed partitions",
+                reference.name,
+                reference.index,
+                reference.count,
+                shard.name,
+                shard.index,
+                shard.count
+            ));
+        }
+        if shard.points != reference.points {
+            return Err(format!(
+                "{} and {} disagree on the grid size ({} vs {} points)",
+                reference.name, shard.name, reference.points, shard.points
+            ));
+        }
+    }
+
+    // complete disjoint shard-index partition 1..=count
+    let count = reference.count;
+    let mut owner: Vec<Option<&str>> = vec![None; count + 1];
+    for shard in &parsed {
+        match owner[shard.index] {
+            Some(prior) => {
+                return Err(format!(
+                    "shard {}/{count} appears twice: {} and {}",
+                    shard.index, prior, shard.name
+                ));
+            }
+            None => owner[shard.index] = Some(shard.name),
+        }
+    }
+    let missing: Vec<String> =
+        (1..=count).filter(|&i| owner[i].is_none()).map(|i| format!("{i}/{count}")).collect();
+    if !missing.is_empty() {
+        return Err(format!("missing shard(s) {} of the partition", missing.join(", ")));
+    }
+
+    // exact disjoint row coverage of 0..points
+    let points = reference.points;
+    let mut row_lines: Vec<Option<&str>> = vec![None; points];
+    let mut row_owner: Vec<Option<&str>> = vec![None; points];
+    for shard in &parsed {
+        if shard.rows.len() != shard.declared_rows {
+            return Err(format!(
+                "{}: header declares {} row(s) but the report contains {}",
+                shard.name,
+                shard.declared_rows,
+                shard.rows.len()
+            ));
+        }
+        for &(index, line) in &shard.rows {
+            if index >= points {
+                return Err(format!(
+                    "{}: row {index} is outside the {points}-point grid",
+                    shard.name
+                ));
+            }
+            if let Some(prior) = row_owner[index] {
+                return Err(format!(
+                    "row {index} is covered by both {} and {}: overlapping shards",
+                    prior, shard.name
+                ));
+            }
+            row_owner[index] = Some(shard.name);
+            row_lines[index] = Some(line);
+        }
+    }
+    let uncovered: Vec<String> = row_lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.is_none())
+        .map(|(i, _)| i.to_string())
+        .take(8)
+        .collect();
+    if !uncovered.is_empty() {
+        let total = row_lines.iter().filter(|l| l.is_none()).count();
+        return Err(format!(
+            "shards cover only {} of {points} grid points — missing row(s) {}{}",
+            points - total,
+            uncovered.join(", "),
+            if total > uncovered.len() { ", ..." } else { "" }
+        ));
+    }
+    let row_lines: Vec<String> =
+        row_lines.into_iter().map(|l| l.expect("coverage verified").to_string()).collect();
+
+    // Pareto fronts over the reunited grid, via the shared front finder
+    let pareto_points: Vec<ParetoPoint> = row_lines
+        .iter()
+        .enumerate()
+        .map(|(i, line)| parse_pareto_point(i, line))
+        .collect::<Result<_, _>>()?;
+    let fronts = pareto_fronts(&pareto_points);
+
+    // header verbatim from the reference shard, with the shard slot
+    // reset to the whole-grid form, then the shared body renderer
+    let mut out = String::with_capacity(256 * (row_lines.len() + 8));
+    out.push_str("{\n");
+    out.push_str(reference.header[0]); // schema
+    out.push('\n');
+    out.push_str(reference.header[1]); // label
+    out.push('\n');
+    out.push_str(reference.header[2]); // fingerprint
+    out.push('\n');
+    out.push_str("  \"shard\": null,\n");
+    out.push_str(reference.header[3]); // workload
+    out.push('\n');
+    out.push_str(reference.header[4]); // grid
+    out.push('\n');
+    render_body(&mut out, &row_lines, &fronts);
+    Ok(out)
+}
+
+/// Parses one shard report's skeleton: the five spec header lines, the
+/// shard coordinates, and the verbatim row lines keyed by global index.
+fn parse_shard(file: &ShardFile) -> Result<ParsedShard<'_>, String> {
+    let name = file.name.as_str();
+    let lines: Vec<&str> = file.text.lines().collect();
+    let header_line = |key: &str| -> Result<&str, String> {
+        lines
+            .iter()
+            .find(|l| l.trim_start().starts_with(key))
+            .copied()
+            .ok_or_else(|| format!("{name}: not a sweep report — no {key} header"))
+    };
+    let header_value = |key: &str| -> Result<&str, String> {
+        let line = header_line(key)?;
+        Ok(line.trim_start().trim_start_matches(key).trim().trim_end_matches(','))
+    };
+
+    let schema = header_value("\"schema\":")?;
+    let expected = format!("\"{SCHEMA}\"");
+    if schema != expected {
+        return Err(format!("{name}: schema {schema} is not {expected} — cannot merge"));
+    }
+    let shard_value = header_value("\"shard\":")?;
+    if shard_value == "null" {
+        return Err(format!(
+            "{name}: a whole-grid report, not a shard (produce shards with `sweep --shard i/N`)"
+        ));
+    }
+    let shard_fields = top_level_fields(shard_value)
+        .ok_or_else(|| format!("{name}: malformed shard header {shard_value}"))?;
+    let shard_u64 = |key: &str| -> Result<usize, String> {
+        shard_fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.parse::<usize>().ok())
+            .ok_or_else(|| format!("{name}: shard header lacks a numeric {key:?}"))
+    };
+    let index = shard_u64("index")?;
+    let count = shard_u64("count")?;
+    let declared_rows = shard_u64("rows")?;
+    let points = shard_u64("points")?;
+    if count == 0 || index == 0 || index > count {
+        return Err(format!("{name}: shard coordinates {index}/{count} are out of range"));
+    }
+
+    // the verbatim row lines, each `    {...}` with an optional trailing
+    // comma, between `"rows": [` and its closing `],`
+    let rows_start = lines
+        .iter()
+        .position(|l| l.trim() == "\"rows\": [")
+        .ok_or_else(|| format!("{name}: no \"rows\" section"))?;
+    let mut rows = Vec::with_capacity(declared_rows);
+    for line in &lines[rows_start + 1..] {
+        if line.trim() == "]," || line.trim() == "]" {
+            break;
+        }
+        let compact = line.trim().trim_end_matches(',');
+        let fields = top_level_fields(compact)
+            .ok_or_else(|| format!("{name}: malformed row line {compact}"))?;
+        let row_index = fields
+            .iter()
+            .find(|(k, _)| k == "row")
+            .and_then(|(_, v)| v.parse::<usize>().ok())
+            .ok_or_else(|| format!("{name}: row line lacks a numeric \"row\" index"))?;
+        rows.push((row_index, compact));
+    }
+
+    Ok(ParsedShard {
+        name,
+        header: [
+            header_line("\"schema\":")?,
+            header_line("\"label\":")?,
+            header_line("\"fingerprint\":")?,
+            header_line("\"workload\":")?,
+            header_line("\"grid\":")?,
+        ],
+        index,
+        count,
+        declared_rows,
+        points,
+        rows,
+    })
+}
+
+/// Reduces one verbatim row line to its Pareto objectives — the same
+/// triple [`SweepReport::pareto`](crate::SweepReport::pareto) computes
+/// from structured rows (`total_cycles = pipelined + engine`, total
+/// stream energy, `worst_recall = min(recall, engine_recall)`). Parsing
+/// is exact: the writer emits shortest-roundtrip floats, so `parse`
+/// recovers the identical bit pattern.
+fn parse_pareto_point(index: usize, line: &str) -> Result<ParetoPoint, String> {
+    let fields =
+        top_level_fields(line).ok_or_else(|| format!("row {index}: malformed row line"))?;
+    let raw = |key: &str| -> Result<&str, String> {
+        fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .ok_or_else(|| format!("row {index}: missing field {key:?}"))
+    };
+    let u64_of = |key: &str| -> Result<u64, String> {
+        raw(key)?.parse::<u64>().map_err(|_| format!("row {index}: non-numeric {key:?}"))
+    };
+    let f64_of = |key: &str| -> Result<f64, String> {
+        raw(key)?.parse::<f64>().map_err(|_| format!("row {index}: non-numeric {key:?}"))
+    };
+    let energy_total = {
+        let energy = raw("energy")?;
+        top_level_fields(energy)
+            .and_then(|fs| fs.into_iter().find(|(k, _)| k == "total"))
+            .and_then(|(_, v)| v.parse::<f64>().ok())
+            .ok_or_else(|| format!("row {index}: energy object lacks a numeric total"))?
+    };
+    Ok(ParetoPoint {
+        index,
+        scenario: raw("scenario")?.trim_matches('"').to_string(),
+        cycles: u64_of("pipelined_cycles")? + u64_of("engine_cycles")?,
+        energy: energy_total,
+        recall: f64_of("recall")?.min(f64_of("engine_recall")?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{ShardInfo, SweepReport, SweepRow};
+    use crate::spec::SweepSpec;
+    use crescent_memsim::EnergyLedger;
+
+    /// A 4-point spec so synthetic 4-row reports satisfy the coverage
+    /// check without running a sweep.
+    fn spec4() -> SweepSpec {
+        let mut spec = SweepSpec::quick();
+        spec.label = "merge-test".to_string();
+        spec.scenarios.truncate(2);
+        spec.maintenance.truncate(1);
+        spec.num_pes = vec![4];
+        spec.tree_banks = vec![4];
+        spec.elision_depths = vec![0, 4];
+        assert_eq!(spec.num_points(), 4);
+        spec
+    }
+
+    fn row(index: usize, scenario: &'static str, cycles: u64) -> SweepRow {
+        let mut ledger = EnergyLedger::new();
+        ledger.compute = cycles as f64 * 0.5;
+        SweepRow {
+            index,
+            scenario,
+            maintenance: "rebuild",
+            num_pes: 4,
+            tree_kb: 6,
+            tree_banks: 4,
+            dram_bytes_per_cycle: 20.48,
+            aggregation_elision: true,
+            top_height: 4,
+            elision_depth: (index % 2) * 4,
+            engine_elision_level: 8,
+            top_height_used: 4,
+            frames: 2,
+            queries: 8,
+            neighbors: 16,
+            pipelined_cycles: cycles,
+            serial_cycles: cycles + 5,
+            build_cycles: 10,
+            dram_bytes: 1024,
+            mean_reuse: 0.5,
+            arb_rounds: 40,
+            bank_conflicts: 7,
+            conflict_stall_cycles: 5,
+            elided_conflicts: 2,
+            agg_cycles: 12,
+            agg_elided: 3,
+            full_rebuilds: 2,
+            subtrees_rebuilt: 0,
+            energy: ledger,
+            recall: 0.875 + index as f64 / 64.0,
+            digest: 0x1234_5678 + index as u64,
+            engine_cycles: cycles / 2,
+            engine_dram_bytes: 512,
+            nodes_visited: 100,
+            nodes_elided: 3,
+            engine_recall: 0.75,
+            engine_digest: 0x8765_4321 + index as u64,
+        }
+    }
+
+    fn rows4() -> Vec<SweepRow> {
+        vec![
+            row(0, "sweep", 100),
+            row(1, "sweep", 80),
+            row(2, "registered", 90),
+            row(3, "registered", 70),
+        ]
+    }
+
+    fn whole() -> String {
+        SweepReport { spec: spec4(), shard: None, rows: rows4() }.to_json()
+    }
+
+    fn shard_text(index: usize, count: usize, rows: Vec<SweepRow>) -> ShardFile {
+        let report = SweepReport { spec: spec4(), shard: Some(ShardInfo { index, count }), rows };
+        ShardFile { name: format!("shard-{index}-of-{count}.json"), text: report.to_json() }
+    }
+
+    fn split(assignment: &[usize], count: usize) -> Vec<ShardFile> {
+        (1..=count)
+            .map(|shard| {
+                let rows = rows4()
+                    .into_iter()
+                    .zip(assignment)
+                    .filter(|(_, &s)| s == shard)
+                    .map(|(r, _)| r)
+                    .collect();
+                shard_text(shard, count, rows)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn merge_reproduces_the_whole_report_byte_for_byte() {
+        // any disjoint complete assignment works, not just round-robin
+        for assignment in [[1, 1, 2, 2], [2, 1, 2, 1], [1, 2, 2, 1], [2, 2, 2, 1]] {
+            let merged = merge_shards(&split(&assignment, 2)).expect("valid partition");
+            assert_eq!(merged, whole(), "assignment {assignment:?}");
+        }
+        // shard order on the command line is irrelevant
+        let mut files = split(&[1, 2, 1, 2], 2);
+        files.reverse();
+        assert_eq!(merge_shards(&files).expect("valid partition"), whole());
+        // a 1-shard "partition" is the identity
+        let merged = merge_shards(&split(&[1, 1, 1, 1], 1)).expect("valid partition");
+        assert_eq!(merged, whole());
+    }
+
+    #[test]
+    fn rejects_shards_of_different_specs_naming_the_offender() {
+        let mut files = split(&[1, 2, 1, 2], 2);
+        let mut other_spec = spec4();
+        other_spec.label = "other".to_string();
+        let foreign = SweepReport {
+            spec: other_spec,
+            shard: Some(ShardInfo { index: 2, count: 2 }),
+            rows: vec![row(1, "sweep", 80), row(3, "registered", 70)],
+        };
+        files[1].text = foreign.to_json();
+        let err = merge_shards(&files).unwrap_err();
+        assert!(err.contains("different specs"), "{err}");
+        assert!(err.contains("shard-2-of-2.json"), "offender not named: {err}");
+    }
+
+    #[test]
+    fn rejects_overlapping_shards_naming_both() {
+        let mut files = split(&[1, 1, 2, 2], 2);
+        // shard 2 also claims row 0
+        files[1] = shard_text(
+            2,
+            2,
+            vec![row(0, "sweep", 100), row(2, "registered", 90), row(3, "registered", 70)],
+        );
+        let err = merge_shards(&files).unwrap_err();
+        assert!(err.contains("row 0"), "{err}");
+        assert!(err.contains("overlapping"), "{err}");
+        assert!(err.contains("shard-1-of-2.json") && err.contains("shard-2-of-2.json"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_shards_and_missing_rows_by_name() {
+        let files = vec![shard_text(1, 2, vec![row(0, "sweep", 100), row(2, "registered", 90)])];
+        let err = merge_shards(&files).unwrap_err();
+        assert!(err.contains("missing shard(s) 2/2"), "{err}");
+
+        // complete shard set, incomplete row coverage
+        let files = vec![
+            shard_text(1, 2, vec![row(0, "sweep", 100), row(2, "registered", 90)]),
+            shard_text(2, 2, vec![row(1, "sweep", 80)]),
+        ];
+        let err = merge_shards(&files).unwrap_err();
+        assert!(err.contains("missing row(s) 3"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_shard_indices_and_mixed_partitions() {
+        let a = shard_text(1, 2, vec![row(0, "sweep", 100), row(2, "registered", 90)]);
+        let b = shard_text(1, 2, vec![row(1, "sweep", 80), row(3, "registered", 70)]);
+        let err = merge_shards(&[a.clone(), b]).unwrap_err();
+        assert!(err.contains("appears twice"), "{err}");
+
+        let c = shard_text(2, 3, vec![row(1, "sweep", 80), row(3, "registered", 70)]);
+        let err = merge_shards(&[a, c]).unwrap_err();
+        assert!(err.contains("mixed partitions"), "{err}");
+    }
+
+    #[test]
+    fn rejects_whole_grid_reports_and_foreign_schemas() {
+        let whole_file = ShardFile { name: "whole.json".to_string(), text: whole() };
+        let err = merge_shards(&[whole_file]).unwrap_err();
+        assert!(err.contains("whole.json") && err.contains("not a shard"), "{err}");
+
+        let mut files = split(&[1, 2, 1, 2], 2);
+        files[0].text = files[0].text.replace("crescent-sweep/v3", "crescent-sweep/v2");
+        let err = merge_shards(&files).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+
+        let garbage = ShardFile { name: "noise.json".to_string(), text: "hello\n".to_string() };
+        let err = merge_shards(&[garbage]).unwrap_err();
+        assert!(err.contains("noise.json"), "{err}");
+    }
+
+    #[test]
+    fn merged_pareto_equals_structured_pareto() {
+        let merged = merge_shards(&split(&[1, 2, 2, 1], 2)).expect("valid partition");
+        let structured = SweepReport { spec: spec4(), shard: None, rows: rows4() };
+        for (scenario, front) in structured.pareto() {
+            let line = format!(
+                "{{\"scenario\":\"{scenario}\",\"rows\":[{}]}}",
+                front.iter().map(|r| r.to_string()).collect::<Vec<_>>().join(",")
+            );
+            assert!(merged.contains(&line), "front {line} missing from merged report");
+        }
+    }
+}

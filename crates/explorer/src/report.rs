@@ -9,18 +9,19 @@ use crescent_memsim::EnergyLedger;
 use crate::json::Json;
 use crate::spec::SweepSpec;
 
-/// Schema identifier embedded in every report. Bump the `/v2` suffix on
+/// Schema identifier embedded in every report. Bump the `/v3` suffix on
 /// any change to the report layout, key set, or metric semantics — the
 /// CI comparator is exact, so an unversioned layout change would show up
 /// as inexplicable metric drift instead of an obvious schema break.
 ///
-/// `v2` (this version): the streaming pass carries the unified
-/// banked-arbitration model, so `h_e` became the depth-from-leaves
-/// `elision_depth` axis, `tree_banks` and `aggregation_elision` became
-/// real axes, and rows grew the streaming conflict/elision/aggregation
-/// columns. Field-by-field documentation lives in
+/// `v3` (this version): reports became shardable. The header gained
+/// `fingerprint` (an FNV-1a digest of the spec echo — two reports with
+/// equal fingerprints ran the same spec) and `shard` (`null` for a
+/// whole-grid run; `{index, count, rows, points}` for a shard produced
+/// by `repro sweep --shard i/N`). Row and Pareto semantics are unchanged
+/// from `v2`. Field-by-field documentation lives in
 /// [`docs/SWEEP_SCHEMA.md`](../../../docs/SWEEP_SCHEMA.md).
-pub const SCHEMA: &str = "crescent-sweep/v2";
+pub const SCHEMA: &str = "crescent-sweep/v3";
 
 /// One sweep point's configuration echo plus its modeled metrics. All
 /// metrics are *modeled* (cycles, bytes, energy units, recall against a
@@ -142,7 +143,8 @@ impl SweepRow {
 }
 
 impl SweepRow {
-    fn to_json(&self) -> Json {
+    /// The row as a compact JSON object (one report line).
+    pub(crate) fn to_json(&self) -> Json {
         let mut energy: Vec<(&'static str, Json)> = self
             .energy
             .category_rows()
@@ -192,14 +194,55 @@ impl SweepRow {
     }
 }
 
-/// A completed sweep: the spec that produced it plus one row per grid
-/// point, in grid order.
+/// Which shard of a sharded sweep a report covers. `repro sweep --shard
+/// i/N` produces a report carrying `ShardInfo { index: i, count: N }`;
+/// a whole-grid run (and the output of
+/// [`merge_shards`](crate::merge_shards)) carries `None`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardInfo {
+    /// 1-based shard index (`1 ≤ index ≤ count`).
+    pub index: usize,
+    /// Total number of shards in the partition.
+    pub count: usize,
+}
+
+/// A completed sweep: the spec that produced it plus one row per covered
+/// grid point, in grid order.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SweepReport {
     /// The spec the sweep ran.
     pub spec: SweepSpec,
-    /// One row per grid point, ordered by [`SweepRow::index`].
+    /// The shard this report covers; `None` for a whole-grid run.
+    pub shard: Option<ShardInfo>,
+    /// One row per covered grid point (the whole grid when `shard` is
+    /// `None`, the shard's round-robin subset otherwise), ordered by the
+    /// **global** [`SweepRow::index`].
     pub rows: Vec<SweepRow>,
+}
+
+/// FNV-1a fingerprint of a spec's canonical report echo (schema, label,
+/// workload, grid). Two reports carry the same fingerprint iff they were
+/// produced by byte-identical spec echoes — the cheap identity check
+/// [`merge_shards`](crate::merge_shards) uses to refuse mixing shards
+/// of different sweeps.
+pub fn spec_fingerprint(spec: &SweepSpec) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for part in [
+        SCHEMA,
+        spec.label.as_str(),
+        &workload_json(spec).to_compact(),
+        &grid_json(spec).to_compact(),
+    ] {
+        for byte in part.bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+        h ^= b'\n' as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
 }
 
 impl SweepReport {
@@ -212,133 +255,188 @@ impl SweepReport {
     /// operating points across different workloads would be
     /// meaningless). A row dominates another if it is no worse on all
     /// three objectives and strictly better on at least one.
-    pub fn pareto(&self) -> Vec<(&'static str, Vec<usize>)> {
-        let mut fronts = Vec::new();
-        let mut seen: Vec<&'static str> = Vec::new();
-        for row in &self.rows {
-            if !seen.contains(&row.scenario) {
-                seen.push(row.scenario);
-            }
-        }
-        for scenario in seen {
-            let members: Vec<&SweepRow> =
-                self.rows.iter().filter(|r| r.scenario == scenario).collect();
-            let mut front = Vec::new();
-            for a in &members {
-                let dominated = members.iter().any(|b| {
-                    b.index != a.index
-                        && b.total_cycles() <= a.total_cycles()
-                        && b.energy.total() <= a.energy.total()
-                        && b.worst_recall() >= a.worst_recall()
-                        && (b.total_cycles() < a.total_cycles()
-                            || b.energy.total() < a.energy.total()
-                            || b.worst_recall() > a.worst_recall())
-                });
-                if !dominated {
-                    front.push(a.index);
-                }
-            }
-            fronts.push((scenario, front));
-        }
-        fronts
+    pub fn pareto(&self) -> Vec<(String, Vec<usize>)> {
+        let points: Vec<ParetoPoint> = self
+            .rows
+            .iter()
+            .map(|r| ParetoPoint {
+                index: r.index,
+                scenario: r.scenario.to_string(),
+                cycles: r.total_cycles(),
+                energy: r.energy.total(),
+                recall: r.worst_recall(),
+            })
+            .collect();
+        pareto_fronts(&points)
     }
 
     /// Serializes the report: pretty top-level structure with each row
     /// (and each Pareto front) on its own line, so the exact comparator
     /// can point at individual sweep points when a metric drifts. The
     /// output is a pure function of the report — byte-identical across
-    /// runs and worker counts.
+    /// runs and worker counts, and a merged set of shard reports
+    /// reproduces a whole-grid run byte for byte because both paths
+    /// funnel through the same header/body renderers.
     pub fn to_json(&self) -> String {
-        let w = &self.spec.workload;
-        let workload = Json::Object(vec![
-            ("total_points", Json::U64(w.scene.total_points as u64)),
-            ("seed", Json::U64(w.scene.seed)),
-            ("num_frames", Json::U64(w.num_frames as u64)),
-            ("queries_per_frame", Json::U64(w.queries_per_frame as u64)),
-            ("radius", Json::F64(w.radius as f64)),
-            // an unbounded cap is `null`, not a u64::MAX sentinel — the
-            // report must stay readable by float-backed JSON parsers
-            ("max_neighbors", w.max_neighbors.map(|k| Json::U64(k as u64)).unwrap_or(Json::Null)),
-            ("noise_m", Json::F64(w.noise_m as f64)),
-            ("max_range", Json::F64(w.max_range as f64)),
-        ]);
-        let grid = Json::Object(vec![
-            (
-                "scenarios",
-                Json::Array(self.spec.scenarios.iter().map(|s| Json::from(s.label())).collect()),
-            ),
-            (
-                "maintenance",
-                Json::Array(
-                    self.spec
-                        .maintenance
-                        .iter()
-                        .map(|&m| Json::from(crate::spec::maintenance_label(m)))
-                        .collect(),
-                ),
-            ),
-            (
-                "num_pes",
-                Json::Array(self.spec.num_pes.iter().map(|&v| Json::U64(v as u64)).collect()),
-            ),
-            (
-                "tree_kb",
-                Json::Array(self.spec.tree_kb.iter().map(|&v| Json::U64(v as u64)).collect()),
-            ),
-            (
-                "dram_bytes_per_cycle",
-                Json::Array(self.spec.dram_bytes_per_cycle.iter().map(|&v| Json::F64(v)).collect()),
-            ),
-            (
-                "tree_banks",
-                Json::Array(self.spec.tree_banks.iter().map(|&v| Json::U64(v as u64)).collect()),
-            ),
-            (
-                "agg_elision",
-                Json::Array(self.spec.aggregation_elision.iter().map(|&v| Json::Bool(v)).collect()),
-            ),
-            (
-                "h_t",
-                Json::Array(self.spec.top_heights.iter().map(|&v| Json::U64(v as u64)).collect()),
-            ),
-            (
-                "h_e",
-                Json::Array(
-                    self.spec.elision_depths.iter().map(|&v| Json::U64(v as u64)).collect(),
-                ),
-            ),
-        ]);
-
-        let mut out = String::with_capacity(256 * (self.rows.len() + 8));
-        out.push_str("{\n");
-        out.push_str(&format!("  \"schema\": {},\n", Json::from(SCHEMA).to_compact()));
-        out.push_str(&format!(
-            "  \"label\": {},\n",
-            Json::from(self.spec.label.as_str()).to_compact()
-        ));
-        out.push_str(&format!("  \"workload\": {},\n", workload.to_compact()));
-        out.push_str(&format!("  \"grid\": {},\n", grid.to_compact()));
-        out.push_str("  \"rows\": [\n");
-        for (i, row) in self.rows.iter().enumerate() {
-            out.push_str("    ");
-            out.push_str(&row.to_json().to_compact());
-            out.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
-        }
-        out.push_str("  ],\n");
-        out.push_str("  \"pareto\": [\n");
+        let row_lines: Vec<String> = self.rows.iter().map(|r| r.to_json().to_compact()).collect();
         let fronts = self.pareto();
-        for (i, (scenario, rows)) in fronts.iter().enumerate() {
-            let front = Json::Object(vec![
-                ("scenario", Json::from(*scenario)),
-                ("rows", Json::Array(rows.iter().map(|&r| Json::U64(r as u64)).collect())),
-            ]);
-            out.push_str("    ");
-            out.push_str(&front.to_compact());
-            out.push_str(if i + 1 < fronts.len() { ",\n" } else { "\n" });
-        }
-        out.push_str("  ]\n}\n");
+        let mut out = render_header(&self.spec, self.shard, self.rows.len());
+        render_body(&mut out, &row_lines, &fronts);
         out
     }
+}
+
+/// One row reduced to its Pareto objectives — the representation shared
+/// by [`SweepReport::pareto`] (from structured rows) and the shard
+/// merger (from parsed row lines), so the two paths cannot disagree on
+/// a front.
+#[derive(Clone, Debug)]
+pub(crate) struct ParetoPoint {
+    /// Global grid index of the row.
+    pub index: usize,
+    /// Scenario label (fronts never mix scenarios).
+    pub scenario: String,
+    /// Total modeled cycles (stream + engine pass), minimized.
+    pub cycles: u64,
+    /// Total stream energy, minimized.
+    pub energy: f64,
+    /// Worst-case recall across the two passes, maximized.
+    pub recall: f64,
+}
+
+/// Per-scenario Pareto fronts over `points`, scenarios in first-seen
+/// order, front members in index order.
+pub(crate) fn pareto_fronts(points: &[ParetoPoint]) -> Vec<(String, Vec<usize>)> {
+    let mut fronts = Vec::new();
+    let mut seen: Vec<&str> = Vec::new();
+    for p in points {
+        if !seen.contains(&p.scenario.as_str()) {
+            seen.push(&p.scenario);
+        }
+    }
+    for scenario in seen {
+        let members: Vec<&ParetoPoint> = points.iter().filter(|p| p.scenario == scenario).collect();
+        let mut front = Vec::new();
+        for a in &members {
+            let dominated = members.iter().any(|b| {
+                b.index != a.index
+                    && b.cycles <= a.cycles
+                    && b.energy <= a.energy
+                    && b.recall >= a.recall
+                    && (b.cycles < a.cycles || b.energy < a.energy || b.recall > a.recall)
+            });
+            if !dominated {
+                front.push(a.index);
+            }
+        }
+        fronts.push((scenario.to_string(), front));
+    }
+    fronts
+}
+
+/// The workload echo of the report header (an axis-independent pure
+/// function of the spec — part of the fingerprint).
+pub(crate) fn workload_json(spec: &SweepSpec) -> Json {
+    let w = &spec.workload;
+    Json::Object(vec![
+        ("total_points", Json::U64(w.scene.total_points as u64)),
+        ("seed", Json::U64(w.scene.seed)),
+        ("num_frames", Json::U64(w.num_frames as u64)),
+        ("queries_per_frame", Json::U64(w.queries_per_frame as u64)),
+        ("radius", Json::F64(w.radius as f64)),
+        // an unbounded cap is `null`, not a u64::MAX sentinel — the
+        // report must stay readable by float-backed JSON parsers
+        ("max_neighbors", w.max_neighbors.map(|k| Json::U64(k as u64)).unwrap_or(Json::Null)),
+        ("noise_m", Json::F64(w.noise_m as f64)),
+        ("max_range", Json::F64(w.max_range as f64)),
+    ])
+}
+
+/// The grid (axis) echo of the report header — part of the fingerprint.
+pub(crate) fn grid_json(spec: &SweepSpec) -> Json {
+    Json::Object(vec![
+        ("scenarios", Json::Array(spec.scenarios.iter().map(|s| Json::from(s.label())).collect())),
+        (
+            "maintenance",
+            Json::Array(
+                spec.maintenance
+                    .iter()
+                    .map(|&m| Json::from(crate::spec::maintenance_label(m)))
+                    .collect(),
+            ),
+        ),
+        ("num_pes", Json::Array(spec.num_pes.iter().map(|&v| Json::U64(v as u64)).collect())),
+        ("tree_kb", Json::Array(spec.tree_kb.iter().map(|&v| Json::U64(v as u64)).collect())),
+        (
+            "dram_bytes_per_cycle",
+            Json::Array(spec.dram_bytes_per_cycle.iter().map(|&v| Json::F64(v)).collect()),
+        ),
+        ("tree_banks", Json::Array(spec.tree_banks.iter().map(|&v| Json::U64(v as u64)).collect())),
+        (
+            "agg_elision",
+            Json::Array(spec.aggregation_elision.iter().map(|&v| Json::Bool(v)).collect()),
+        ),
+        ("h_t", Json::Array(spec.top_heights.iter().map(|&v| Json::U64(v as u64)).collect())),
+        ("h_e", Json::Array(spec.elision_depths.iter().map(|&v| Json::U64(v as u64)).collect())),
+    ])
+}
+
+/// The serialized shard header value: `null` for a whole-grid report,
+/// otherwise the shard's coordinates plus its row count and the full
+/// grid size (what the merger checks coverage against).
+pub(crate) fn shard_json(shard: Option<ShardInfo>, rows: usize, points: usize) -> Json {
+    match shard {
+        None => Json::Null,
+        Some(s) => Json::Object(vec![
+            ("index", Json::U64(s.index as u64)),
+            ("count", Json::U64(s.count as u64)),
+            ("rows", Json::U64(rows as u64)),
+            ("points", Json::U64(points as u64)),
+        ]),
+    }
+}
+
+/// Renders the report header (everything before the `"rows"` section):
+/// schema, label, spec fingerprint, shard coordinates, workload echo,
+/// grid echo — one `  "key": value,` line each.
+pub(crate) fn render_header(spec: &SweepSpec, shard: Option<ShardInfo>, rows: usize) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": {},\n", Json::from(SCHEMA).to_compact()));
+    out.push_str(&format!("  \"label\": {},\n", Json::from(spec.label.as_str()).to_compact()));
+    out.push_str(&format!("  \"fingerprint\": \"{:016x}\",\n", spec_fingerprint(spec)));
+    out.push_str(&format!(
+        "  \"shard\": {},\n",
+        shard_json(shard, rows, spec.num_points()).to_compact()
+    ));
+    out.push_str(&format!("  \"workload\": {},\n", workload_json(spec).to_compact()));
+    out.push_str(&format!("  \"grid\": {},\n", grid_json(spec).to_compact()));
+    out
+}
+
+/// Appends the `"rows"` and `"pareto"` sections (one compact object per
+/// line) and the closing brace to a rendered header. `row_lines` are the
+/// compact per-row objects WITHOUT indentation or trailing commas.
+pub(crate) fn render_body(out: &mut String, row_lines: &[String], fronts: &[(String, Vec<usize>)]) {
+    out.reserve(256 * (row_lines.len() + 8));
+    out.push_str("  \"rows\": [\n");
+    for (i, line) in row_lines.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(line);
+        out.push_str(if i + 1 < row_lines.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"pareto\": [\n");
+    for (i, (scenario, rows)) in fronts.iter().enumerate() {
+        let front = Json::Object(vec![
+            ("scenario", Json::from(scenario.as_str())),
+            ("rows", Json::Array(rows.iter().map(|&r| Json::U64(r as u64)).collect())),
+        ]);
+        out.push_str("    ");
+        out.push_str(&front.to_compact());
+        out.push_str(if i + 1 < fronts.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
 }
 
 /// Exact report comparator: `None` when `fresh` is byte-identical to
@@ -362,7 +460,14 @@ pub fn diff_reports(baseline: &str, fresh: &str) -> Option<String> {
     fn header_line<'a>(lines: &[&'a str], key: &str) -> &'a str {
         lines.iter().find(|l| l.trim_start().starts_with(key)).copied().unwrap_or("<missing>")
     }
-    for key in ["\"schema\":", "\"label\":", "\"workload\":", "\"grid\":"] {
+    for key in [
+        "\"schema\":",
+        "\"label\":",
+        "\"fingerprint\":",
+        "\"shard\":",
+        "\"workload\":",
+        "\"grid\":",
+    ] {
         let b = header_line(&base_lines, key);
         let f = header_line(&fresh_lines, key);
         if b != f {
@@ -432,7 +537,8 @@ pub fn diff_reports(baseline: &str, fresh: &str) -> Option<String> {
 /// Splits one compact JSON object line (a report row) into its top-level
 /// `(key, raw value)` pairs. Returns `None` for lines that are not a
 /// single object — the comparator then falls back to whole-line output.
-fn top_level_fields(line: &str) -> Option<Vec<(String, String)>> {
+/// Also the row/shard-header parser behind [`crate::merge_shards`].
+pub(crate) fn top_level_fields(line: &str) -> Option<Vec<(String, String)>> {
     let t = line.trim().trim_end_matches(',');
     let inner = t.strip_prefix('{')?.strip_suffix('}')?;
     let mut fields = Vec::new();
@@ -541,7 +647,7 @@ mod tests {
     }
 
     fn report(rows: Vec<SweepRow>) -> SweepReport {
-        SweepReport { spec: SweepSpec::quick(), rows }
+        SweepReport { spec: SweepSpec::quick(), shard: None, rows }
     }
 
     #[test]
@@ -557,8 +663,8 @@ mod tests {
         ]);
         let fronts = r.pareto();
         assert_eq!(fronts.len(), 2);
-        assert_eq!(fronts[0], ("sweep", vec![1, 2]));
-        assert_eq!(fronts[1], ("registered", vec![3]));
+        assert_eq!(fronts[0], ("sweep".to_string(), vec![1, 2]));
+        assert_eq!(fronts[1], ("registered".to_string(), vec![3]));
     }
 
     #[test]
@@ -571,7 +677,9 @@ mod tests {
     fn json_has_schema_one_row_per_line_and_is_reproducible() {
         let r = report(vec![row(0, "sweep", 100, 10.0, 0.875), row(1, "sweep", 50, 5.0, 1.0)]);
         let json = r.to_json();
-        assert!(json.starts_with("{\n  \"schema\": \"crescent-sweep/v2\",\n"));
+        assert!(json.starts_with("{\n  \"schema\": \"crescent-sweep/v3\",\n"));
+        assert!(json.contains("\n  \"fingerprint\": \""), "header carries the spec fingerprint");
+        assert!(json.contains("\n  \"shard\": null,\n"), "whole-grid reports are unsharded");
         assert_eq!(json.matches("{\"row\":").count(), 2);
         let row_lines: Vec<&str> =
             json.lines().filter(|l| l.trim_start().starts_with("{\"row\":")).collect();
@@ -635,10 +743,49 @@ mod tests {
         let quick = report(vec![row(0, "sweep", 100, 10.0, 0.9)]).to_json();
         let mut full_spec = SweepSpec::full();
         full_spec.label = "full".to_string();
-        let full =
-            SweepReport { spec: full_spec, rows: vec![row(0, "sweep", 100, 10.0, 0.9)] }.to_json();
+        let full = SweepReport {
+            spec: full_spec,
+            shard: None,
+            rows: vec![row(0, "sweep", 100, 10.0, 0.9)],
+        }
+        .to_json();
         let msg = diff_reports(&quick, &full).expect("different specs differ");
         assert!(msg.contains("different spec"), "{msg}");
         assert!(!msg.contains("drifted from baseline"), "{msg}");
+    }
+
+    #[test]
+    fn fingerprint_identifies_the_spec_not_the_run() {
+        let quick = SweepSpec::quick();
+        assert_eq!(spec_fingerprint(&quick), spec_fingerprint(&SweepSpec::quick()));
+        assert_ne!(spec_fingerprint(&quick), spec_fingerprint(&SweepSpec::full()));
+        let mut relabeled = SweepSpec::quick();
+        relabeled.label = "quick2".to_string();
+        assert_ne!(spec_fingerprint(&quick), spec_fingerprint(&relabeled));
+        let mut reaxed = SweepSpec::quick();
+        reaxed.elision_depths.push(2);
+        assert_ne!(spec_fingerprint(&quick), spec_fingerprint(&reaxed));
+    }
+
+    #[test]
+    fn shard_reports_carry_their_coordinates() {
+        let mut r = report(vec![row(0, "sweep", 100, 10.0, 0.9)]);
+        r.shard = Some(ShardInfo { index: 2, count: 3 });
+        let json = r.to_json();
+        let points = r.spec.num_points();
+        assert!(
+            json.contains(&format!(
+                "\n  \"shard\": {{\"index\":2,\"count\":3,\"rows\":1,\"points\":{points}}},\n"
+            )),
+            "{json}"
+        );
+        // everything else in the header matches the unsharded form
+        let whole = report(vec![row(0, "sweep", 100, 10.0, 0.9)]).to_json();
+        for key in ["\"schema\":", "\"label\":", "\"fingerprint\":", "\"workload\":", "\"grid\":"] {
+            let line = |text: &str| {
+                text.lines().find(|l| l.trim_start().starts_with(key)).unwrap().to_string()
+            };
+            assert_eq!(line(&json), line(&whole), "{key} must not depend on sharding");
+        }
     }
 }

@@ -30,7 +30,7 @@ use crescent_accel::{run_crescent_search, run_frame_stream, CrescentKnobs, Strea
 use crescent_kdtree::KdTree;
 use crescent_pointcloud::{radius_search_bruteforce, Neighbor, Point3, PointCloud};
 
-use crate::report::{SweepReport, SweepRow};
+use crate::report::{ShardInfo, SweepReport, SweepRow};
 use crate::spec::{maintenance_label, SweepPoint, SweepSpec};
 
 /// Exact neighbor-index sets (sorted) per frame per query — the recall
@@ -52,6 +52,12 @@ struct ScenarioCache {
 /// search) and aggregation elision (the engine pass has no aggregation
 /// stage). The DRAM bandwidth is keyed by its bit pattern — only
 /// identity matters.
+///
+/// The `h_t` component is the **granted** `top_height_used`, not the
+/// requested `point.top_height`: the pass is computed with the granted
+/// height, so two grid points whose requested heights clamp to the same
+/// grant run byte-identical passes and must share one memo entry.
+/// (Keying on the request used to silently re-run those passes.)
 type EngineKey = (usize, usize, usize, usize, u64, usize, usize);
 
 /// The engine pass's contribution to a row, shared by the sibling rows
@@ -72,32 +78,96 @@ pub fn default_workers() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
 }
 
+/// Execution statistics of one sweep (or shard) run — operational
+/// facts about the run itself, deliberately kept OUT of the report
+/// bytes (the report is a pure function of the spec; these are not).
+#[derive(Clone, Copy, Debug)]
+pub struct SweepRunStats {
+    /// Grid points actually simulated (the whole grid, or the shard's
+    /// round-robin subset).
+    pub points: usize,
+    /// The **effective** worker count: the requested pool clamped to
+    /// the point count — what the CLI reports, so "8 workers" is never
+    /// printed for a 4-point run.
+    pub workers: usize,
+    /// Standalone engine cross-check passes actually executed (memo
+    /// misses). With the memo keyed on the granted `h_t`, sibling grid
+    /// points whose requested heights clamp to the same grant share one
+    /// pass — the regression this counter pins down.
+    pub engine_passes: usize,
+}
+
 /// Runs the full sweep on `workers` OS threads and returns the report.
 ///
 /// Fails (with a message naming the offending axis or grid point) if the
 /// spec does not validate; never panics on a validated spec.
 pub fn run_sweep(spec: &SweepSpec, workers: usize) -> Result<SweepReport, String> {
+    run_sweep_with_stats(spec, workers).map(|(report, _)| report)
+}
+
+/// [`run_sweep`], also returning the run's execution statistics.
+pub fn run_sweep_with_stats(
+    spec: &SweepSpec,
+    workers: usize,
+) -> Result<(SweepReport, SweepRunStats), String> {
     spec.validate()?;
     let points = spec.expand();
+    let (rows, stats) = run_points(spec, &points, workers);
+    Ok((SweepReport { spec: spec.clone(), shard: None, rows }, stats))
+}
 
+/// Runs shard `index` of `count` (1-based): the round-robin point subset
+/// of [`SweepSpec::shard_points`], producing a shard report whose rows
+/// keep their global grid indices and are bit-identical to the same rows
+/// of a whole-grid run — the property [`crate::merge_shards`] turns into
+/// a byte-identical merged report.
+pub fn run_sweep_shard(
+    spec: &SweepSpec,
+    index: usize,
+    count: usize,
+    workers: usize,
+) -> Result<(SweepReport, SweepRunStats), String> {
+    spec.validate()?;
+    let points = spec.shard_points(index, count)?;
+    let (rows, stats) = run_points(spec, &points, workers);
+    Ok((SweepReport { spec: spec.clone(), shard: Some(ShardInfo { index, count }), rows }, stats))
+}
+
+/// Simulates `points` (any subset of the expanded grid, in grid order)
+/// over a worker pool and returns their rows in the same order.
+fn run_points(
+    spec: &SweepSpec,
+    points: &[SweepPoint],
+    workers: usize,
+) -> (Vec<SweepRow>, SweepRunStats) {
     // Per-scenario caches, computed once up front (per-point
     // recomputation would be pure waste — none of this depends on the
-    // architecture knobs).
-    let caches: Vec<ScenarioCache> = spec
+    // architecture knobs). Only scenarios the subset actually visits are
+    // rendered and brute-force-solved: a shard must not pay the oracle
+    // cost of scenarios it never simulates.
+    let mut needed = vec![false; spec.scenarios.len()];
+    for point in points {
+        needed[point.scenario_idx] = true;
+    }
+    let caches: Vec<Option<ScenarioCache>> = spec
         .scenarios
         .iter()
-        .map(|&scenario| {
-            let mut wcfg = spec.workload;
-            wcfg.scenario = scenario;
-            let frames: Vec<Frame> = FrameStream::new(&wcfg).collect();
-            let exact = exact_baseline(&frames, wcfg.radius, wcfg.max_neighbors);
-            let tree0 = KdTree::build(&frames[0].cloud);
-            ScenarioCache { frames, exact, tree0 }
+        .zip(&needed)
+        .map(|(&scenario, &needed)| {
+            needed.then(|| {
+                let mut wcfg = spec.workload;
+                wcfg.scenario = scenario;
+                let frames: Vec<Frame> = FrameStream::new(&wcfg).collect();
+                let exact = exact_baseline(&frames, wcfg.radius, wcfg.max_neighbors);
+                let tree0 = KdTree::build(&frames[0].cloud);
+                ScenarioCache { frames, exact, tree0 }
+            })
         })
         .collect();
 
     let workers = workers.clamp(1, points.len().max(1));
     let next = AtomicUsize::new(0);
+    let engine_runs = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<SweepRow>>> = points.iter().map(|_| Mutex::new(None)).collect();
     let engine_memo: Mutex<HashMap<EngineKey, EnginePass>> = Mutex::new(HashMap::new());
     std::thread::scope(|scope| {
@@ -105,7 +175,9 @@ pub fn run_sweep(spec: &SweepSpec, workers: usize) -> Result<SweepReport, String
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(point) = points.get(i) else { break };
-                let row = run_point(spec, point, &caches[point.scenario_idx], &engine_memo);
+                let cache =
+                    caches[point.scenario_idx].as_ref().expect("needed scenario cache built");
+                let row = run_point(spec, point, cache, &engine_memo, &engine_runs);
                 *slots[i].lock().expect("row slot poisoned") = Some(row);
             });
         }
@@ -117,7 +189,12 @@ pub fn run_sweep(spec: &SweepSpec, workers: usize) -> Result<SweepReport, String
             slot.into_inner().expect("row slot poisoned").expect("every claimed point completed")
         })
         .collect();
-    Ok(SweepReport { spec: spec.clone(), rows })
+    let stats = SweepRunStats {
+        points: points.len(),
+        workers,
+        engine_passes: engine_runs.load(Ordering::Relaxed),
+    };
+    (rows, stats)
 }
 
 /// Simulates one grid point and derives its report row.
@@ -147,14 +224,16 @@ pub fn run_sweep(spec: &SweepSpec, workers: usize) -> Result<SweepReport, String
 ///
 /// The engine pass is memoized across the maintenance and
 /// aggregation-elision axes (it searches one fixed tree and has no
-/// gather stage, so neither can touch it). A racing recompute of the
-/// same key is harmless: the pass is deterministic, so both writers
-/// insert identical values.
+/// gather stage, so neither can touch it), keyed on the **granted**
+/// `top_height_used` so requested heights that clamp to the same grant
+/// also share one pass. A racing recompute of the same key is harmless:
+/// the pass is deterministic, so both writers insert identical values.
 fn run_point(
     spec: &SweepSpec,
     point: &SweepPoint,
     cache: &ScenarioCache,
     engine_memo: &Mutex<HashMap<EngineKey, EnginePass>>,
+    engine_runs: &AtomicUsize,
 ) -> SweepRow {
     let mut config = point.config().expect("spec validation checked every grid point");
     // the engine cross-check's level threshold is a per-tree quantity:
@@ -184,11 +263,15 @@ fn run_point(
         point.tree_kb,
         point.tree_banks,
         point.dram_bytes_per_cycle.to_bits(),
-        point.top_height,
+        // the pass runs at the GRANTED height — keying the requested
+        // height would re-run identical passes for every request that
+        // clamps to the same grant
+        top_height_used,
         point.elision_depth,
     );
     let memoized = engine_memo.lock().expect("engine memo poisoned").get(&key).copied();
     let engine = memoized.unwrap_or_else(|| {
+        engine_runs.fetch_add(1, Ordering::Relaxed);
         let (engine_results, engine) = run_crescent_search(
             &cache.tree0,
             top_height_used,
@@ -446,5 +529,70 @@ mod tests {
         let mut spec = tiny_spec();
         spec.num_pes = vec![0];
         assert!(run_sweep(&spec, 2).is_err());
+    }
+
+    #[test]
+    fn clamped_heights_share_one_engine_pass() {
+        // 6 KiB tree buffer -> the feasibility range caps well below
+        // either request, so h_t = 20 and h_t = 30 clamp to the SAME
+        // granted height and must share one memoized engine pass.
+        let mut spec = tiny_spec();
+        spec.top_heights = vec![20, 30];
+        let (report, stats) = run_sweep_with_stats(&spec, 1).expect("sweep runs");
+        assert_eq!(report.rows.len(), 8, "2 policies x 2 PE counts x 2 requested heights");
+        let grants: Vec<usize> = report.rows.iter().map(|r| r.top_height_used).collect();
+        assert!(
+            grants.windows(2).all(|w| w[0] == w[1]),
+            "both requests must clamp to one grant: {grants:?}"
+        );
+        // unique passes = PE counts only: maintenance, aggregation, and
+        // the two clamped h_t requests all collapse onto the same key
+        assert_eq!(
+            stats.engine_passes, 2,
+            "requested heights clamping to the same grant must not re-run the engine"
+        );
+        // ... and the deduplication is observable in the rows: sibling
+        // rows differing only in requested h_t carry identical engine
+        // columns (they ARE the same pass)
+        for pe_rows in report.rows.chunks(2) {
+            assert_eq!(pe_rows[0].engine_cycles, pe_rows[1].engine_cycles);
+            assert_eq!(pe_rows[0].engine_digest, pe_rows[1].engine_digest);
+            assert_eq!(pe_rows[0].engine_recall, pe_rows[1].engine_recall);
+        }
+    }
+
+    #[test]
+    fn stats_report_the_effective_worker_count() {
+        let spec = tiny_spec();
+        let (report, stats) = run_sweep_with_stats(&spec, 64).expect("sweep runs");
+        assert_eq!(stats.points, report.rows.len());
+        assert_eq!(stats.workers, report.rows.len(), "pool clamps to the point count");
+        let (_, one) = run_sweep_with_stats(&spec, 1).expect("sweep runs");
+        assert_eq!(one.workers, 1);
+    }
+
+    #[test]
+    fn shard_rows_keep_global_indices_and_match_the_whole_run() {
+        let spec = tiny_spec();
+        let whole = run_sweep(&spec, 1).expect("sweep runs");
+        let mut seen = vec![false; whole.rows.len()];
+        for index in 1..=3 {
+            let (shard, _) = run_sweep_shard(&spec, index, 3, 2).expect("shard runs");
+            let info = shard.shard.expect("shard report carries its coordinates");
+            assert_eq!((info.index, info.count), (index, 3));
+            for row in &shard.rows {
+                assert_eq!(row.index % 3, index - 1, "round-robin projection");
+                assert!(!seen[row.index], "row {} covered twice", row.index);
+                seen[row.index] = true;
+                let reference = &whole.rows[row.index];
+                assert_eq!(row.digest, reference.digest);
+                assert_eq!(row.pipelined_cycles, reference.pipelined_cycles);
+                assert_eq!(row.engine_digest, reference.engine_digest);
+                assert_eq!(row.to_json().to_compact(), reference.to_json().to_compact());
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "three shards cover the whole grid");
+        assert!(run_sweep_shard(&spec, 4, 3, 1).is_err(), "index out of range");
+        assert!(run_sweep_shard(&spec, 0, 3, 1).is_err(), "indices are 1-based");
     }
 }

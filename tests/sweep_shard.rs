@@ -1,0 +1,120 @@
+//! The sharded-sweep contract: splitting a sweep into shards and
+//! merging the shard reports is **byte-identical** to running the whole
+//! grid in one process.
+//!
+//! Two layers of evidence:
+//!
+//! * real shard runs — [`run_sweep_shard`] for every `i/N`,
+//!   N ∈ {1, 2, 3, 7}, merged and compared byte-for-byte against
+//!   [`run_sweep`] on a pruned quick grid (the full quick grid runs the
+//!   same check in release in `examples/design_sweep.rs` and the CI
+//!   sharded `sweep-gate`);
+//! * property test — *arbitrary* partitions of the grid (not just the
+//!   round-robin projection the CLI produces) reassemble to the same
+//!   bytes, because the merger only requires a complete disjoint
+//!   partition of one spec.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use crescent_explorer::{
+    merge_shards, run_sweep, run_sweep_shard, ShardFile, ShardInfo, SweepReport, SweepSpec,
+};
+
+/// The quick spec pruned to one architecture point per scenario ×
+/// policy cell (10 points) so the debug-profile test stays fast.
+fn shard_spec() -> SweepSpec {
+    let mut spec = SweepSpec::quick();
+    spec.label = "quick-shard".to_string();
+    spec.num_pes = vec![4];
+    spec.tree_banks = vec![4];
+    spec.elision_depths = vec![4];
+    spec
+}
+
+/// The single-process reference run, computed once for the whole file.
+fn whole() -> &'static SweepReport {
+    static WHOLE: OnceLock<SweepReport> = OnceLock::new();
+    WHOLE.get_or_init(|| run_sweep(&shard_spec(), 2).expect("shard spec is valid"))
+}
+
+#[test]
+fn sharded_runs_merge_byte_identical_to_the_whole_run() {
+    let spec = shard_spec();
+    let reference = whole().to_json();
+    for count in [1usize, 2, 3, 7] {
+        let mut shards: Vec<ShardFile> = (1..=count)
+            .map(|index| {
+                let (report, stats) =
+                    run_sweep_shard(&spec, index, count, 2).expect("shard spec is valid");
+                assert_eq!(report.shard, Some(ShardInfo { index, count }));
+                assert_eq!(stats.points, report.rows.len());
+                ShardFile { name: format!("shard-{index}.json"), text: report.to_json() }
+            })
+            .collect();
+        // merge order must not matter: feed the files back to front
+        shards.reverse();
+        let merged = merge_shards(&shards).expect("complete partition merges");
+        assert_eq!(merged, reference, "{count}-way shard+merge changed the report bytes");
+    }
+}
+
+#[test]
+fn shard_rows_carry_global_grid_indices() {
+    let spec = shard_spec();
+    for count in [2usize, 3] {
+        let mut seen = Vec::new();
+        for index in 1..=count {
+            let (report, _) = run_sweep_shard(&spec, index, count, 1).expect("valid shard");
+            for row in &report.rows {
+                assert_eq!(row.index % count, index - 1, "round-robin projection");
+                seen.push(row.index);
+            }
+        }
+        seen.sort_unstable();
+        let all: Vec<usize> = (0..spec.num_points()).collect();
+        assert_eq!(seen, all, "{count} shards must cover the grid exactly once");
+    }
+}
+
+/// Splitmix64: a tiny deterministic stream of shard assignments.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// ANY partition of the grid's rows into N shard reports — not just
+    /// the round-robin projection — merges back to the single-run bytes.
+    /// Shards are allowed to be empty (a 7-way split of a small grid
+    /// leaves some shards without rows).
+    #[test]
+    fn any_partition_merges_byte_identically(seed in 0u64..1_000_000, count in 1usize..8) {
+        let reference = whole();
+        let mut state = seed;
+        let mut rows: Vec<Vec<_>> = vec![Vec::new(); count];
+        for row in &reference.rows {
+            rows[(splitmix(&mut state) % count as u64) as usize].push(row.clone());
+        }
+        let shards: Vec<ShardFile> = rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, rows)| {
+                let report = SweepReport {
+                    spec: reference.spec.clone(),
+                    shard: Some(ShardInfo { index: i + 1, count }),
+                    rows,
+                };
+                ShardFile { name: format!("part-{}.json", i + 1), text: report.to_json() }
+            })
+            .collect();
+        let merged = merge_shards(&shards).expect("complete partition merges");
+        prop_assert_eq!(merged, reference.to_json());
+    }
+}
