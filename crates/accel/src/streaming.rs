@@ -121,6 +121,14 @@ pub struct StreamSearchConfig {
     /// meaningful across frames whose tree heights differ; each frame
     /// converts it to the engine's level threshold `height − depth`.
     pub elision_depth: usize,
+    /// Descendant reuse in the banked arbiter: an elision-eligible fetch
+    /// that loses arbitration to an *ancestor* of its own node continues
+    /// beneath the winner instead of dropping its subtree (see
+    /// [`BatchBankModel::descendant_reuse`](crescent_kdtree::BatchBankModel)).
+    /// Only meaningful with `elision_depth > 0` — at depth 0 no fetch is
+    /// elision-eligible, so the knob is inert and results stay
+    /// bit-identical to the stall-only model.
+    pub descendant_reuse: bool,
 }
 
 impl Default for StreamSearchConfig {
@@ -130,6 +138,7 @@ impl Default for StreamSearchConfig {
             max_neighbors: Some(32),
             maintenance: TreeMaintenance::default(),
             elision_depth: DEFAULT_STREAM_ELISION_DEPTH,
+            descendant_reuse: false,
         }
     }
 }
@@ -283,6 +292,14 @@ impl StreamReport {
         self.frames.iter().map(|f| f.elided_conflicts).sum()
     }
 
+    /// Total elision-eligible conflicts salvaged by descendant reuse —
+    /// losers that continued beneath an ancestor winner instead of
+    /// dropping their subtree (0 unless
+    /// [`StreamSearchConfig::descendant_reuse`] is on).
+    pub fn total_conflict_reuses(&self) -> u64 {
+        self.frames.iter().map(|f| f.search.conflict_reuses as u64).sum()
+    }
+
     /// Total aggregation-unit gather rounds across the stream.
     pub fn total_agg_cycles(&self) -> u64 {
         self.frames.iter().map(|f| f.agg_cycles).sum()
@@ -401,7 +418,8 @@ pub fn run_frame_stream(
             config.num_pes,
             config.tree_buffer.num_banks,
             search.elision_depth,
-        );
+        )
+        .with_descendant_reuse(search.descendant_reuse);
         let (frame_results, stats) = split.search_batch(queries, &batch_cfg, &mut state);
         roots_pool = split.into_subtree_roots();
 

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod facade;
+pub mod testgen;
 pub mod workload;
 
 pub use facade::{format_table, Crescent};

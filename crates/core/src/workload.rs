@@ -19,8 +19,12 @@
 //! [`TreeMaintenance`] policy from different angles: raw azimuthal
 //! sweeps (unstable point identity), registered motion-compensated
 //! streams (the refit-friendly case), dynamic objects entering and
-//! leaving the scene, oscillating point density, and a sudden
-//! ego-rotation burst (one incoherent frame in a coherent stream).
+//! leaving the scene, oscillating point density, a sudden ego-rotation
+//! burst (one incoherent frame in a coherent stream), urban-canyon
+//! occlusion with multipath dropouts, highway speeds over sparse
+//! long-range returns, overlapping staggered-phase multi-sensor rigs,
+//! weather-degraded returns, and a locality-heavy clustered-query
+//! stream that exercises descendant reuse in the banked arbiter.
 //!
 //! Everything is a pure function of [`FrameStreamConfig`]: two streams
 //! built from the same config yield bit-identical frames, queries, and —
@@ -97,22 +101,79 @@ pub enum StreamScenario {
         /// Heading step in radians.
         yaw_rad: f32,
     },
+    /// Registered stream through an urban canyon: `sectors` azimuthal
+    /// building wedges (fixed around the moving sensor) occlude returns,
+    /// and a per-frame pseudo-random `dropout_pct`% of the surviving
+    /// points flickers away to multipath. The visible set changes every
+    /// frame as the ego moves past the wedges, so the cloud size is
+    /// never stable — a rebuild-heavy, spatially-nonuniform workload.
+    UrbanCanyon {
+        /// Number of occluded azimuthal wedges around the sensor.
+        sectors: usize,
+        /// Percentage of points lost to multipath each frame (0–100).
+        dropout_pct: u8,
+    },
+    /// Highway driving: the ego speed is multiplied by `speed_mult` and
+    /// only a constant `keep_pct`% of the world returns (sparse
+    /// long-range hits). The kept subset is frame-invariant, so point
+    /// identity stays stable — refit survives even the large per-frame
+    /// displacement.
+    Highway {
+        /// Multiplier on [`EgoMotion::speed_mps`].
+        speed_mult: f32,
+        /// Constant percentage of world points kept each frame.
+        keep_pct: u8,
+    },
+    /// A rig of `sensors` overlapping LiDARs: each sensor renders the
+    /// full registered world from its own mounting offset with a
+    /// staggered trigger phase, and the frame concatenates the clouds.
+    /// Density (and bank pressure) multiplies by the sensor count while
+    /// the stream stays rigid — refit-friendly at doubled conflict load.
+    MultiSensor {
+        /// Number of sensors on the rig.
+        sensors: usize,
+    },
+    /// Weather-degraded returns (rain/fog): measurement noise is
+    /// tripled and a per-frame-varying dropout around `dropout_pct`%
+    /// thins the cloud differently every frame, so the size never
+    /// repeats — the adversarial case for incremental maintenance.
+    Weather {
+        /// Mean percentage of returns lost per frame (0–100).
+        dropout_pct: u8,
+    },
+    /// Registered stream whose queries are packed into `clusters` tight
+    /// spatial groups instead of a uniform stride. Clustered queries
+    /// collide on the same subtree banks, which is exactly the workload
+    /// descendant reuse salvages — this is the only canonical scenario
+    /// that turns [`descendant_reuse`](StreamScenario::descendant_reuse)
+    /// on.
+    DescendantReuse {
+        /// Number of query clusters per frame.
+        clusters: usize,
+    },
 }
 
 impl StreamScenario {
     /// The canonical scenario matrix: one instance of every variant with
     /// the parameters the test suite and the design-space explorer
     /// standardize on (3 movers, a 40 %–100 % density swing over 4
-    /// frames, a 0.9 rad heading burst at frame 3). Sweeps iterate this
+    /// frames, a 0.9 rad heading burst at frame 3, 6 canyon wedges with
+    /// 12 % multipath, 4× highway speed over 35 % returns, a 2-sensor
+    /// rig, 25 % weather dropout, 4 query clusters). Sweeps iterate this
     /// to cover every qualitative workload shape; anything needing other
     /// parameters constructs the variant directly.
-    pub fn canonical_matrix() -> [StreamScenario; 5] {
+    pub fn canonical_matrix() -> [StreamScenario; 10] {
         [
             StreamScenario::Sweep,
             StreamScenario::Registered,
             StreamScenario::DynamicObjects { movers: 3 },
             StreamScenario::VariableDensity { min_keep_pct: 40, period: 4 },
             StreamScenario::RotationBurst { at_frame: 3, yaw_rad: 0.9 },
+            StreamScenario::UrbanCanyon { sectors: 6, dropout_pct: 12 },
+            StreamScenario::Highway { speed_mult: 4.0, keep_pct: 35 },
+            StreamScenario::MultiSensor { sensors: 2 },
+            StreamScenario::Weather { dropout_pct: 25 },
+            StreamScenario::DescendantReuse { clusters: 4 },
         ]
     }
 
@@ -126,7 +187,21 @@ impl StreamScenario {
             StreamScenario::DynamicObjects { .. } => "dynamic_objects",
             StreamScenario::VariableDensity { .. } => "variable_density",
             StreamScenario::RotationBurst { .. } => "rotation_burst",
+            StreamScenario::UrbanCanyon { .. } => "urban_canyon",
+            StreamScenario::Highway { .. } => "highway",
+            StreamScenario::MultiSensor { .. } => "multi_sensor",
+            StreamScenario::Weather { .. } => "weather",
+            StreamScenario::DescendantReuse { .. } => "descendant_reuse",
         }
+    }
+
+    /// Whether streams of this scenario run the banked arbiter with
+    /// descendant reuse enabled (see
+    /// [`StreamSearchConfig::descendant_reuse`]): `true` only for
+    /// [`StreamScenario::DescendantReuse`], so every other scenario's
+    /// timing stays byte-identical to the stall/elide-only model.
+    pub fn descendant_reuse(&self) -> bool {
+        matches!(self, StreamScenario::DescendantReuse { .. })
     }
 }
 
@@ -303,9 +378,15 @@ impl FrameStream {
         let mut rng = StdRng::seed_from_u64(noise_seed);
         let cloud = match cfg.scenario {
             StreamScenario::Sweep => self.render_sweep(&mut rng),
+            StreamScenario::MultiSensor { sensors } => self.render_multi_sensor(sensors, &mut rng),
             _ => self.render_registered(&mut rng),
         };
-        let queries = stride_queries(&cloud, cfg.queries_per_frame);
+        let queries = match cfg.scenario {
+            StreamScenario::DescendantReuse { clusters } => {
+                cluster_queries(&cloud, cfg.queries_per_frame, clusters)
+            }
+            _ => stride_queries(&cloud, cfg.queries_per_frame),
+        };
         Frame {
             index: self.frame,
             ego_position: self.position,
@@ -339,12 +420,20 @@ impl FrameStream {
 
     /// Registered (motion-compensated) render: stable point identity —
     /// world order is preserved, nothing is culled or re-sorted. The
-    /// density filter and the dynamic movers of the richer scenarios
-    /// are layered on top.
+    /// density filter, per-scenario dropout/occlusion filters, and the
+    /// dynamic movers of the richer scenarios are layered on top.
     fn render_registered(&self, rng: &mut StdRng) -> PointCloud {
+        self.render_registered_at(self.position, rng)
+    }
+
+    /// [`render_registered`](Self::render_registered) from an explicit
+    /// sensor position (the multi-sensor rig renders once per mounting
+    /// point); the heading is shared across the rig.
+    fn render_registered_at(&self, position: Point3, rng: &mut StdRng) -> PointCloud {
         let cfg = &self.cfg;
         let heading = self.heading + self.burst_yaw();
         let keep_pct = self.keep_pct();
+        let noise_m = cfg.noise_m * self.noise_mult();
         let mut pts: Vec<Point3> = Vec::with_capacity(self.world.len());
         for (i, &p) in self.world.iter().enumerate() {
             // spread the density filter across the cloud with a prime
@@ -352,8 +441,11 @@ impl FrameStream {
             if keep_pct < 100 && (i * 7919) % 100 >= keep_pct {
                 continue;
             }
-            let d = (p - self.position).rotated_z(-heading);
-            let noise = Point3::new(gaussian(rng), gaussian(rng), gaussian(rng)) * cfg.noise_m;
+            if self.dropped(i, p, position) {
+                continue;
+            }
+            let d = (p - position).rotated_z(-heading);
+            let noise = Point3::new(gaussian(rng), gaussian(rng), gaussian(rng)) * noise_m;
             pts.push(d + noise);
         }
         // dynamic objects append after the static world; a cluster is
@@ -361,15 +453,38 @@ impl FrameStream {
         let dt = cfg.ego.frame_period_s;
         for mover in &self.movers {
             let center = mover.center(self.frame, dt);
-            let rel = center - self.position;
+            let rel = center - position;
             if rel.x * rel.x + rel.y * rel.y > cfg.max_range * cfg.max_range {
                 continue;
             }
             for &off in &mover.offsets {
-                let d = (center + off - self.position).rotated_z(-heading);
-                let noise = Point3::new(gaussian(rng), gaussian(rng), gaussian(rng)) * cfg.noise_m;
+                let d = (center + off - position).rotated_z(-heading);
+                let noise = Point3::new(gaussian(rng), gaussian(rng), gaussian(rng)) * noise_m;
                 pts.push(d + noise);
             }
+        }
+        PointCloud::from_points(pts)
+    }
+
+    /// Multi-sensor rig render: one registered pass per sensor from its
+    /// own mounting point, concatenated in rig order. Mounting offsets
+    /// fan out laterally across the rig; trigger phases stagger along
+    /// the direction of travel (sensor `s` fires `s/sensors` of a frame
+    /// period later). Both offsets are constant in the ego frame, so on
+    /// a straight trajectory the concatenated cloud still translates
+    /// rigidly frame to frame.
+    fn render_multi_sensor(&self, sensors: usize, rng: &mut StdRng) -> PointCloud {
+        let cfg = &self.cfg;
+        let sensors = sensors.max(1);
+        let forward = Point3::new(self.heading.cos(), self.heading.sin(), 0.0);
+        let lateral = Point3::new(-self.heading.sin(), self.heading.cos(), 0.0);
+        let step = cfg.ego.speed_mps * self.speed_mult() * cfg.ego.frame_period_s;
+        let mut pts: Vec<Point3> = Vec::with_capacity(sensors * self.world.len());
+        for s in 0..sensors {
+            let mount = lateral * ((s as f32 - 0.5 * (sensors - 1) as f32) * 0.8);
+            let phase = forward * (step * s as f32 / sensors as f32);
+            let sub = self.render_registered_at(self.position + mount + phase, rng);
+            pts.extend_from_slice(sub.points());
         }
         PointCloud::from_points(pts)
     }
@@ -385,7 +500,7 @@ impl FrameStream {
     }
 
     /// Percentage of world points kept this frame (100 outside the
-    /// variable-density scenario).
+    /// variable-density and highway scenarios).
     fn keep_pct(&self) -> usize {
         match self.cfg.scenario {
             StreamScenario::VariableDensity { min_keep_pct, period } => {
@@ -393,7 +508,54 @@ impl FrameStream {
                 let phase = std::f32::consts::TAU * self.frame as f32 / period.max(1) as f32;
                 min + (((100 - min) as f32) * 0.5 * (1.0 + phase.cos())).round() as usize
             }
+            StreamScenario::Highway { keep_pct, .. } => usize::from(keep_pct.min(100)),
             _ => 100,
+        }
+    }
+
+    /// Multiplier on the ego speed (1 outside the highway scenario).
+    fn speed_mult(&self) -> f32 {
+        match self.cfg.scenario {
+            StreamScenario::Highway { speed_mult, .. } => speed_mult,
+            _ => 1.0,
+        }
+    }
+
+    /// Multiplier on the measurement noise (weather triples it).
+    fn noise_mult(&self) -> f32 {
+        match self.cfg.scenario {
+            StreamScenario::Weather { .. } => 3.0,
+            _ => 1.0,
+        }
+    }
+
+    /// Per-point dropout and occlusion filters layered on the
+    /// registered render. Everything is a pure hash of the point index,
+    /// the frame index, and the pose — no RNG state is consumed, so the
+    /// noise stream of the surviving points stays decoupled from the
+    /// filter.
+    fn dropped(&self, i: usize, p: Point3, position: Point3) -> bool {
+        match self.cfg.scenario {
+            StreamScenario::UrbanCanyon { sectors, dropout_pct } => {
+                // multipath: a pseudo-random subset flickers per frame
+                let h = i.wrapping_mul(6151).wrapping_add(self.frame.wrapping_mul(7907));
+                if h % 100 < usize::from(dropout_pct.min(100)) {
+                    return true;
+                }
+                // building occlusion: fixed azimuthal wedges around the
+                // sensor swallow 35 % of each sector's returns
+                let rel = p - position;
+                let bearing = rel.y.atan2(rel.x);
+                let t = (bearing / std::f32::consts::TAU + 0.5) * sectors.max(1) as f32;
+                t.fract() < 0.35
+            }
+            StreamScenario::Weather { dropout_pct } => {
+                // the storm front breathes: the effective dropout drifts
+                // around the mean so no two frames keep the same count
+                let pct = (usize::from(dropout_pct.min(90)) + (self.frame * 7) % 17).min(95);
+                i.wrapping_mul(4391).wrapping_add(self.frame.wrapping_mul(9973)) % 100 < pct
+            }
+            _ => false,
         }
     }
 }
@@ -409,7 +571,7 @@ impl Iterator for FrameStream {
         // advance the pose for the next frame (frame 0 is at the origin)
         let dt = self.cfg.ego.frame_period_s;
         let step = Point3::new(self.heading.cos(), self.heading.sin(), 0.0)
-            * (self.cfg.ego.speed_mps * dt);
+            * (self.cfg.ego.speed_mps * self.speed_mult() * dt);
         self.position += step;
         self.heading += self.cfg.ego.yaw_rate_rps * dt;
         self.frame += 1;
@@ -432,6 +594,28 @@ fn stride_queries(cloud: &PointCloud, n: usize) -> Vec<Point3> {
         return cloud.points().to_vec();
     }
     (0..n).map(|i| cloud.point(i * len / n)).collect()
+}
+
+/// Deterministic clustered subsample of `n` query points: queries pack
+/// into `clusters` runs of consecutive cloud indices (consecutive
+/// generation order is spatially local in the synthetic scenes), so the
+/// batch's traversals collide on the same subtree banks — the workload
+/// shape descendant reuse is built for.
+fn cluster_queries(cloud: &PointCloud, n: usize, clusters: usize) -> Vec<Point3> {
+    let len = cloud.len();
+    if n == 0 || len == 0 {
+        return Vec::new();
+    }
+    if n >= len {
+        return cloud.points().to_vec();
+    }
+    let clusters = clusters.clamp(1, n);
+    (0..n)
+        .map(|j| {
+            let base = (j % clusters) * len / clusters;
+            cloud.point((base + j / clusters) % len)
+        })
+        .collect()
 }
 
 /// Everything a [`Crescent::run_stream`](crate::Crescent::run_stream) call
@@ -489,6 +673,7 @@ impl Crescent {
             max_neighbors: cfg.max_neighbors,
             maintenance: cfg.maintenance,
             elision_depth: cfg.elision_depth,
+            descendant_reuse: cfg.scenario.descendant_reuse(),
         };
         let (neighbor_sets, report) = run_frame_stream(&inputs, &search, self.knobs, &self.config);
         StreamOutcome { frames, neighbor_sets, report }
@@ -514,7 +699,18 @@ mod tests {
         let labels: Vec<&str> = matrix.iter().map(StreamScenario::label).collect();
         assert_eq!(
             labels,
-            ["sweep", "registered", "dynamic_objects", "variable_density", "rotation_burst"]
+            [
+                "sweep",
+                "registered",
+                "dynamic_objects",
+                "variable_density",
+                "rotation_burst",
+                "urban_canyon",
+                "highway",
+                "multi_sensor",
+                "weather",
+                "descendant_reuse"
+            ]
         );
         // every scenario renders a non-empty, deterministic stream
         for scenario in matrix {
@@ -714,5 +910,128 @@ mod tests {
         );
         let fallbacks = refit.report.frames[1..].iter().filter(|f| f.full_rebuild).count();
         assert!(fallbacks <= 2, "only the burst (±1 settling frame) may rebuild: {fallbacks}");
+    }
+
+    #[test]
+    fn urban_canyon_occludes_and_flickers() {
+        let mut cfg = small_cfg();
+        cfg.scenario = StreamScenario::UrbanCanyon { sectors: 6, dropout_pct: 12 };
+        let canyon: Vec<Frame> = FrameStream::new(&cfg).collect();
+        cfg.scenario = StreamScenario::Registered;
+        let open: Vec<Frame> = FrameStream::new(&cfg).collect();
+        for (c, o) in canyon.iter().zip(&open) {
+            let (nc, no) = (c.cloud.len() as f64, o.cloud.len() as f64);
+            assert!(
+                nc < 0.8 * no,
+                "frame {}: wedges + multipath must occlude: {nc} vs {no}",
+                c.index
+            );
+            assert!(nc > 0.3 * no, "frame {}: occlusion ate the frame: {nc} vs {no}", c.index);
+        }
+        // multipath flicker + moving wedges: the visible set never
+        // settles, so the size keeps changing somewhere in the stream
+        let sizes: Vec<usize> = canyon.iter().map(|f| f.cloud.len()).collect();
+        assert!(sizes.windows(2).any(|w| w[0] != w[1]), "canyon sizes frozen: {sizes:?}");
+        // and the engine survives it with policy-invariant results
+        cfg.scenario = StreamScenario::UrbanCanyon { sectors: 6, dropout_pct: 12 };
+        cfg.maintenance = TreeMaintenance::refit();
+        let refit = Crescent::new().run_stream(&cfg);
+        cfg.maintenance = TreeMaintenance::RebuildEveryFrame;
+        let rebuild = Crescent::new().run_stream(&cfg);
+        assert_eq!(refit.neighbor_sets, rebuild.neighbor_sets);
+    }
+
+    #[test]
+    fn highway_is_sparse_fast_and_still_refit_friendly() {
+        let mut cfg = small_cfg();
+        cfg.scenario = StreamScenario::Highway { speed_mult: 4.0, keep_pct: 35 };
+        cfg.noise_m = 0.0;
+        cfg.ego = EgoMotion { speed_mps: 8.0, yaw_rate_rps: 0.0, frame_period_s: 0.1 };
+        let frames: Vec<Frame> = FrameStream::new(&cfg).collect();
+        // the kept subset is frame-invariant: constant size, stable identity
+        let n = frames[0].cloud.len();
+        assert!(frames.iter().all(|f| f.cloud.len() == n), "highway keep set must be stable");
+        assert!((n as f64) < 0.45 * 4_000.0, "35 % keep must thin the cloud: {n}");
+        // 4x speed: the ego covers 4x the default distance
+        let end = frames.last().unwrap().ego_position.norm();
+        assert!((end - 4.0 * 8.0 * 0.1 * 4.0).abs() < 1e-3, "4 frames at 3.2 m: {end}");
+        // large per-frame translation is still order-preserving: refit
+        // never falls back after frame 0 and results stay identical
+        cfg.maintenance = TreeMaintenance::refit();
+        let refit = Crescent::new().run_stream(&cfg);
+        cfg.maintenance = TreeMaintenance::RebuildEveryFrame;
+        let rebuild = Crescent::new().run_stream(&cfg);
+        assert_eq!(refit.neighbor_sets, rebuild.neighbor_sets);
+        assert!(refit.report.frames[1..].iter().all(|f| !f.full_rebuild));
+        assert!(refit.report.pipelined_cycles < rebuild.report.pipelined_cycles);
+    }
+
+    #[test]
+    fn multi_sensor_rig_doubles_density_and_stays_rigid() {
+        let mut cfg = small_cfg();
+        cfg.noise_m = 0.0;
+        cfg.ego = EgoMotion { speed_mps: 6.0, yaw_rate_rps: 0.0, frame_period_s: 0.1 };
+        cfg.scenario = StreamScenario::Registered;
+        let single: Vec<Frame> = FrameStream::new(&cfg).collect();
+        cfg.scenario = StreamScenario::MultiSensor { sensors: 2 };
+        let rig: Vec<Frame> = FrameStream::new(&cfg).collect();
+        for (r, s) in rig.iter().zip(&single) {
+            assert_eq!(r.cloud.len(), 2 * s.cloud.len(), "frame {}", r.index);
+        }
+        // constant mounting offsets + straight ego: the concatenated
+        // cloud translates rigidly, so refit never falls back
+        cfg.maintenance = TreeMaintenance::refit();
+        let refit = Crescent::new().run_stream(&cfg);
+        cfg.maintenance = TreeMaintenance::RebuildEveryFrame;
+        let rebuild = Crescent::new().run_stream(&cfg);
+        assert_eq!(refit.neighbor_sets, rebuild.neighbor_sets);
+        assert!(refit.report.frames[1..].iter().all(|f| !f.full_rebuild));
+    }
+
+    #[test]
+    fn weather_never_repeats_a_frame_size() {
+        let mut cfg = small_cfg();
+        cfg.scenario = StreamScenario::Weather { dropout_pct: 25 };
+        cfg.num_frames = 8;
+        let frames: Vec<Frame> = FrameStream::new(&cfg).collect();
+        let sizes: Vec<usize> = frames.iter().map(|f| f.cloud.len()).collect();
+        assert!(
+            sizes.windows(2).all(|w| w[0] != w[1]),
+            "the drifting dropout must change the size every frame: {sizes:?}"
+        );
+        // every size change is an honest full rebuild, and the policy
+        // still never changes a result
+        cfg.maintenance = TreeMaintenance::refit();
+        let refit = Crescent::new().run_stream(&cfg);
+        for f in &refit.report.frames[1..] {
+            assert!(f.full_rebuild, "frame {} changed size but did not rebuild", f.frame);
+        }
+        cfg.maintenance = TreeMaintenance::RebuildEveryFrame;
+        let rebuild = Crescent::new().run_stream(&cfg);
+        assert_eq!(refit.neighbor_sets, rebuild.neighbor_sets);
+    }
+
+    #[test]
+    fn descendant_reuse_scenario_actually_fires_reuse() {
+        // only the DescendantReuse scenario turns the knob on
+        for scenario in StreamScenario::canonical_matrix() {
+            assert_eq!(
+                scenario.descendant_reuse(),
+                scenario.label() == "descendant_reuse",
+                "{}",
+                scenario.label()
+            );
+        }
+        let mut cfg = small_cfg();
+        cfg.scenario = StreamScenario::DescendantReuse { clusters: 4 };
+        let outcome = Crescent::new().run_stream(&cfg);
+        assert!(
+            outcome.report.total_conflict_reuses() > 0,
+            "clustered queries at the default h_e must salvage some elisions"
+        );
+        // a registered stream with the knob off reports zero reuses
+        cfg.scenario = StreamScenario::Registered;
+        let plain = Crescent::new().run_stream(&cfg);
+        assert_eq!(plain.report.total_conflict_reuses(), 0);
     }
 }

@@ -348,6 +348,7 @@ mod tests {
             aggregation_elision: true,
             top_height: 4,
             elision_depth: (index % 2) * 4,
+            descendant_reuse: false,
             engine_elision_level: 8,
             top_height_used: 4,
             frames: 2,
@@ -362,6 +363,7 @@ mod tests {
             bank_conflicts: 7,
             conflict_stall_cycles: 5,
             elided_conflicts: 2,
+            conflict_reuses: 0,
             agg_cycles: 12,
             agg_elided: 3,
             full_rebuilds: 2,
@@ -491,7 +493,7 @@ mod tests {
         assert!(err.contains("whole.json") && err.contains("not a shard"), "{err}");
 
         let mut files = split(&[1, 2, 1, 2], 2);
-        files[0].text = files[0].text.replace("crescent-sweep/v3", "crescent-sweep/v2");
+        files[0].text = files[0].text.replace("crescent-sweep/v4", "crescent-sweep/v2");
         let err = merge_shards(&files).unwrap_err();
         assert!(err.contains("schema"), "{err}");
 

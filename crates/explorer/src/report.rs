@@ -9,19 +9,22 @@ use crescent_memsim::EnergyLedger;
 use crate::json::Json;
 use crate::spec::SweepSpec;
 
-/// Schema identifier embedded in every report. Bump the `/v3` suffix on
+/// Schema identifier embedded in every report. Bump the `/v4` suffix on
 /// any change to the report layout, key set, or metric semantics — the
 /// CI comparator is exact, so an unversioned layout change would show up
 /// as inexplicable metric drift instead of an obvious schema break.
 ///
-/// `v3` (this version): reports became shardable. The header gained
-/// `fingerprint` (an FNV-1a digest of the spec echo — two reports with
-/// equal fingerprints ran the same spec) and `shard` (`null` for a
-/// whole-grid run; `{index, count, rows, points}` for a shard produced
-/// by `repro sweep --shard i/N`). Row and Pareto semantics are unchanged
-/// from `v2`. Field-by-field documentation lives in
+/// `v4` (this version): every row gained two descendant-reuse columns —
+/// `descendant_reuse` (config echo: whether the scenario's stream ran
+/// the banked arbiter with the Sec 4.2 salvage on) and
+/// `conflict_reuses` (elision-eligible conflicts that continued from
+/// the winner's multicast descendant node instead of dropping their
+/// subtree). The canonical
+/// scenario axis also grew from five to ten workloads. Header, shard,
+/// and Pareto semantics are unchanged from `v3` (which introduced
+/// `fingerprint` and `shard`). Field-by-field documentation lives in
 /// [`docs/SWEEP_SCHEMA.md`](../../../docs/SWEEP_SCHEMA.md).
-pub const SCHEMA: &str = "crescent-sweep/v3";
+pub const SCHEMA: &str = "crescent-sweep/v4";
 
 /// One sweep point's configuration echo plus its modeled metrics. All
 /// metrics are *modeled* (cycles, bytes, energy units, recall against a
@@ -51,6 +54,10 @@ pub struct SweepRow {
     /// Streaming elision depth `h_e` (depth-from-leaves; 0 = exact
     /// stall-only search).
     pub elision_depth: usize,
+    /// Whether the stream ran the banked arbiter with descendant reuse
+    /// (the Sec 4.2 salvage on elided fetches). Scenario-derived: `true`
+    /// exactly on `descendant_reuse` rows.
+    pub descendant_reuse: bool,
     /// The level threshold the engine cross-check ran at:
     /// `height(frame 0 tree) − elision_depth` — the paper's level-based
     /// form of the same `h_e` point.
@@ -90,6 +97,9 @@ pub struct SweepRow {
     /// Conflicted fetches dropped by `h_e` elision (0 on `h_e = 0`
     /// rows — the gated exactness witness).
     pub elided_conflicts: u64,
+    /// Elision-eligible conflicts salvaged by descendant reuse instead
+    /// of dropped (0 unless `descendant_reuse` is on).
+    pub conflict_reuses: u64,
     /// Aggregation-unit gather rounds summed over the stream.
     pub agg_cycles: u64,
     /// Aggregation conflicts resolved by replication.
@@ -163,6 +173,7 @@ impl SweepRow {
             ("agg_elision", Json::Bool(self.aggregation_elision)),
             ("h_t", Json::U64(self.top_height as u64)),
             ("h_e", Json::U64(self.elision_depth as u64)),
+            ("descendant_reuse", Json::Bool(self.descendant_reuse)),
             ("engine_h_e_level", Json::U64(self.engine_elision_level as u64)),
             ("h_t_used", Json::U64(self.top_height_used as u64)),
             ("frames", Json::U64(self.frames as u64)),
@@ -177,6 +188,7 @@ impl SweepRow {
             ("bank_conflicts", Json::U64(self.bank_conflicts)),
             ("conflict_stall_cycles", Json::U64(self.conflict_stall_cycles)),
             ("elided_conflicts", Json::U64(self.elided_conflicts)),
+            ("conflict_reuses", Json::U64(self.conflict_reuses)),
             ("agg_cycles", Json::U64(self.agg_cycles)),
             ("agg_elided", Json::U64(self.agg_elided)),
             ("full_rebuilds", Json::U64(self.full_rebuilds as u64)),
@@ -616,6 +628,7 @@ mod tests {
             aggregation_elision: true,
             top_height: 4,
             elision_depth: 4,
+            descendant_reuse: false,
             engine_elision_level: 8,
             top_height_used: 4,
             frames: 2,
@@ -630,6 +643,7 @@ mod tests {
             bank_conflicts: 7,
             conflict_stall_cycles: 5,
             elided_conflicts: 2,
+            conflict_reuses: 0,
             agg_cycles: 12,
             agg_elided: 3,
             full_rebuilds: 2,
@@ -677,7 +691,7 @@ mod tests {
     fn json_has_schema_one_row_per_line_and_is_reproducible() {
         let r = report(vec![row(0, "sweep", 100, 10.0, 0.875), row(1, "sweep", 50, 5.0, 1.0)]);
         let json = r.to_json();
-        assert!(json.starts_with("{\n  \"schema\": \"crescent-sweep/v3\",\n"));
+        assert!(json.starts_with("{\n  \"schema\": \"crescent-sweep/v4\",\n"));
         assert!(json.contains("\n  \"fingerprint\": \""), "header carries the spec fingerprint");
         assert!(json.contains("\n  \"shard\": null,\n"), "whole-grid reports are unsharded");
         assert_eq!(json.matches("{\"row\":").count(), 2);

@@ -252,6 +252,10 @@ fn run_point(
         max_neighbors: spec.workload.max_neighbors,
         maintenance: point.maintenance,
         elision_depth: point.elision_depth,
+        // scenario-derived, like the stream facade: only the
+        // descendant-reuse workload turns the salvage knob on, so every
+        // other scenario's rows stay on the stall/elide-only model
+        descendant_reuse: point.scenario.descendant_reuse(),
     };
     let inputs: Vec<(&PointCloud, &[Point3])> =
         cache.frames.iter().map(|f| (&f.cloud, f.queries.as_slice())).collect();
@@ -303,6 +307,7 @@ fn run_point(
         aggregation_elision: point.aggregation_elision,
         top_height: point.top_height,
         elision_depth: point.elision_depth,
+        descendant_reuse: point.scenario.descendant_reuse(),
         engine_elision_level,
         top_height_used,
         frames: cache.frames.len(),
@@ -317,6 +322,7 @@ fn run_point(
         bank_conflicts: report.total_bank_conflicts(),
         conflict_stall_cycles: report.total_conflict_stall_cycles(),
         elided_conflicts: report.total_elided_conflicts(),
+        conflict_reuses: report.total_conflict_reuses(),
         agg_cycles: report.total_agg_cycles(),
         agg_elided: report.total_agg_elided(),
         full_rebuilds: report.frames.iter().filter(|f| f.full_rebuild).count(),

@@ -109,7 +109,7 @@ pub fn maintenance_label(m: TreeMaintenance) -> &'static str {
 impl SweepSpec {
     /// The CI-scale spec: every canonical scenario × both maintenance
     /// policies × two PE counts × two bank counts × `h_e ∈ {0, 4}` on a
-    /// small 8-frame stream. 80 points, seconds to run, and the source
+    /// small 8-frame stream. 160 points, seconds to run, and the source
     /// of the checked-in `bench/baseline.json` — `h_e = 0` rows double
     /// as the exact stall-only reference the elided rows are judged
     /// against.
@@ -305,14 +305,18 @@ mod tests {
     fn quick_grid_shape_meets_the_ci_contract() {
         let spec = SweepSpec::quick();
         spec.validate().expect("quick spec is valid");
-        assert_eq!(spec.scenarios.len(), 5, "all scenarios");
+        assert_eq!(spec.scenarios.len(), 10, "all scenarios");
         assert_eq!(spec.maintenance.len(), 2, "both policies");
         assert!(spec.num_pes.len() >= 2, ">= 2 PE counts");
         assert!(spec.tree_banks.len() >= 2, ">= 2 bank counts");
         assert!(spec.elision_depths.contains(&0), "the exact h_e = 0 reference is gated");
         assert!(spec.elision_depths.iter().any(|&d| d > 0), "a real elision point is gated");
-        assert_eq!(spec.num_points(), 80);
-        assert_eq!(spec.expand().len(), 80);
+        assert!(
+            spec.scenarios.iter().any(StreamScenario::descendant_reuse),
+            "the descendant-reuse workload is gated"
+        );
+        assert_eq!(spec.num_points(), 160);
+        assert_eq!(spec.expand().len(), 160);
     }
 
     #[test]

@@ -135,6 +135,17 @@ impl BatchSearchConfig {
             banking: Some(BatchBankModel { num_banks, elision_depth, descendant_reuse: false }),
         }
     }
+
+    /// Sets [`BatchBankModel::descendant_reuse`] on the banked model
+    /// (no-op in algorithmic mode). With `elision_depth == 0` the flag
+    /// is inert — no fetch is elision-eligible, so reuse never fires and
+    /// results stay bit-identical to the stall-only model.
+    pub fn with_descendant_reuse(mut self, reuse: bool) -> Self {
+        if let Some(banking) = &mut self.banking {
+            banking.descendant_reuse = reuse;
+        }
+        self
+    }
 }
 
 /// The banked-SRAM side of a [`BatchSearchConfig`].

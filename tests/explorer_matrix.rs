@@ -3,7 +3,7 @@
 //!
 //! Runs every [`StreamScenario`] × both [`TreeMaintenance`] policies
 //! through the explorer's quick grid (pruned to one PE count / one
-//! `h_e` so the debug-profile test stays fast — the full 60-point grid
+//! `h_e` so the debug-profile test stays fast — the full 160-point grid
 //! runs in release in `examples/design_sweep.rs` and the CI gate) and
 //! asserts:
 //!
@@ -18,7 +18,7 @@ use crescent_accel::TreeMaintenance;
 use crescent_explorer::{maintenance_label, run_sweep, SweepReport, SweepSpec};
 
 /// The quick spec pruned to a single architecture point per
-/// scenario × policy cell: 5 scenarios × 2 policies = 10 rows.
+/// scenario × policy cell: 10 scenarios × 2 policies = 20 rows.
 fn matrix_spec() -> SweepSpec {
     let mut spec = SweepSpec::quick();
     spec.label = "quick-matrix".to_string();
@@ -35,7 +35,7 @@ fn run_matrix(workers: usize) -> SweepReport {
 #[test]
 fn matrix_covers_every_scenario_policy_cell() {
     let report = run_matrix(2);
-    assert_eq!(report.rows.len(), 10);
+    assert_eq!(report.rows.len(), 20);
     for &scenario in StreamScenario::canonical_matrix().iter() {
         for maintenance in [TreeMaintenance::RebuildEveryFrame, TreeMaintenance::refit()] {
             let hits = report

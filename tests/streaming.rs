@@ -204,6 +204,69 @@ fn refit_meets_the_acceptance_bar_on_a_coherent_16_frame_stream() {
 }
 
 #[test]
+fn every_canonical_scenario_is_deterministic_end_to_end() {
+    // scenario breadth must not cost determinism: every canonical
+    // generator — including the occlusion/weather hashes and the
+    // multi-sensor composite — is a pure function of the seed
+    let system = Crescent::new();
+    for &scenario in StreamScenario::canonical_matrix().iter() {
+        let mut cfg = test_cfg();
+        cfg.scene.total_points = 3_000;
+        cfg.num_frames = 4;
+        cfg.queries_per_frame = 64;
+        cfg.scenario = scenario;
+        let a = system.run_stream(&cfg);
+        let b = system.run_stream(&cfg);
+        assert_eq!(a.neighbor_sets, b.neighbor_sets, "{}", scenario.label());
+        assert_eq!(a.report.pipelined_cycles, b.report.pipelined_cycles, "{}", scenario.label());
+        assert_eq!(a.report.ledger.total(), b.report.ledger.total(), "{}", scenario.label());
+        assert_eq!(
+            a.report.total_conflict_reuses(),
+            b.report.total_conflict_reuses(),
+            "{}",
+            scenario.label()
+        );
+    }
+}
+
+#[test]
+fn refit_is_honest_on_every_canonical_scenario() {
+    // the refit-honesty invariant, stream-level: under the refit policy
+    // every frame either refits the standing tree cleanly or falls back
+    // to a full rebuild — the neighbor sets never diverge from the
+    // rebuild-every-frame policy, on any canonical scenario (the five
+    // irregular newcomers included)
+    let system = Crescent::new();
+    for &scenario in StreamScenario::canonical_matrix().iter() {
+        let mut cfg = test_cfg();
+        cfg.scene.total_points = 3_000;
+        cfg.num_frames = 4;
+        cfg.queries_per_frame = 64;
+        cfg.scenario = scenario;
+        cfg.maintenance = TreeMaintenance::RebuildEveryFrame;
+        let rebuild = system.run_stream(&cfg);
+        cfg.maintenance = TreeMaintenance::refit();
+        let refit = system.run_stream(&cfg);
+        assert_eq!(
+            rebuild.neighbor_sets,
+            refit.neighbor_sets,
+            "{}: refit diverged from rebuild",
+            scenario.label()
+        );
+        // fallbacks are an allowed (honest) outcome, silence is not:
+        // every frame past the first either refits or rebuilds in full
+        for f in &refit.report.frames {
+            assert!(
+                f.build_cycles > 0,
+                "{}: tree maintenance is never free (frame {})",
+                scenario.label(),
+                f.frame
+            );
+        }
+    }
+}
+
+#[test]
 fn stationary_ego_reuses_every_assignment() {
     let mut cfg = test_cfg();
     cfg.ego = EgoMotion { speed_mps: 0.0, yaw_rate_rps: 0.0, frame_period_s: 0.1 };
