@@ -58,7 +58,8 @@ pub use pipeline::{
     run_network, CrescentKnobs, LayerSpec, NetworkSpec, PipelineReport, StageCycles, Variant,
 };
 pub use streaming::{
-    run_frame_stream, FrameReport, StreamReport, StreamSearchConfig, TreeMaintenance,
+    maintain_tree_sequence, run_frame_stream, run_frame_stream_on_trees, FrameReport,
+    MaintainedTree, StreamReport, StreamSearchConfig, TreeMaintenance,
     DEFAULT_STREAM_ELISION_DEPTH,
 };
 pub use systolic::{gemm_report, mlp_report, SystolicReport};

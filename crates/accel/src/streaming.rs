@@ -60,7 +60,8 @@
 use serde::{Deserialize, Serialize};
 
 use crescent_kdtree::{
-    BatchSearchConfig, BatchSearchStats, BatchState, KdTree, RefitConfig, SplitTree, NODE_BYTES,
+    BatchSearchConfig, BatchSearchStats, BatchState, KdTree, RefitConfig, RefitScratch, SplitTree,
+    NODE_BYTES,
 };
 use crescent_memsim::{EnergyLedger, StreamLedger};
 use crescent_pointcloud::{Neighbor, Point3, PointCloud, POINT_BYTES};
@@ -362,13 +363,113 @@ pub fn run_frame_stream(
     knobs: CrescentKnobs,
     config: &AcceleratorConfig,
 ) -> (Vec<Vec<Vec<Neighbor>>>, StreamReport) {
+    let clouds: Vec<&PointCloud> = frames.iter().map(|&(cloud, _)| cloud).collect();
+    let trees = maintain_tree_sequence(&clouds, search.maintenance, knobs.top_height);
+    run_frame_stream_on_trees(frames, &trees, search, knobs, config)
+}
+
+/// One frame's maintained tree plus the modeled cost of maintaining it —
+/// the per-frame element of [`maintain_tree_sequence`]'s output.
+///
+/// Everything downstream of maintenance (split, search, aggregation,
+/// timing, energy) reads only this snapshot, which is what lets the
+/// sweep explorer compute a scenario's tree sequence once and share it
+/// across every grid point whose maintenance inputs coincide.
+#[derive(Clone, Debug)]
+pub struct MaintainedTree {
+    /// The tree as it stands after this frame's maintenance.
+    pub tree: KdTree,
+    /// Modeled maintenance cycles (full build or refit work).
+    pub build_cycles: u64,
+    /// DRAM bytes the maintenance streamed.
+    pub build_dram_bytes: u64,
+    /// Dirty sub-trees a refit rebuilt (`0` for full builds).
+    pub subtrees_rebuilt: usize,
+    /// Whether this frame (re)built the whole tree from scratch.
+    pub full_rebuild: bool,
+}
+
+/// Runs the tree-maintenance phase alone over a stream of clouds,
+/// returning each frame's tree snapshot and modeled maintenance cost.
+///
+/// The sequence depends only on the clouds, the `maintenance` policy,
+/// and — for [`TreeMaintenance::Refit`] — `check_height` (the refit
+/// validator walks the top `check_height` levels, i.e. the granted
+/// `h_t`). In particular it is **independent of every other
+/// architecture knob** (PE count, banking, elision, DRAM bandwidth),
+/// which is the invariant the explorer's tree-sequence memo relies on.
+///
+/// [`run_frame_stream`] is exactly `maintain_tree_sequence` +
+/// [`run_frame_stream_on_trees`]; callers that run many knob points
+/// over one stream call the two halves themselves and reuse the
+/// sequence.
+pub fn maintain_tree_sequence(
+    clouds: &[&PointCloud],
+    maintenance: TreeMaintenance,
+    check_height: usize,
+) -> Vec<MaintainedTree> {
+    let mut out: Vec<MaintainedTree> = Vec::with_capacity(clouds.len());
+    let mut refit_scratch = RefitScratch::default();
+    for &cloud in clouds {
+        let entry = match (out.last(), maintenance) {
+            // frame 0 always builds from scratch, whatever the policy
+            (None, _) | (Some(_), TreeMaintenance::RebuildEveryFrame) => {
+                let tree = KdTree::build(cloud);
+                let b = *tree.build_stats();
+                MaintainedTree {
+                    tree,
+                    build_cycles: b.cycles,
+                    build_dram_bytes: b.dram_bytes,
+                    subtrees_rebuilt: 0,
+                    full_rebuild: true,
+                }
+            }
+            (Some(prev), TreeMaintenance::Refit { rebuild_threshold }) => {
+                let cfg = RefitConfig { check_height, rebuild_threshold, ..RefitConfig::default() };
+                let mut tree = prev.tree.clone();
+                let r = tree.refit_with_scratch(cloud, &cfg, &mut refit_scratch);
+                MaintainedTree {
+                    tree,
+                    build_cycles: r.cycles,
+                    build_dram_bytes: r.dram_bytes,
+                    subtrees_rebuilt: r.subtrees_rebuilt,
+                    full_rebuild: r.is_full_rebuild(),
+                }
+            }
+        };
+        out.push(entry);
+    }
+    out
+}
+
+/// The search/aggregation/timing/energy half of [`run_frame_stream`],
+/// applied to a pre-maintained tree sequence (one [`MaintainedTree`] per
+/// frame, as produced by [`maintain_tree_sequence`] on the same clouds,
+/// policy, and granted `h_t`). Byte-identical to calling
+/// [`run_frame_stream`] directly — the split exists so the explorer can
+/// amortize maintenance across knob points, not to change the model.
+///
+/// # Panics
+///
+/// Panics if `trees.len() != frames.len()`.
+pub fn run_frame_stream_on_trees(
+    frames: &[(&PointCloud, &[Point3])],
+    trees: &[MaintainedTree],
+    search: &StreamSearchConfig,
+    knobs: CrescentKnobs,
+    config: &AcceleratorConfig,
+) -> (Vec<Vec<Vec<Neighbor>>>, StreamReport) {
+    assert_eq!(trees.len(), frames.len(), "one maintained tree per frame");
     let mut results = Vec::with_capacity(frames.len());
     let mut report = StreamReport::default();
     let mut state = BatchState::new();
     let em = &config.energy;
 
-    let mut tree: Option<KdTree> = None;
     let mut roots_pool: Vec<usize> = Vec::new();
+    // recycled working memory: the aggregation unit's per-query index
+    // lists live across frames so the steady-state loop allocates
+    // nothing per frame
+    let mut neighbor_lists: Vec<Vec<usize>> = Vec::new();
     // pipeline schedule state: when the build unit / search engine free
     // up, plus the search-completion time two frames back (the spare
     // tree buffer only frees once the search reading it finishes)
@@ -376,33 +477,16 @@ pub fn run_frame_stream(
     let mut search_end: u64 = 0;
     let mut search_end_prev: u64 = 0;
 
-    for (frame_idx, &(cloud, queries)) in frames.iter().enumerate() {
-        // ---- tree maintenance ----
-        let (build_cycles, build_dram_bytes, subtrees_rebuilt, full_rebuild) = match tree.as_mut() {
-            None => {
-                let t = KdTree::build(cloud);
-                let b = *t.build_stats();
-                tree = Some(t);
-                (b.cycles, b.dram_bytes, 0, true)
-            }
-            Some(t) => match search.maintenance {
-                TreeMaintenance::RebuildEveryFrame => {
-                    *t = KdTree::build(cloud);
-                    let b = *t.build_stats();
-                    (b.cycles, b.dram_bytes, 0, true)
-                }
-                TreeMaintenance::Refit { rebuild_threshold } => {
-                    let cfg = RefitConfig {
-                        check_height: knobs.top_height,
-                        rebuild_threshold,
-                        ..RefitConfig::default()
-                    };
-                    let r = t.refit(cloud, &cfg);
-                    (r.cycles, r.dram_bytes, r.subtrees_rebuilt, r.is_full_rebuild())
-                }
-            },
-        };
-        let tree_ref = tree.as_ref().expect("tree exists after maintenance");
+    for (frame_idx, (&(cloud, queries), maintained)) in frames.iter().zip(trees).enumerate() {
+        // ---- tree maintenance (pre-computed) ----
+        let MaintainedTree {
+            ref tree,
+            build_cycles,
+            build_dram_bytes,
+            subtrees_rebuilt,
+            full_rebuild,
+        } = *maintained;
+        let tree_ref = tree;
 
         // ---- search ----
         let ht = if tree_ref.is_empty() {
@@ -427,10 +511,15 @@ pub fn run_frame_stream(
         // The aggregation unit gathers every query's neighbor list from
         // the banked Point Buffer; conflicted gathers serialize unless
         // aggregation elision replicates the winner's neighbor.
-        let neighbor_lists: Vec<Vec<usize>> =
-            frame_results.iter().map(|hits| hits.iter().map(|n| n.index).collect()).collect();
+        if neighbor_lists.len() < frame_results.len() {
+            neighbor_lists.resize_with(frame_results.len(), Vec::new);
+        }
+        for (list, hits) in neighbor_lists.iter_mut().zip(&frame_results) {
+            list.clear();
+            list.extend(hits.iter().map(|n| n.index));
+        }
         let agg = simulate_aggregation(
-            &neighbor_lists,
+            &neighbor_lists[..frame_results.len()],
             config.point_buffer,
             config.point_buffer.num_banks,
             config.aggregation_elision,

@@ -30,7 +30,8 @@ fn main() {
                 eprintln!("{err}");
                 eprintln!(
                     "usage: repro sweep [--quick] [--json <path>] [--check] \
-                     [--baseline <path>] [--workers <n>] [--shard <i/N>]"
+                     [--baseline <path>] [--workers <n>] [--shard <i/N>] \
+                     [--timings <path>]"
                 );
                 std::process::exit(2);
             }

@@ -10,11 +10,17 @@
 //! repro sweep --quick --check --baseline other.json
 //! repro sweep --workers 4                        # full grid, pinned pool
 //! repro sweep --quick --shard 2/3 --json target/shard-2.json
+//! repro sweep --quick --timings target/timings.json  # wall-clock sidecar
 //! repro sweep-merge --check --json target/sweep.json target/shard-*.json
 //! ```
 //!
 //! Every metric in the report is modeled, so `--check` is exact: any
-//! byte of drift is a real behavioural change. To acknowledge intended
+//! byte of drift is a real behavioural change. Wall-clock measurements
+//! travel on a separate channel: every run prints its total/setup/point
+//! wall time to **stderr**, and `--timings <path>` additionally writes
+//! the per-scenario and per-point breakdown as a sidecar JSON
+//! ([`SweepTimings::to_json`]) that is never digested, never compared
+//! by `--check`, and rejected by `sweep-merge` if a shard inlines it. To acknowledge intended
 //! drift, refresh the baseline with
 //! `repro sweep --quick --json bench/baseline.json` and commit the diff.
 //! A sharded run (`--shard i/N` for every `i`, then `sweep-merge`)
@@ -22,11 +28,12 @@
 //! workflows gate interchangeably.
 
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use crescent::format_table;
 use crescent_explorer::{
-    default_workers, diff_reports, merge_shards, run_sweep_shard, run_sweep_with_stats, ShardFile,
-    SweepReport, SweepSpec,
+    default_workers, diff_reports, merge_shards, run_sweep_shard_timed, run_sweep_timed, ShardFile,
+    SweepReport, SweepSpec, SweepTimings,
 };
 
 /// Default location of the checked-in quick-sweep baseline, relative to
@@ -49,6 +56,11 @@ pub struct SweepArgs {
     /// Run only shard `i` of `N` (`--shard i/N`, 1-based round-robin
     /// projection); `None` = the whole grid.
     pub shard: Option<(usize, usize)>,
+    /// Write the wall-clock timings sidecar here (`--timings <path>`).
+    /// A *separate* file from the report: measured time is never part
+    /// of the gated report bytes, never diffed by `--check`, and
+    /// `sweep-merge` rejects shards that inline it.
+    pub timings: Option<PathBuf>,
 }
 
 impl SweepArgs {
@@ -62,6 +74,7 @@ impl SweepArgs {
             baseline: PathBuf::from(DEFAULT_BASELINE),
             workers: default_workers(),
             shard: None,
+            timings: None,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -84,6 +97,10 @@ impl SweepArgs {
                 "--json" => {
                     let path = it.next().ok_or("--json needs a path")?;
                     parsed.json = Some(PathBuf::from(path));
+                }
+                "--timings" => {
+                    let path = it.next().ok_or("--timings needs a path")?;
+                    parsed.timings = Some(PathBuf::from(path));
                 }
                 "--baseline" => {
                     let path = it.next().ok_or("--baseline needs a path")?;
@@ -141,11 +158,11 @@ pub fn run_sweep_command(args: &SweepArgs) -> i32 {
         }
     }
     let outcome = match args.shard {
-        Some((index, count)) => run_sweep_shard(&spec, index, count, args.workers),
-        None => run_sweep_with_stats(&spec, args.workers),
+        Some((index, count)) => run_sweep_shard_timed(&spec, index, count, args.workers),
+        None => run_sweep_timed(&spec, args.workers),
     };
-    let (report, stats) = match outcome {
-        Ok(pair) => pair,
+    let (report, stats, timings) = match outcome {
+        Ok(triple) => triple,
         Err(err) => {
             eprintln!("sweep failed: {err}");
             return 1;
@@ -153,6 +170,9 @@ pub fn run_sweep_command(args: &SweepArgs) -> i32 {
     };
     debug_assert_eq!(stats.workers, workers, "announced pool matches the executed pool");
     print!("{}", render_summary(&report));
+    // the wall-clock accounting goes to STDERR in every mode: measured
+    // time is operator feedback, never report data
+    eprint_timings(&timings, stats.workers);
 
     let json = report.to_json();
     if let Some(path) = &args.json {
@@ -161,6 +181,13 @@ pub fn run_sweep_command(args: &SweepArgs) -> i32 {
             return 1;
         }
         println!("report written to {}", path.display());
+    }
+    if let Some(path) = &args.timings {
+        if let Err(err) = write_report(path, &timings.to_json(&spec, report.shard)) {
+            eprintln!("cannot write {}: {err}", path.display());
+            return 1;
+        }
+        println!("timings sidecar written to {}", path.display());
     }
 
     if args.check {
@@ -245,6 +272,7 @@ impl MergeArgs {
 /// Runs the sweep-merge subcommand end to end; returns the process exit
 /// code (0 = success / no drift, 1 = drift or error).
 pub fn run_sweep_merge_command(args: &MergeArgs) -> i32 {
+    let merge_start = Instant::now();
     let mut shards = Vec::with_capacity(args.inputs.len());
     for path in &args.inputs {
         match std::fs::read_to_string(path) {
@@ -263,6 +291,9 @@ pub fn run_sweep_merge_command(args: &MergeArgs) -> i32 {
         }
     };
     println!("# merged {} shard report(s)", shards.len());
+    // a merge reassembles bytes — no setup/point phases — so the
+    // wall-clock line covers reading + verifying + reassembling
+    eprintln!("# wall-clock: merge {:.3}s", secs(merge_start.elapsed().as_nanos() as u64));
 
     if let Some(path) = &args.json {
         if let Err(err) = write_report(path, &json) {
@@ -352,6 +383,26 @@ pub fn render_summary(report: &SweepReport) -> String {
     out
 }
 
+/// Prints a run's wall-clock accounting to stderr (every mode gets it):
+/// the run total, the serial scenario-setup prologue — overall and per
+/// scenario — and the per-point time summed across the worker pool.
+fn eprint_timings(timings: &SweepTimings, workers: usize) {
+    eprintln!(
+        "# wall-clock: total {:.3}s (scenario setup {:.3}s serial, points {:.3}s summed over \
+         {workers} workers)",
+        secs(timings.total_nanos),
+        secs(timings.setup_nanos()),
+        secs(timings.point_nanos()),
+    );
+    for (scenario, nanos) in &timings.setup {
+        eprintln!("#   setup {scenario}: {:.3}s", secs(*nanos));
+    }
+}
+
+fn secs(nanos: u64) -> f64 {
+    nanos as f64 / 1e9
+}
+
 fn write_report(path: &Path, json: &str) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
@@ -386,6 +437,30 @@ mod tests {
         assert_eq!(c.baseline, Path::new("x.json"));
         assert_eq!(c.workers, 3);
         assert!(!c.quick);
+        assert!(c.timings.is_none());
+    }
+
+    #[test]
+    fn parses_the_timings_sidecar_path() {
+        let a = SweepArgs::parse(&strings(&["--quick", "--timings", "target/t.json"])).unwrap();
+        assert_eq!(a.timings.as_deref(), Some(Path::new("target/t.json")));
+        // the sidecar composes with every mode, including shards (CI
+        // uploads one sidecar per shard) and --check (the sidecar is
+        // not an input to the comparator)
+        let b = SweepArgs::parse(&strings(&[
+            "--quick",
+            "--shard",
+            "1/3",
+            "--json",
+            "s.json",
+            "--timings",
+            "t.json",
+        ]))
+        .unwrap();
+        assert_eq!(b.timings.as_deref(), Some(Path::new("t.json")));
+        let c = SweepArgs::parse(&strings(&["--quick", "--check", "--timings", "t.json"])).unwrap();
+        assert!(c.check);
+        assert!(SweepArgs::parse(&strings(&["--timings"])).is_err(), "path is mandatory");
     }
 
     #[test]

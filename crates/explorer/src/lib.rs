@@ -28,7 +28,12 @@
 //!   (`repro sweep --shard i/N`): every shard report carries the spec
 //!   fingerprint plus its shard coordinates, and the merger verifies the
 //!   shards form a complete disjoint partition of one spec before
-//!   reassembling **byte-identical** output to a single-process run.
+//!   reassembling **byte-identical** output to a single-process run;
+//! * [`SweepTimings`] — the wall-clock sidecar (`repro sweep --timings`):
+//!   measured scenario-setup and per-point times, kept in a separate
+//!   file that the exact comparator never sees (see the [`timings`]
+//!   module docs for the three guarantees keeping measured time out of
+//!   the gated bytes).
 //!
 //! # Example
 //!
@@ -54,11 +59,14 @@ pub mod merge;
 pub mod report;
 pub mod runner;
 pub mod spec;
+pub mod timings;
 
 pub use json::Json;
 pub use merge::{merge_shards, ShardFile};
 pub use report::{diff_reports, spec_fingerprint, ShardInfo, SweepReport, SweepRow, SCHEMA};
 pub use runner::{
-    default_workers, run_sweep, run_sweep_shard, run_sweep_with_stats, SweepRunStats,
+    default_workers, run_sweep, run_sweep_shard, run_sweep_shard_timed, run_sweep_timed,
+    run_sweep_with_stats, SweepRunStats,
 };
 pub use spec::{maintenance_label, SweepPoint, SweepSpec};
+pub use timings::{SweepTimings, TIMINGS_SCHEMA};

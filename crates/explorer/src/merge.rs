@@ -213,6 +213,17 @@ fn parse_shard(file: &ShardFile) -> Result<ParsedShard<'_>, String> {
     if schema != expected {
         return Err(format!("{name}: schema {schema} is not {expected} — cannot merge"));
     }
+    // Wall-clock timings belong in the `--timings` sidecar, never in a
+    // report: a shard that inlined them would launder measured time into
+    // the merged (gated) bytes. Refuse loudly. Only the report's own
+    // 2-space-indented top level is checked — a row field or a deeper
+    // key named "timings" would be someone else's data, not a section.
+    if lines.iter().any(|l| l.starts_with("  \"timings\":")) {
+        return Err(format!(
+            "{name}: contains an inlined \"timings\" section — wall-clock measurements must \
+             stay in the --timings sidecar, not in report bytes"
+        ));
+    }
     let shard_value = header_value("\"shard\":")?;
     if shard_value == "null" {
         return Err(format!(
@@ -500,6 +511,19 @@ mod tests {
         let garbage = ShardFile { name: "noise.json".to_string(), text: "hello\n".to_string() };
         let err = merge_shards(&[garbage]).unwrap_err();
         assert!(err.contains("noise.json"), "{err}");
+    }
+
+    #[test]
+    fn rejects_shards_that_inline_wall_clock_timings() {
+        let mut files = split(&[1, 2, 1, 2], 2);
+        files[0].text = files[0].text.replace(
+            "  \"workload\":",
+            "  \"timings\": {\"total_nanos\": 12345},\n  \"workload\":",
+        );
+        assert!(files[0].text.contains("\"timings\""), "injection must have landed");
+        let err = merge_shards(&files).unwrap_err();
+        assert!(err.contains("shard-1-of-2.json"), "offender not named: {err}");
+        assert!(err.contains("sidecar"), "points at the right channel: {err}");
     }
 
     #[test]

@@ -85,11 +85,10 @@ pub fn split_exhaustive_search(
             let q = queries[qi];
             for &idx in &subtree_nodes {
                 report.nodes_visited += 1;
-                let node = tree.node(idx);
-                let d2 = node.point.dist2(q);
+                let d2 = tree.point_of(idx).dist2(q);
                 if d2 <= r2 {
                     report.results[qi]
-                        .push(Neighbor { index: node.point_index as usize, dist2: d2 });
+                        .push(Neighbor { index: tree.point_index_of(idx), dist2: d2 });
                 }
             }
         }

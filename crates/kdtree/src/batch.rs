@@ -42,7 +42,9 @@
 
 use crescent_pointcloud::{Neighbor, Point3, POINT_BYTES};
 
-use crate::split::{drain_subtree_queue, finalize, subtree_radius_search, SplitTree, TreeArbiter};
+use crate::split::{
+    drain_subtree_queue, finalize, subtree_radius_search, DrainScratch, SplitTree, TreeArbiter,
+};
 use crate::tree::NODE_BYTES;
 
 /// Reusable state for [`SplitTree::search_batch`], designed to live across
@@ -66,6 +68,9 @@ pub struct BatchState {
     assignments: Vec<Option<usize>>,
     /// Assignments of the batch before that (previous frame).
     prev_assignments: Vec<Option<usize>>,
+    /// Stage-2 drain scratch (per-PE traversal stacks), recycled across
+    /// sub-tree queues and frames.
+    drain: DrainScratch,
     /// Number of batches processed through this state.
     frames: usize,
 }
@@ -318,18 +323,18 @@ impl SplitTree<'_> {
                 while let Some((idx, qlist)) = state.frontier.pop() {
                     stats.top_fetches += 1; // one shared fetch for the node
                     stats.top_fetches_unamortized += qlist.len();
-                    let node = tree.node(idx);
-                    let axis = node.axis as usize;
-                    let split_coord = node.point.coord(axis);
+                    let point = tree.point_of(idx);
+                    let axis = tree.axis_of(idx);
+                    let split_coord = point.coord(axis);
                     let (left, right) = (tree.left(idx), tree.right(idx));
                     let mut left_list = state.take_list();
                     let mut right_list = state.take_list();
                     for &qi in &qlist {
                         let q = queries[qi];
-                        let d2 = node.point.dist2(q);
+                        let d2 = point.dist2(q);
                         if d2 <= r2 {
                             results[qi]
-                                .push(Neighbor { index: node.point_index as usize, dist2: d2 });
+                                .push(Neighbor { index: tree.point_index_of(idx), dist2: d2 });
                         }
                         let (next_slot, side) = if q.coord(axis) - split_coord <= 0.0 {
                             (left, &mut left_list)
@@ -397,6 +402,7 @@ impl SplitTree<'_> {
                         radius,
                         config.num_pes,
                         arbiter,
+                        &mut state.drain,
                         &mut results,
                     );
                     stats.subtree_visits += q.visits;

@@ -59,7 +59,7 @@ pub use baselines::{
     crescent_dram_bytes, exhaustive_visits, split_exhaustive_search, BaselineReport,
 };
 pub use batch::{BatchBankModel, BatchSearchConfig, BatchSearchStats, BatchState};
-pub use refit::{RebuildReason, RefitConfig, RefitOutcome, RefitStats};
+pub use refit::{RebuildReason, RefitConfig, RefitOutcome, RefitScratch, RefitStats};
 pub use search::{knn_search, radius_search, radius_search_traced, TraversalStats};
 pub use split::{
     subtree_radius_search, ElisionConfig, SplitSearchConfig, SplitSearchStats, SplitTree,

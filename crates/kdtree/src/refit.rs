@@ -144,8 +144,20 @@ impl RefitStats {
     }
 }
 
+/// Reusable working memory of [`KdTree::refit`]: the per-sub-tree bound
+/// accumulators, the dirty list, and the entry buffer of in-place
+/// sub-tree rebuilds. A stream that refits every frame passes one
+/// instance to [`KdTree::refit_with_scratch`] so the steady state
+/// allocates nothing; [`KdTree::refit`] makes a fresh one per call.
+#[derive(Debug, Default)]
+pub struct RefitScratch {
+    scratch: Vec<SubtreeScratch>,
+    dirty: Vec<usize>,
+    entries: Vec<(Point3, u32)>,
+}
+
 /// Per-sub-tree scratch accumulated during the refit pass.
-#[derive(Clone, Copy)]
+#[derive(Clone, Copy, Debug)]
 struct SubtreeScratch {
     old_min: Point3,
     old_max: Point3,
@@ -194,6 +206,19 @@ impl KdTree {
     /// tree was built from (slot `i` is point `i`'s new position); a
     /// length mismatch is detected and handled as incoherence.
     pub fn refit(&mut self, cloud: &PointCloud, cfg: &RefitConfig) -> RefitStats {
+        self.refit_with_scratch(cloud, cfg, &mut RefitScratch::default())
+    }
+
+    /// [`KdTree::refit`] with caller-owned working memory, for streams
+    /// that refit every frame: `ws`'s buffers are recycled call to call,
+    /// so the steady-state refit pass performs no allocation. Results and
+    /// stats are identical to [`KdTree::refit`].
+    pub fn refit_with_scratch(
+        &mut self,
+        cloud: &PointCloud,
+        cfg: &RefitConfig,
+        ws: &mut RefitScratch,
+    ) -> RefitStats {
         let n = self.len();
         let mut stats = RefitStats::default();
         if cloud.len() != n {
@@ -216,19 +241,20 @@ impl KdTree {
         // One streaming sweep: cloud in, old image in (for the
         // point-index map), patched image out. Old/new sub-tree bounds
         // are folded into the same pass for the dilation check.
-        let mut scratch = vec![SubtreeScratch::new(); num_roots];
+        let RefitScratch { scratch, dirty, entries } = ws;
+        scratch.clear();
+        scratch.resize(num_roots, SubtreeScratch::new());
         for idx in 0..n {
             let lv = self.level_of(idx);
-            let node = &mut self.nodes_mut()[idx];
-            let new_point = cloud.point(node.point_index as usize);
+            let new_point = cloud.point(self.point_index_of(idx));
             if lv >= level {
                 // ancestor slot at the check level identifies the sub-tree
                 let s = (((idx + 1) >> (lv - level)) - 1) - first_root;
                 let sc = &mut scratch[s];
-                grow(&mut sc.old_min, &mut sc.old_max, node.point);
+                grow(&mut sc.old_min, &mut sc.old_max, self.points[idx]);
                 grow(&mut sc.new_min, &mut sc.new_max, new_point);
             }
-            node.point = new_point;
+            self.points[idx] = new_point;
         }
         stats.nodes_refitted = n;
         stats.subtrees_checked = num_roots;
@@ -255,7 +281,7 @@ impl KdTree {
         }
 
         // ---- decide: local repair or incoherence fallback ----
-        let mut dirty: Vec<usize> = Vec::new();
+        dirty.clear();
         for (s, sc) in scratch.iter().enumerate() {
             let dilated = sc.violations == 0 && sc.dilated(cfg.max_dilation);
             if dilated {
@@ -275,9 +301,9 @@ impl KdTree {
         // Any sub-tree of the flat layout is itself a complete heap
         // (its last level is a left-filled prefix), so the ordinary
         // build recursion can re-partition it rooted at its global slot.
-        for &s in &dirty {
+        for &s in dirty.iter() {
             let root = first_root + s;
-            let mut entries: Vec<(Point3, u32)> = Vec::new();
+            entries.clear();
             let mut slot = root;
             let mut width = 1usize;
             while slot < n {
@@ -291,7 +317,7 @@ impl KdTree {
             let m = entries.len();
             let depth = self.level_of(root);
             let mut moved = 0usize;
-            build_recursive(&mut entries, root, depth, self.nodes_mut(), &mut moved);
+            build_recursive(entries, root, depth, &mut self.points, &mut self.meta, &mut moved);
             stats.subtrees_rebuilt += 1;
             stats.nodes_written += m;
             stats.points_moved += moved;
@@ -326,10 +352,10 @@ fn validate(
         cross: &mut usize,
         per_subtree: &mut [usize],
     ) {
-        let node = tree.node(idx);
+        let point = tree.point_of(idx);
         let lv = tree.level_of(idx);
         for (ci, &(axis, split, left)) in constraints.iter().enumerate() {
-            let c = node.point.coord(axis);
+            let c = point.coord(axis);
             let violated = if left { c > split } else { c < split };
             if violated {
                 // constraint `ci` was imposed by the ancestor at level
@@ -343,8 +369,8 @@ fn validate(
                 }
             }
         }
-        let axis = node.axis as usize;
-        let split = node.point.coord(axis);
+        let axis = tree.axis_of(idx);
+        let split = point.coord(axis);
         if let Some(l) = tree.left(idx) {
             constraints.push((axis, split, true));
             walk(tree, l, level, first_root, constraints, cross, per_subtree);

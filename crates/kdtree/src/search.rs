@@ -41,7 +41,10 @@ pub fn radius_search(
     radius: f32,
     max_neighbors: Option<usize>,
 ) -> Vec<Neighbor> {
-    radius_search_traced(tree, query, radius, max_neighbors, &mut |_| {}).0
+    // monomorphized no-op trace: the untraced hot path must not pay an
+    // indirect call per node fetch (`radius_search_traced` takes `&mut
+    // dyn FnMut`, which the optimizer cannot elide)
+    radius_search_impl(tree, query, radius, max_neighbors, &mut |_| {}).0
 }
 
 /// Exact radius search that reports every node fetch to `on_fetch` (heap
@@ -53,38 +56,55 @@ pub fn radius_search_traced(
     max_neighbors: Option<usize>,
     on_fetch: &mut dyn FnMut(usize),
 ) -> (Vec<Neighbor>, TraversalStats) {
+    radius_search_impl(tree, query, radius, max_neighbors, on_fetch)
+}
+
+/// The one traversal behind both `radius_search` variants, generic over
+/// the fetch observer so the untraced caller monomorphizes it away while
+/// the traced caller passes its `&mut dyn FnMut` through (a `&mut F` is
+/// itself `FnMut`). Identical float-op order either way — the observer
+/// only watches.
+fn radius_search_impl<F: FnMut(usize) + ?Sized>(
+    tree: &KdTree,
+    query: Point3,
+    radius: f32,
+    max_neighbors: Option<usize>,
+    on_fetch: &mut F,
+) -> (Vec<Neighbor>, TraversalStats) {
     let mut hits = Vec::new();
     let mut stats = TraversalStats::default();
     if tree.is_empty() {
         return (hits, stats);
     }
     let r2 = radius * radius;
+    // hot loop on the SoA columns directly: one `meta` load per node
+    // (axis and point index unpacked from the same word) instead of one
+    // per accessor call
+    let points = tree.points.as_slice();
+    let meta = tree.meta.as_slice();
+    let len = points.len();
     let mut stack: Vec<usize> = vec![0];
     while let Some(idx) = stack.pop() {
         stats.nodes_visited += 1; // FN
         on_fetch(idx);
-        let node = tree.node(idx);
-        let d2 = node.point.dist2(query); // CD
+        let point = points[idx];
+        let m = meta[idx];
+        let d2 = point.dist2(query); // CD
         if d2 <= r2 {
-            hits.push(Neighbor { index: node.point_index as usize, dist2: d2 });
+            hits.push(Neighbor { index: (m & crate::tree::META_INDEX_MASK) as usize, dist2: d2 });
             // SR
         }
         // US: descend toward the query side; push the far side only if the
         // splitting plane is within the search radius.
-        let axis = node.axis as usize;
-        let delta = query.coord(axis) - node.point.coord(axis);
-        let (near, far) = if delta <= 0.0 {
-            (tree.left(idx), tree.right(idx))
-        } else {
-            (tree.right(idx), tree.left(idx))
-        };
-        if delta * delta <= r2 {
-            if let Some(f) = far {
-                stack.push(f);
-            }
+        let axis = (m >> crate::tree::META_AXIS_SHIFT) as usize;
+        let delta = query.coord(axis) - point.coord(axis);
+        let (near, far) =
+            if delta <= 0.0 { (2 * idx + 1, 2 * idx + 2) } else { (2 * idx + 2, 2 * idx + 1) };
+        if delta * delta <= r2 && far < len {
+            stack.push(far);
         }
-        if let Some(n) = near {
-            stack.push(n);
+        if near < len {
+            stack.push(near);
         }
         stats.max_stack_depth = stats.max_stack_depth.max(stack.len());
     }
@@ -105,16 +125,16 @@ pub fn knn_search(tree: &KdTree, query: Point3, k: usize) -> Vec<Neighbor> {
     let mut worst = f32::INFINITY;
     let mut stack: Vec<usize> = vec![0];
     while let Some(idx) = stack.pop() {
-        let node = tree.node(idx);
-        let d2 = node.point.dist2(query);
+        let point = tree.point_of(idx);
+        let d2 = point.dist2(query);
         if best.len() < k || d2 < worst {
-            best.push(Neighbor { index: node.point_index as usize, dist2: d2 });
+            best.push(Neighbor { index: tree.point_index_of(idx), dist2: d2 });
             best.sort_by(|a, b| a.dist2.partial_cmp(&b.dist2).unwrap_or(std::cmp::Ordering::Equal));
             best.truncate(k);
             worst = if best.len() == k { best[k - 1].dist2 } else { f32::INFINITY };
         }
-        let axis = node.axis as usize;
-        let delta = query.coord(axis) - node.point.coord(axis);
+        let axis = tree.axis_of(idx);
+        let delta = query.coord(axis) - point.coord(axis);
         let (near, far) = if delta <= 0.0 {
             (tree.left(idx), tree.right(idx))
         } else {

@@ -203,13 +203,13 @@ impl<'a> SplitTree<'a> {
                 return Some(s);
             }
             on_fetch(idx);
-            let node = self.tree.node(idx);
-            let d2 = node.point.dist2(query);
+            let point = self.tree.point_of(idx);
+            let d2 = point.dist2(query);
             if d2 <= r2 {
-                hits.push(Neighbor { index: node.point_index as usize, dist2: d2 });
+                hits.push(Neighbor { index: self.tree.point_index_of(idx), dist2: d2 });
             }
-            let axis = node.axis as usize;
-            let next = if query.coord(axis) - node.point.coord(axis) <= 0.0 {
+            let axis = self.tree.axis_of(idx);
+            let next = if query.coord(axis) - point.coord(axis) <= 0.0 {
                 self.tree.left(idx)
             } else {
                 self.tree.right(idx)
@@ -318,6 +318,7 @@ impl<'a> SplitTree<'a> {
         }
 
         // ---- stage 2: per-sub-tree confined search ----
+        let mut scratch = DrainScratch::default();
         for (s, queue) in queues.iter().enumerate() {
             let root = self.subtree_roots[s];
             let outcome = drain_subtree_queue(
@@ -328,6 +329,7 @@ impl<'a> SplitTree<'a> {
                 config.radius,
                 config.num_pes,
                 &mut arbiter,
+                &mut scratch,
                 &mut results,
             );
             stats.absorb_queue(&outcome);
@@ -362,6 +364,8 @@ impl<'a> SplitTree<'a> {
         let mut next_query = 0usize;
         // per-PE (query index, cursor); None = idle
         let mut pe_state: Vec<Option<(usize, usize)>> = vec![None; num_pes];
+        // per-round request scratch, reused across rounds
+        let mut requests: Vec<Option<usize>> = Vec::with_capacity(num_pes);
         loop {
             // issue new queries to idle PEs
             for slot in pe_state.iter_mut() {
@@ -374,8 +378,8 @@ impl<'a> SplitTree<'a> {
                 break;
             }
             stats.rounds += 1;
-            let requests: Vec<Option<usize>> =
-                pe_state.iter().map(|s| s.map(|(_, idx)| idx)).collect();
+            requests.clear();
+            requests.extend(pe_state.iter().map(|s| s.map(|(_, idx)| idx)));
             let honored = arbiter.arbitrate(self.tree, &requests);
             for (pe, slot) in pe_state.iter_mut().enumerate() {
                 let Some((qi, idx)) = *slot else { continue };
@@ -387,15 +391,15 @@ impl<'a> SplitTree<'a> {
                     Arbitration::Honored => {
                         stats.top_tree_visits += 1;
                         stats.nodes_visited += 1;
-                        let node = self.tree.node(idx);
+                        let point = self.tree.point_of(idx);
                         let q = queries[qi];
-                        let d2 = node.point.dist2(q);
+                        let d2 = point.dist2(q);
                         if d2 <= r2 {
                             results[qi]
-                                .push(Neighbor { index: node.point_index as usize, dist2: d2 });
+                                .push(Neighbor { index: self.tree.point_index_of(idx), dist2: d2 });
                         }
-                        let axis = node.axis as usize;
-                        let next = if q.coord(axis) - node.point.coord(axis) <= 0.0 {
+                        let axis = self.tree.axis_of(idx);
+                        let next = if q.coord(axis) - point.coord(axis) <= 0.0 {
                             self.tree.left(idx)
                         } else {
                             self.tree.right(idx)
@@ -467,12 +471,17 @@ pub(crate) struct TreeArbiter {
     /// Elide a losing fetch iff its node's level is `>= threshold`
     /// (levels are `0..height`); losers above the threshold stall.
     threshold: usize,
+    /// The level comparator, folded to index space: `level_of(idx) >=
+    /// threshold  ⟺  idx >= 2^threshold − 1` (heap levels start at
+    /// `2^level − 1`), so the per-request, per-round eligibility test is
+    /// one integer compare. `usize::MAX` when the threshold saturates.
+    min_elide_idx: usize,
     /// Sec 4.2 descendant-reuse refinement on elided fetches.
     reuse: bool,
-    /// Per-round scratch, reused so the innermost simulation loop does
-    /// not allocate (one arbitration round runs per simulated cycle).
-    addrs: Vec<Option<u64>>,
-    eligible: Vec<bool>,
+    /// Per-round outcome scratch, reused so the innermost simulation
+    /// loop does not allocate (one arbitration round per simulated
+    /// cycle).
+    outcomes: Vec<Arbitration>,
 }
 
 impl TreeArbiter {
@@ -483,9 +492,9 @@ impl TreeArbiter {
             None => TreeArbiter {
                 sram: None,
                 threshold: usize::MAX,
+                min_elide_idx: usize::MAX,
                 reuse: false,
-                addrs: Vec::new(),
-                eligible: Vec::new(),
+                outcomes: Vec::new(),
             },
             Some(e) => TreeArbiter::banked(e.num_banks, e.elision_height, e.descendant_reuse),
         }
@@ -506,9 +515,11 @@ impl TreeArbiter {
         TreeArbiter {
             sram: Some(BankedSram::new(config)),
             threshold,
+            min_elide_idx: 1usize
+                .checked_shl(threshold.min(usize::BITS as usize) as u32)
+                .map_or(usize::MAX, |v| v - 1),
             reuse,
-            addrs: Vec::new(),
-            eligible: Vec::new(),
+            outcomes: Vec::new(),
         }
     }
 
@@ -521,57 +532,72 @@ impl TreeArbiter {
     }
 
     /// Arbitrates one lock-step round. `requests[pe]` is the node each PE
-    /// wants to fetch (`None` = idle port).
+    /// wants to fetch (`None` = idle port). The returned slice lives in a
+    /// buffer the arbiter recycles round to round, so the per-cycle inner
+    /// loop performs no allocation.
     pub(crate) fn arbitrate(
         &mut self,
         tree: &KdTree,
         requests: &[Option<usize>],
-    ) -> Vec<Arbitration> {
+    ) -> &[Arbitration] {
+        self.outcomes.clear();
         let Some(sram) = &mut self.sram else {
             // ideal SRAM: every request is honored (idle slots carry a
             // placeholder the callers never read)
-            return requests
-                .iter()
-                .map(|r| if r.is_some() { Arbitration::Honored } else { Arbitration::Stalled })
-                .collect();
-        };
-        self.addrs.clear();
-        self.addrs.extend(requests.iter().map(|r| r.map(|idx| (idx * NODE_BYTES) as u64)));
-        self.eligible.clear();
-        self.eligible.extend(
-            requests.iter().map(|r| r.is_some_and(|idx| tree.level_of(idx) >= self.threshold)),
-        );
-        let outcomes = sram.arbitrate_selective(&self.addrs, &self.eligible);
-        let config = *sram.config();
-        outcomes
-            .iter()
-            .enumerate()
-            .map(|(pe, outcome)| {
-                let Some(idx) = requests[pe] else { return Arbitration::Stalled };
-                match outcome {
-                    PortOutcome::Granted => Arbitration::Honored,
-                    PortOutcome::Conflict => Arbitration::Stalled,
-                    // without descendant reuse an elided fetch is simply
-                    // dropped — no need to look up whose data the bank
-                    // multicast
-                    PortOutcome::Elided if !self.reuse => Arbitration::Elided,
-                    PortOutcome::Elided => {
-                        let bank = config.bank_of((idx * NODE_BYTES) as u64);
-                        let winner_port =
-                            sram.winner_of_bank(bank).expect("a lost bank has a winner");
-                        let winner_node = requests[winner_port].expect("winners requested a node");
-                        if is_ancestor(idx, winner_node) {
-                            // the winner's data lies beneath the lost
-                            // node: continuing from it terminates and
-                            // skips fewer nodes (Sec 4.2 refinement)
-                            Arbitration::Reused(winner_node)
-                        } else {
-                            Arbitration::Elided
-                        }
-                    }
+            self.outcomes.extend(requests.iter().map(|r| {
+                if r.is_some() {
+                    Arbitration::Honored
+                } else {
+                    Arbitration::Stalled
                 }
-            })
-            .collect()
+            }));
+            return &self.outcomes;
+        };
+        debug_assert!(requests
+            .iter()
+            .flatten()
+            .all(|&idx| { (idx >= self.min_elide_idx) == (tree.level_of(idx) >= self.threshold) }));
+        // single pass: the memsim round delivers each port's outcome (and
+        // its bank's winner, already final under first-come arbitration)
+        // through a sink, and the tree-shaped policy resolves it in
+        // place. Addresses and eligibility are computed per port instead
+        // of materialized — this call runs once per simulated cycle.
+        let min_elide_idx = self.min_elide_idx;
+        let reuse = self.reuse;
+        let outcomes = &mut self.outcomes;
+        sram.arbitrate_fold(
+            requests.len(),
+            |pe| requests[pe].map(|idx| (idx * NODE_BYTES) as u64),
+            |pe| requests[pe].is_some_and(|idx| idx >= min_elide_idx),
+            |pe, outcome, winner| {
+                let arb = match requests[pe] {
+                    None => Arbitration::Stalled,
+                    Some(idx) => match outcome {
+                        PortOutcome::Granted => Arbitration::Honored,
+                        PortOutcome::Conflict => Arbitration::Stalled,
+                        // without descendant reuse an elided fetch is
+                        // simply dropped — no need to look up whose data
+                        // the bank multicast
+                        PortOutcome::Elided if !reuse => Arbitration::Elided,
+                        PortOutcome::Elided => {
+                            let winner_port = winner.expect("a lost bank has a winner");
+                            let winner_node =
+                                requests[winner_port].expect("winners requested a node");
+                            if is_ancestor(idx, winner_node) {
+                                // the winner's data lies beneath the lost
+                                // node: continuing from it terminates and
+                                // skips fewer nodes (Sec 4.2 refinement)
+                                Arbitration::Reused(winner_node)
+                            } else {
+                                Arbitration::Elided
+                            }
+                        }
+                    },
+                };
+                outcomes.push(arb);
+            },
+        );
+        &self.outcomes
     }
 }
 
@@ -602,6 +628,32 @@ pub(crate) struct QueueOutcome {
     pub visits: usize,
 }
 
+/// Reusable scratch of [`drain_subtree_queue`]: the per-PE traversal
+/// stacks and per-round request snapshot. Owned by the caller and reused
+/// across sub-tree queues — and, via
+/// [`BatchState`](crate::BatchState), across the frames of a stream — so
+/// the stage-2 inner loop performs no steady-state allocation.
+#[derive(Debug, Default)]
+pub(crate) struct DrainScratch {
+    pe_query: Vec<Option<usize>>,
+    stacks: Vec<Vec<usize>>,
+    tops: Vec<Option<usize>>,
+}
+
+impl DrainScratch {
+    /// Empties the scratch for a new queue while keeping the per-PE stack
+    /// allocations alive.
+    fn reset(&mut self, num_pes: usize) {
+        self.pe_query.clear();
+        self.pe_query.resize(num_pes, None);
+        for s in &mut self.stacks {
+            s.clear();
+        }
+        self.stacks.resize_with(num_pes, Vec::new);
+        self.tops.clear();
+    }
+}
+
 /// Drains one sub-tree's query queue in lock-step: idle PEs pull the next
 /// queued query and traverse independently (own stack), every simulated
 /// cycle each active PE issues its stack-top node to `arbiter`, and
@@ -621,6 +673,7 @@ pub(crate) fn drain_subtree_queue(
     radius: f32,
     num_pes: usize,
     arbiter: &mut TreeArbiter,
+    scratch: &mut DrainScratch,
     results: &mut [Vec<Neighbor>],
 ) -> QueueOutcome {
     let mut out = QueueOutcome::default();
@@ -630,10 +683,10 @@ pub(crate) fn drain_subtree_queue(
     let r2 = radius * radius;
     let num_pes = num_pes.max(1);
     let mut next = 0usize;
-    let mut pe_query: Vec<Option<usize>> = vec![None; num_pes];
-    let mut stacks: Vec<Vec<usize>> = vec![Vec::new(); num_pes];
+    scratch.reset(num_pes);
+    let DrainScratch { pe_query, stacks, tops } = scratch;
     loop {
-        for (slot, stack) in pe_query.iter_mut().zip(&mut stacks) {
+        for (slot, stack) in pe_query.iter_mut().zip(stacks.iter_mut()) {
             if slot.is_none() && next < queue.len() {
                 *slot = Some(queue[next]);
                 next += 1;
@@ -645,8 +698,9 @@ pub(crate) fn drain_subtree_queue(
         }
         out.rounds += 1;
         let mut round_stalled = false;
-        let tops: Vec<Option<usize>> = stacks.iter().map(|s| s.last().copied()).collect();
-        let honored = arbiter.arbitrate(tree, &tops);
+        tops.clear();
+        tops.extend(stacks.iter().map(|s| s.last().copied()));
+        let honored = arbiter.arbitrate(tree, tops);
         for pe in 0..num_pes {
             let Some(qi) = pe_query[pe] else { continue };
             let Some(idx) = tops[pe] else { continue };
@@ -688,14 +742,14 @@ pub(crate) fn drain_subtree_queue(
             }
             if let Some(idx) = visit {
                 out.visits += 1;
-                let node = tree.node(idx);
+                let point = tree.point_of(idx);
                 let q = queries[qi];
-                let d2 = node.point.dist2(q);
+                let d2 = point.dist2(q);
                 if d2 <= r2 {
-                    results[qi].push(Neighbor { index: node.point_index as usize, dist2: d2 });
+                    results[qi].push(Neighbor { index: tree.point_index_of(idx), dist2: d2 });
                 }
-                let axis = node.axis as usize;
-                let delta = q.coord(axis) - node.point.coord(axis);
+                let axis = tree.axis_of(idx);
+                let delta = q.coord(axis) - point.coord(axis);
                 let (near, far) = if delta <= 0.0 {
                     (tree.left(idx), tree.right(idx))
                 } else {
@@ -897,13 +951,13 @@ pub fn subtree_radius_search(
     let mut stack = vec![root];
     while let Some(idx) = stack.pop() {
         on_fetch(idx);
-        let node = tree.node(idx);
-        let d2 = node.point.dist2(query);
+        let point = tree.point_of(idx);
+        let d2 = point.dist2(query);
         if d2 <= r2 {
-            hits.push(Neighbor { index: node.point_index as usize, dist2: d2 });
+            hits.push(Neighbor { index: tree.point_index_of(idx), dist2: d2 });
         }
-        let axis = node.axis as usize;
-        let delta = query.coord(axis) - node.point.coord(axis);
+        let axis = tree.axis_of(idx);
+        let delta = query.coord(axis) - point.coord(axis);
         let (near, far) = if delta <= 0.0 {
             (tree.left(idx), tree.right(idx))
         } else {
@@ -1211,6 +1265,7 @@ mod tests {
         let queue: Vec<usize> = (0..queries.len()).collect();
         let root = split.subtree_roots()[0];
         let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); queries.len()];
+        let mut scratch = DrainScratch::default();
         for threshold in [usize::MAX, 8, 4] {
             let mut arbiter = TreeArbiter::banked(4, threshold, false);
             let q = drain_subtree_queue(
@@ -1221,6 +1276,7 @@ mod tests {
                 0.3,
                 8,
                 &mut arbiter,
+                &mut scratch,
                 &mut results,
             );
             let c = arbiter.sram_counters().expect("banked arbiter carries counters");

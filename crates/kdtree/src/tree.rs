@@ -7,6 +7,15 @@
 //! streaming transfer, and the Sec 3.3 capacity inequalities
 //! `2^{h_t} − 1 ≤ S` / `2^{H−h_t+1} − 1 ≤ S` hold with equality-tight
 //! bounds.
+//!
+//! In host memory the flat array is stored structure-of-arrays: a dense
+//! `Vec<Point3>` coordinate column plus a parallel packed `Vec<u32>`
+//! carrying (axis, original point index). The *modeled* DRAM image is
+//! unchanged — [`NODE_BYTES`] and every address/byte count still describe
+//! the 16-byte AoS node the hardware streams — but the simulator's
+//! distance-compare inner loops now touch only the 12-byte coordinates
+//! they need, which is most of the simulator's wall-clock. See
+//! `docs/ARCHITECTURE.md` ("Modeled time vs wall-clock time").
 
 use serde::{Deserialize, Serialize};
 
@@ -78,9 +87,29 @@ pub struct KdNode {
 /// ```
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct KdTree {
-    nodes: Vec<KdNode>,
+    /// Splitting point of every node, in heap (level) order. Kept as a
+    /// dense structure-of-arrays column so the distance-compare inner
+    /// loops stream 12-byte coordinates instead of 16-byte nodes.
+    pub(crate) points: Vec<Point3>,
+    /// Packed per-node metadata, parallel to `points`: the split axis in
+    /// the top two bits and the original point index in the low 30
+    /// (see [`pack_meta`]).
+    pub(crate) meta: Vec<u32>,
     height: usize,
     build_stats: BuildStats,
+}
+
+/// Bit position of the split axis inside a packed [`KdTree::meta`] word.
+pub(crate) const META_AXIS_SHIFT: u32 = 30;
+/// Mask of the original-point-index field inside a packed meta word.
+pub(crate) const META_INDEX_MASK: u32 = (1 << META_AXIS_SHIFT) - 1;
+
+/// Packs a split axis and original point index into one meta word.
+#[inline]
+pub(crate) fn pack_meta(axis: u8, point_index: u32) -> u32 {
+    debug_assert!(axis < 3);
+    debug_assert!(point_index <= META_INDEX_MASK);
+    ((axis as u32) << META_AXIS_SHIFT) | point_index
 }
 
 /// Number of nodes in the left subtree of a complete (left-balanced) binary
@@ -105,15 +134,20 @@ impl KdTree {
     /// Building an empty cloud yields an empty tree.
     pub fn build(cloud: &PointCloud) -> Self {
         let n = cloud.len();
+        assert!(
+            n <= META_INDEX_MASK as usize,
+            "cloud too large for the packed 30-bit point-index field"
+        );
         let mut entries: Vec<(Point3, u32)> =
             cloud.iter().enumerate().map(|(i, p)| (*p, i as u32)).collect();
-        let mut nodes = vec![KdNode { point: Point3::ZERO, axis: 0, point_index: u32::MAX }; n];
+        let mut points = vec![Point3::ZERO; n];
+        let mut meta = vec![u32::MAX; n];
         let mut points_moved = 0usize;
         if n > 0 {
-            build_recursive(&mut entries, 0, 0, &mut nodes, &mut points_moved);
+            build_recursive(&mut entries, 0, 0, &mut points, &mut meta, &mut points_moved);
         }
         let height = height_for(n);
-        KdTree { nodes, height, build_stats: BuildStats::for_cloud(n, points_moved) }
+        KdTree { points, meta, height, build_stats: BuildStats::for_cloud(n, points_moved) }
     }
 
     /// The cost of the [`KdTree::build`] that produced this tree (the
@@ -127,13 +161,13 @@ impl KdTree {
     /// Number of nodes (== number of points).
     #[inline]
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.points.len()
     }
 
     /// Whether the tree is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.points.is_empty()
     }
 
     /// Tree height `H = ceil(log2(n+1))`; 0 for an empty tree.
@@ -142,42 +176,70 @@ impl KdTree {
         self.height
     }
 
-    /// All nodes in heap (level) order.
-    #[inline]
-    pub fn nodes(&self) -> &[KdNode] {
-        &self.nodes
+    /// All nodes in heap (level) order, materialized from the SoA
+    /// columns (a convenience for tests and inspection; hot loops use
+    /// [`KdTree::point_of`] / [`KdTree::axis_of`] /
+    /// [`KdTree::point_index_of`] to stay on the dense columns).
+    pub fn nodes(&self) -> Vec<KdNode> {
+        (0..self.len()).map(|i| self.node(i)).collect()
     }
 
-    /// Mutable node access for the in-place refit path (crate-internal:
-    /// callers outside `refit` must go through [`KdTree::build`] so the
-    /// layout invariants cannot be broken from the outside).
-    #[inline]
-    pub(crate) fn nodes_mut(&mut self) -> &mut [KdNode] {
-        &mut self.nodes
-    }
-
-    /// The node at heap slot `idx`.
+    /// The node at heap slot `idx`, reassembled from the SoA columns.
     ///
     /// # Panics
     ///
     /// Panics if `idx >= self.len()`.
     #[inline]
-    pub fn node(&self, idx: usize) -> &KdNode {
-        &self.nodes[idx]
+    pub fn node(&self, idx: usize) -> KdNode {
+        KdNode {
+            point: self.points[idx],
+            axis: (self.meta[idx] >> META_AXIS_SHIFT) as u8,
+            point_index: self.meta[idx] & META_INDEX_MASK,
+        }
+    }
+
+    /// The splitting point stored at heap slot `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.len()`.
+    #[inline]
+    pub fn point_of(&self, idx: usize) -> Point3 {
+        self.points[idx]
+    }
+
+    /// The split axis (0, 1, or 2) of heap slot `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.len()`.
+    #[inline]
+    pub fn axis_of(&self, idx: usize) -> usize {
+        (self.meta[idx] >> META_AXIS_SHIFT) as usize
+    }
+
+    /// Index in the original point cloud of the point at heap slot `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.len()`.
+    #[inline]
+    pub fn point_index_of(&self, idx: usize) -> usize {
+        (self.meta[idx] & META_INDEX_MASK) as usize
     }
 
     /// Heap slot of the left child, if present.
     #[inline]
     pub fn left(&self, idx: usize) -> Option<usize> {
         let c = 2 * idx + 1;
-        (c < self.nodes.len()).then_some(c)
+        (c < self.points.len()).then_some(c)
     }
 
     /// Heap slot of the right child, if present.
     #[inline]
     pub fn right(&self, idx: usize) -> Option<usize> {
         let c = 2 * idx + 2;
-        (c < self.nodes.len()).then_some(c)
+        (c < self.points.len()).then_some(c)
     }
 
     /// The depth (level) of heap slot `idx`; the root is level 0.
@@ -195,7 +257,7 @@ impl KdTree {
     /// Total size of the tree image in bytes.
     #[inline]
     pub fn size_bytes(&self) -> usize {
-        self.nodes.len() * NODE_BYTES
+        self.points.len() * NODE_BYTES
     }
 
     /// Half-open heap-slot range of the sub-tree roots when the tree is
@@ -208,7 +270,7 @@ impl KdTree {
             return 0..0;
         }
         let first = (1usize << top_height) - 1;
-        let last = ((1usize << (top_height + 1)) - 1).min(self.nodes.len());
+        let last = ((1usize << (top_height + 1)) - 1).min(self.points.len());
         first..last
     }
 
@@ -222,7 +284,7 @@ impl KdTree {
 
     /// Number of nodes in the sub-tree rooted at heap slot `root`.
     pub fn subtree_len(&self, root: usize) -> usize {
-        let n = self.nodes.len();
+        let n = self.points.len();
         if root >= n {
             return 0;
         }
@@ -291,7 +353,8 @@ pub(crate) fn build_recursive(
     entries: &mut [(Point3, u32)],
     heap_idx: usize,
     depth: usize,
-    out: &mut [KdNode],
+    points_out: &mut [Point3],
+    meta_out: &mut [u32],
     points_moved: &mut usize,
 ) {
     let n = entries.len();
@@ -307,11 +370,12 @@ pub(crate) fn build_recursive(
             .unwrap_or(std::cmp::Ordering::Equal)
     });
     let (point, point_index) = entries[mid];
-    out[heap_idx] = KdNode { point, axis, point_index };
+    points_out[heap_idx] = point;
+    meta_out[heap_idx] = pack_meta(axis, point_index);
     let (lo, rest) = entries.split_at_mut(mid);
     let hi = &mut rest[1..];
-    build_recursive(lo, 2 * heap_idx + 1, depth + 1, out, points_moved);
-    build_recursive(hi, 2 * heap_idx + 2, depth + 1, out, points_moved);
+    build_recursive(lo, 2 * heap_idx + 1, depth + 1, points_out, meta_out, points_moved);
+    build_recursive(hi, 2 * heap_idx + 2, depth + 1, points_out, meta_out, points_moved);
 }
 
 #[cfg(test)]

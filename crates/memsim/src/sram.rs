@@ -101,6 +101,18 @@ pub struct BankedSram {
     config: SramConfig,
     counters: SramCounters,
     bank_winner: Vec<Option<usize>>, // scratch, reused across rounds
+    // gather scratch, reused across calls: the pending-request list and
+    // the per-round outcome buffer. Simulated rounds are the innermost
+    // unit of work in every timing model above this crate, so a fresh
+    // `Vec` per round (or per gather) is the kind of allocation that
+    // shows up on the sweep's wall-clock.
+    pending: Vec<Option<u64>>,
+    round_out: Vec<PortOutcome>,
+    // fast bank decode — `(addr >> shift) & mask` — precomputed when both
+    // the word size and the bank count are powers of two (every shipped
+    // configuration). `bank_of`'s div+mod sits in the innermost simulated
+    // round, where the hardware divide is measurable.
+    shift_mask: Option<(u32, u64)>,
 }
 
 impl BankedSram {
@@ -112,10 +124,16 @@ impl BankedSram {
     pub fn new(config: SramConfig) -> Self {
         assert!(config.num_banks > 0, "SRAM needs at least one bank");
         assert!(config.word_bytes > 0, "SRAM word size must be positive");
+        let shift_mask = (config.word_bytes.is_power_of_two()
+            && config.num_banks.is_power_of_two())
+        .then(|| (config.word_bytes.trailing_zeros(), config.num_banks as u64 - 1));
         BankedSram {
             config,
             counters: SramCounters::default(),
             bank_winner: vec![None; config.num_banks],
+            pending: Vec::new(),
+            round_out: Vec::new(),
+            shift_mask,
         }
     }
 
@@ -131,8 +149,21 @@ impl BankedSram {
     /// [`PortOutcome::Elided`] — the Fig 10 AND gate lowering the conflict
     /// signal.
     pub fn arbitrate(&mut self, requests: &[Option<u64>], elide: bool) -> Vec<PortOutcome> {
-        let eligible = vec![elide; requests.len()];
-        self.arbitrate_selective(requests, &eligible)
+        let mut out = Vec::new();
+        self.arbitrate_into(requests, elide, &mut out);
+        out
+    }
+
+    /// [`BankedSram::arbitrate`] into a caller-recycled outcome buffer
+    /// (cleared and refilled) — the allocation-free form for per-round
+    /// inner loops.
+    pub fn arbitrate_into(
+        &mut self,
+        requests: &[Option<u64>],
+        elide: bool,
+        out: &mut Vec<PortOutcome>,
+    ) {
+        self.round(requests, |_| elide, out);
     }
 
     /// Arbitrates one cycle with a *per-port* elision eligibility — the
@@ -155,34 +186,104 @@ impl BankedSram {
         requests: &[Option<u64>],
         eligible: &[bool],
     ) -> Vec<PortOutcome> {
+        let mut out = Vec::new();
+        self.arbitrate_selective_into(requests, eligible, &mut out);
+        out
+    }
+
+    /// [`BankedSram::arbitrate_selective`] into a caller-recycled outcome
+    /// buffer (cleared and refilled) — what the tree-buffer arbiter's
+    /// lock-step loop calls so no round allocates.
+    pub fn arbitrate_selective_into(
+        &mut self,
+        requests: &[Option<u64>],
+        eligible: &[bool],
+        out: &mut Vec<PortOutcome>,
+    ) {
         assert!(eligible.len() >= requests.len(), "one eligibility flag per port");
+        self.round(requests, |port| eligible[port], out);
+    }
+
+    /// One arbitration round with *computed* requests: `request(port)`
+    /// yields port `port`'s address (`None` = idle) and `eligible(port)`
+    /// its elision eligibility (consulted only for losers). This is the
+    /// shared core behind every `arbitrate*` form — and the form the
+    /// innermost simulation loops call directly, because materializing
+    /// per-round address/eligibility buffers just to pass slices here is
+    /// measurable across the millions of rounds a sweep simulates.
+    ///
+    /// Outcomes land in `out` (cleared first; idle ports read
+    /// [`PortOutcome::Granted`], which callers never consult).
+    pub fn arbitrate_with(
+        &mut self,
+        ports: usize,
+        request: impl Fn(usize) -> Option<u64>,
+        eligible: impl Fn(usize) -> bool,
+        out: &mut Vec<PortOutcome>,
+    ) {
+        out.clear();
+        out.reserve(ports);
+        self.arbitrate_fold(ports, request, eligible, |_, outcome, _| out.push(outcome));
+    }
+
+    /// [`BankedSram::arbitrate_with`] delivering outcomes through a sink
+    /// instead of a buffer: `sink(port, outcome, winner)` fires once per
+    /// port in port order, where `winner` is the port whose request won
+    /// the loser's bank (`None` for idle and granted ports). Because
+    /// arbitration is first-come-per-bank, a loser's winner is already
+    /// final when the loser is processed — so a caller layering policy on
+    /// top of lost fetches (stall/elide/forward-from-winner) can resolve
+    /// each port in the same pass the round itself makes, instead of a
+    /// second walk over a materialized outcome buffer.
+    pub fn arbitrate_fold(
+        &mut self,
+        ports: usize,
+        request: impl Fn(usize) -> Option<u64>,
+        eligible: impl Fn(usize) -> bool,
+        mut sink: impl FnMut(usize, PortOutcome, Option<usize>),
+    ) {
         self.counters.rounds += 1;
         for w in &mut self.bank_winner {
             *w = None;
         }
-        let mut out = vec![PortOutcome::Granted; requests.len()];
-        for (port, req) in requests.iter().enumerate() {
-            let Some(addr) = *req else { continue };
+        for port in 0..ports {
+            let Some(addr) = request(port) else {
+                sink(port, PortOutcome::Granted, None);
+                continue;
+            };
             self.counters.requests += 1;
-            let bank = self.config.bank_of(addr);
+            let bank = match self.shift_mask {
+                Some((shift, mask)) => ((addr >> shift) & mask) as usize,
+                None => self.config.bank_of(addr),
+            };
             match self.bank_winner[bank] {
                 None => {
                     self.bank_winner[bank] = Some(port);
                     self.counters.grants += 1;
-                    out[port] = PortOutcome::Granted;
+                    sink(port, PortOutcome::Granted, None);
                 }
-                Some(_) => {
+                Some(winner) => {
                     self.counters.conflicts += 1;
-                    if eligible[port] {
+                    if eligible(port) {
                         self.counters.elided += 1;
-                        out[port] = PortOutcome::Elided;
+                        sink(port, PortOutcome::Elided, Some(winner));
                     } else {
-                        out[port] = PortOutcome::Conflict;
+                        sink(port, PortOutcome::Conflict, Some(winner));
                     }
                 }
             }
         }
-        out
+    }
+
+    /// [`BankedSram::arbitrate_with`] over a materialized request slice —
+    /// the form the slice-based `arbitrate*` wrappers share.
+    fn round(
+        &mut self,
+        requests: &[Option<u64>],
+        eligible: impl Fn(usize) -> bool,
+        out: &mut Vec<PortOutcome>,
+    ) {
+        self.arbitrate_with(requests.len(), |port| requests[port], eligible, out);
     }
 
     /// The port that won `bank` in the most recent arbitration round
@@ -199,17 +300,24 @@ impl BankedSram {
     /// arbitration: conflicted requests re-issue on subsequent rounds.
     /// Returns the number of rounds the gather took.
     pub fn gather_serializing(&mut self, addrs: &[u64]) -> u64 {
-        let mut pending: Vec<Option<u64>> = addrs.iter().copied().map(Some).collect();
+        // the pending list and per-round outcomes live in recycled
+        // buffers (taken out of `self` so the round borrow checks)
+        let mut pending = std::mem::take(&mut self.pending);
+        let mut outcomes = std::mem::take(&mut self.round_out);
+        pending.clear();
+        pending.extend(addrs.iter().copied().map(Some));
         let mut rounds = 0;
         while pending.iter().any(Option::is_some) {
             rounds += 1;
-            let outcomes = self.arbitrate(&pending, false);
+            self.round(&pending, |_| false, &mut outcomes);
             for (slot, outcome) in outcomes.iter().enumerate() {
                 if pending[slot].is_some() && *outcome == PortOutcome::Granted {
                     pending[slot] = None;
                 }
             }
         }
+        self.pending = pending;
+        self.round_out = outcomes;
         rounds
     }
 
@@ -219,6 +327,17 @@ impl BankedSram {
     pub fn gather_eliding(&mut self, addrs: &[u64]) -> Vec<bool> {
         let reqs: Vec<Option<u64>> = addrs.iter().copied().map(Some).collect();
         self.arbitrate(&reqs, true).into_iter().map(|o| o == PortOutcome::Elided).collect()
+    }
+
+    /// [`BankedSram::gather_eliding`], returning only the elided-access
+    /// count — the allocation-free form for gather inner loops that never
+    /// look at per-address outcomes.
+    pub fn gather_eliding_count(&mut self, addrs: &[u64]) -> u64 {
+        let mut outcomes = std::mem::take(&mut self.round_out);
+        self.arbitrate_with(addrs.len(), |i| Some(addrs[i]), |_| true, &mut outcomes);
+        let elided = outcomes.iter().filter(|&&o| o == PortOutcome::Elided).count() as u64;
+        self.round_out = outcomes;
+        elided
     }
 
     /// Accumulated counters.

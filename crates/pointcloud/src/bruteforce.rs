@@ -37,33 +37,51 @@ pub fn radius_search_bruteforce(
     radius: f32,
     max_neighbors: Option<usize>,
 ) -> Vec<Neighbor> {
-    let r2 = radius * radius;
-    let mut hits: Vec<Neighbor> = cloud
-        .iter()
-        .enumerate()
-        .filter_map(|(i, p)| {
-            let d2 = p.dist2(query);
-            (d2 <= r2).then_some(Neighbor { index: i, dist2: d2 })
-        })
-        .collect();
-    hits.sort_by(|a, b| a.dist2.partial_cmp(&b.dist2).unwrap_or(std::cmp::Ordering::Equal));
-    if let Some(k) = max_neighbors {
-        hits.truncate(k);
-    }
+    let mut hits = Vec::new();
+    radius_search_bruteforce_into(cloud, query, radius, max_neighbors, &mut hits);
     hits
+}
+
+/// [`radius_search_bruteforce`] writing into a caller-owned buffer, for
+/// hot loops that issue many queries: `out` is cleared and refilled, so
+/// its allocation is recycled query to query. Results are identical to
+/// the allocating variant.
+pub fn radius_search_bruteforce_into(
+    cloud: &PointCloud,
+    query: Point3,
+    radius: f32,
+    max_neighbors: Option<usize>,
+    out: &mut Vec<Neighbor>,
+) {
+    out.clear();
+    let r2 = radius * radius;
+    for (i, p) in cloud.iter().enumerate() {
+        let d2 = p.dist2(query);
+        if d2 <= r2 {
+            out.push(Neighbor { index: i, dist2: d2 });
+        }
+    }
+    out.sort_by(|a, b| a.dist2.partial_cmp(&b.dist2).unwrap_or(std::cmp::Ordering::Equal));
+    if let Some(k) = max_neighbors {
+        out.truncate(k);
+    }
 }
 
 /// Returns the `k` nearest points of `cloud` to `query`, ascending by
 /// distance. Returns fewer if the cloud has fewer than `k` points.
 pub fn knn_bruteforce(cloud: &PointCloud, query: Point3, k: usize) -> Vec<Neighbor> {
-    let mut all: Vec<Neighbor> = cloud
-        .iter()
-        .enumerate()
-        .map(|(i, p)| Neighbor { index: i, dist2: p.dist2(query) })
-        .collect();
-    all.sort_by(|a, b| a.dist2.partial_cmp(&b.dist2).unwrap_or(std::cmp::Ordering::Equal));
-    all.truncate(k);
-    all
+    let mut best = Vec::new();
+    knn_bruteforce_into(cloud, query, k, &mut best);
+    best
+}
+
+/// [`knn_bruteforce`] writing into a caller-owned buffer (cleared and
+/// refilled), recycling its allocation across queries.
+pub fn knn_bruteforce_into(cloud: &PointCloud, query: Point3, k: usize, out: &mut Vec<Neighbor>) {
+    out.clear();
+    out.extend(cloud.iter().enumerate().map(|(i, p)| Neighbor { index: i, dist2: p.dist2(query) }));
+    out.sort_by(|a, b| a.dist2.partial_cmp(&b.dist2).unwrap_or(std::cmp::Ordering::Equal));
+    out.truncate(k);
 }
 
 #[cfg(test)]
@@ -114,6 +132,16 @@ mod tests {
         assert_eq!(hits.len(), 4);
         assert_eq!(hits[0].index, 0);
         assert!(hits.windows(2).all(|w| w[0].dist2 <= w[1].dist2));
+    }
+
+    #[test]
+    fn into_variants_recycle_and_match() {
+        let c = grid();
+        let mut buf = vec![Neighbor { index: 9, dist2: 9.0 }; 3]; // stale contents
+        radius_search_bruteforce_into(&c, Point3::new(1.0, 1.0, 0.0), 2.0, Some(3), &mut buf);
+        assert_eq!(buf, radius_search_bruteforce(&c, Point3::new(1.0, 1.0, 0.0), 2.0, Some(3)));
+        knn_bruteforce_into(&c, Point3::new(0.2, 0.1, 0.0), 4, &mut buf);
+        assert_eq!(buf, knn_bruteforce(&c, Point3::new(0.2, 0.1, 0.0), 4));
     }
 
     #[test]

@@ -9,6 +9,9 @@
 //! * [`radius_search_bruteforce`] / [`knn_bruteforce`] — exhaustive-search
 //!   references used both for correctness checks and as the intra-sub-tree
 //!   strategy of the Tigris/QuickNN baselines;
+//! * [`OracleIndex`] — an incremental uniform-grid index with answers
+//!   bit-identical to the brute force, patched (not rebuilt) across
+//!   rigid-translation frames — the sweep explorer's fast recall oracle;
 //! * [`datasets`] — deterministic synthetic stand-ins for ModelNet40,
 //!   ShapeNet, and KITTI (see DESIGN.md for the substitution rationale).
 //!
@@ -38,11 +41,16 @@
 pub mod bruteforce;
 pub mod cloud;
 pub mod datasets;
+pub mod oracle;
 pub mod point;
 pub mod sampling;
 
-pub use bruteforce::{knn_bruteforce, radius_search_bruteforce, Neighbor};
+pub use bruteforce::{
+    knn_bruteforce, knn_bruteforce_into, radius_search_bruteforce, radius_search_bruteforce_into,
+    Neighbor,
+};
 pub use cloud::{PointCloud, POINT_BYTES};
+pub use oracle::{OracleAdvance, OracleIndex};
 pub use point::{Aabb, Point3, DIMS};
 pub use sampling::{
     farthest_point_sample, farthest_point_subcloud, gaussian, jitter, random_sample, replicate_to_k,

@@ -1,0 +1,62 @@
+//! In-repo edition of the CI sweep gate: run the quick grid and assert
+//! the rendered report is **byte-identical** to the checked-in
+//! `bench/baseline.json` — the same exactness the `sweep-gate` workflow
+//! enforces through `repro sweep --quick --check`, available to plain
+//! `cargo test --release` with no subprocess and no network.
+//!
+//! This is the regression net under the wall-clock fast paths (SoA node
+//! columns, recycled scratch arenas, the incremental recall oracle):
+//! each of those refactors claims to change *no modeled byte*, and this
+//! test is where that claim is pinned. On intended drift, refresh the
+//! baseline (`repro sweep --quick --json bench/baseline.json`), commit
+//! it, and the schema-versioned header documents the change.
+//!
+//! The full 160-point grid takes minutes under the debug profile, so
+//! the test is release-gated the same way CI runs it
+//! (`cargo test --release -q --test sweep_baseline`); under debug it is
+//! ignored rather than silently pruned to a weaker grid.
+
+use crescent_explorer::{default_workers, diff_reports, run_sweep, SweepSpec};
+
+#[cfg_attr(
+    debug_assertions,
+    ignore = "quick grid is minutes-slow unoptimized; run with --release (CI does)"
+)]
+#[test]
+fn quick_sweep_reproduces_the_checked_in_baseline_bytes() {
+    let baseline_path = concat!(env!("CARGO_MANIFEST_DIR"), "/bench/baseline.json");
+    let baseline = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read {baseline_path}: {e}"));
+    let report = run_sweep(&SweepSpec::quick(), default_workers()).expect("quick spec is valid");
+    let fresh = report.to_json();
+    if let Some(drift) = diff_reports(&baseline, &fresh) {
+        panic!(
+            "quick sweep drifted from bench/baseline.json:\n{drift}\n\
+             if intended, refresh with `cargo run --release -p crescent-bench --bin repro -- \
+             sweep --quick --json bench/baseline.json` and commit the diff"
+        );
+    }
+    // diff_reports is field-aware; the gate is stricter — bytes
+    assert_eq!(baseline, fresh, "comparator passed but bytes differ (renderer drift?)");
+}
+
+/// The timings sidecar must never be able to reach the gated bytes:
+/// the report renderer has no timing fields, so the word cannot occur.
+#[test]
+fn report_bytes_carry_no_wall_clock() {
+    let mut spec = SweepSpec::quick();
+    spec.label = "no-wall-clock".to_string();
+    spec.scenarios.truncate(1);
+    spec.maintenance.truncate(1);
+    spec.num_pes.truncate(1);
+    spec.tree_kb.truncate(1);
+    spec.tree_banks.truncate(1);
+    spec.dram_bytes_per_cycle.truncate(1);
+    spec.aggregation_elision.truncate(1);
+    spec.top_heights.truncate(1);
+    spec.elision_depths.truncate(1);
+    let report = run_sweep(&spec, 1).expect("valid spec");
+    let json = report.to_json();
+    assert!(!json.contains("timings"), "report bytes must not carry a timings section");
+    assert!(!json.contains("nanos"), "report bytes must not carry wall-clock fields");
+}
