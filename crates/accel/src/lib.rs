@@ -18,6 +18,9 @@
 //!   inter-frame double buffering that overlaps the next frame's build
 //!   with the current frame's search, per-frame cycle and energy
 //!   accounting);
+//! * [`service`] — the multi-tenant fleet instance model: cross-tenant
+//!   tagged wavefronts executed with the streaming driver's search
+//!   physics, dispatched by the `crescent-serve` scheduler;
 //! * [`config`] — the Sec 6 hardware configuration (buffer sizes, banking,
 //!   PE count) including the Sec 3.3 top-tree-height feasibility range.
 //!
@@ -44,6 +47,7 @@ pub mod config;
 pub mod engine;
 pub mod gpu;
 pub mod pipeline;
+pub mod service;
 pub mod streaming;
 pub mod systolic;
 
@@ -57,6 +61,7 @@ pub use gpu::{GpuModel, GpuReport};
 pub use pipeline::{
     run_network, CrescentKnobs, LayerSpec, NetworkSpec, PipelineReport, StageCycles, Variant,
 };
+pub use service::{Fleet, ServiceInstance, WavefrontReport};
 pub use streaming::{
     maintain_tree_sequence, run_frame_stream, run_frame_stream_on_trees, FrameReport,
     MaintainedTree, StreamReport, StreamSearchConfig, TreeMaintenance,

@@ -1,0 +1,311 @@
+//! Fleet instance model for the multi-tenant streaming service: one
+//! modeled Crescent accelerator per instance, executing cross-tenant
+//! *wavefronts* (tenant-tagged query batches against a shared map tree).
+//!
+//! The per-wavefront timing and energy model is the search half of the
+//! single-stream driver ([`crate::run_frame_stream_on_trees`]) — same
+//! [`SplitTree::resplit`] top/sub split, same banked
+//! [`search_batch`](SplitTree::search_batch) arbitration, same
+//! Point-Buffer aggregation gather, same
+//! `max(compute + aggregation, DMA)` double-buffered slot, same energy
+//! charges. It is deliberately *not* shared code with that driver's
+//! loop, because the scheduling differs (a service dispatches wavefronts
+//! when tenants are ready, a stream runs frames back to back), but every
+//! formula is kept field-for-field identical so a one-tenant service and
+//! a solo stream agree on the modeled physics.
+//!
+//! Tree **maintenance** is not modeled here: the service maintains one
+//! shared map tree per tick (via [`crate::maintain_tree_sequence`]) and
+//! charges it once, fleet-wide — an instance only ever *searches*.
+
+use crescent_kdtree::{
+    BatchSearchConfig, BatchSearchStats, BatchState, KdTree, SplitTree, TaggedBatch, TaggedResults,
+    NODE_BYTES,
+};
+use crescent_memsim::EnergyLedger;
+use crescent_pointcloud::POINT_BYTES;
+
+use crate::aggregation::simulate_aggregation;
+use crate::config::AcceleratorConfig;
+use crate::engine::PE_PIPELINE_DEPTH;
+use crate::pipeline::CrescentKnobs;
+use crate::streaming::StreamSearchConfig;
+
+/// Modeled outcome of one cross-tenant wavefront on one instance.
+#[derive(Clone, Debug)]
+pub struct WavefrontReport {
+    /// Queries in the wavefront (all tenants).
+    pub queries: usize,
+    /// Neighbors returned across all queries.
+    pub neighbors: usize,
+    /// Search compute: amortized top-tree fetches + lock-step sub-tree
+    /// rounds (bank conflicts already serialized in).
+    pub compute_cycles: u64,
+    /// Aggregation-unit gather rounds through the banked Point Buffer.
+    pub agg_cycles: u64,
+    /// Streaming-DMA cycles for the wavefront's DRAM bytes.
+    pub dma_cycles: u64,
+    /// Occupancy of the instance: `max(compute + agg, dma)` — the
+    /// double-buffered slot, excluding pipeline fill.
+    pub slot_cycles: u64,
+    /// Dispatch-to-completion latency: the slot plus the PE pipeline
+    /// fill (a service wavefront is latency-critical, so unlike the
+    /// back-to-back stream bound the fill is paid per wavefront).
+    pub latency_cycles: u64,
+    /// The underlying batched-search statistics (amortization, conflict,
+    /// and DRAM counters).
+    pub search: BatchSearchStats,
+    /// Energy of the wavefront (search + aggregation + leakage during
+    /// the slot; map maintenance is charged fleet-wide by the service).
+    pub energy: EnergyLedger,
+}
+
+/// One modeled accelerator instance of the service fleet: recycled
+/// search state plus its dispatch schedule.
+#[derive(Debug, Default)]
+pub struct ServiceInstance {
+    state: BatchState,
+    roots_pool: Vec<usize>,
+    neighbor_lists: Vec<Vec<usize>>,
+    /// The modeled cycle at which this instance finishes its current
+    /// wavefront and can accept the next one.
+    pub free_at: u64,
+    /// Total slot cycles this instance has executed.
+    pub busy_cycles: u64,
+    /// Wavefronts dispatched to this instance.
+    pub wavefronts: usize,
+}
+
+impl ServiceInstance {
+    /// Creates an idle instance.
+    pub fn new() -> Self {
+        ServiceInstance::default()
+    }
+
+    /// Executes one tenant-tagged wavefront against the shared map
+    /// `tree`, returning per-segment neighbor lists (via
+    /// [`SplitTree::search_batch_tagged`], so tags cannot perturb the
+    /// engine) and the wavefront's modeled timing/energy.
+    ///
+    /// The caller owns the dispatch schedule: this method models the
+    /// wavefront in isolation and updates only the instance-local
+    /// counters (`busy_cycles`, `wavefronts`); set [`Self::free_at`]
+    /// from the returned latency at the chosen start cycle.
+    pub fn run_wavefront(
+        &mut self,
+        tree: &KdTree,
+        batch: &TaggedBatch,
+        search: &StreamSearchConfig,
+        knobs: CrescentKnobs,
+        config: &AcceleratorConfig,
+    ) -> (TaggedResults, WavefrontReport) {
+        let em = &config.energy;
+        // same clamp as the stream driver: a degenerate tree grants h_t = 0
+        let ht =
+            if tree.is_empty() { 0 } else { knobs.top_height.min(tree.height().saturating_sub(1)) };
+        let split = SplitTree::resplit(tree, ht, std::mem::take(&mut self.roots_pool))
+            .expect("clamped top height is valid");
+        let batch_cfg = BatchSearchConfig::banked(
+            search.radius,
+            search.max_neighbors,
+            config.num_pes,
+            config.tree_buffer.num_banks,
+            search.elision_depth,
+        )
+        .with_descendant_reuse(search.descendant_reuse);
+        let (tagged, stats) = split.search_batch_tagged(batch, &batch_cfg, &mut self.state);
+        self.roots_pool = split.into_subtree_roots();
+
+        // aggregation gathers every query's neighbor list from the
+        // banked Point Buffer, across segment boundaries — the gather
+        // unit is as tenant-blind as the search engine
+        let n = batch.len();
+        if self.neighbor_lists.len() < n {
+            self.neighbor_lists.resize_with(n, Vec::new);
+        }
+        let flat = tagged.iter().flat_map(|(_, seg)| seg.iter());
+        for (list, hits) in self.neighbor_lists.iter_mut().zip(flat) {
+            list.clear();
+            list.extend(hits.iter().map(|h| h.index));
+        }
+        let agg = simulate_aggregation(
+            &self.neighbor_lists[..n],
+            config.point_buffer,
+            config.point_buffer.num_banks,
+            config.aggregation_elision,
+        );
+
+        let compute = stats.top_fetches as u64 + stats.subtree_rounds as u64;
+        let dma = config.dram.stream_cycles(stats.dram_bytes);
+        let slot = (compute + agg.rounds).max(dma);
+        let has_work = n > 0 && !tree.is_empty();
+        let latency = if has_work { slot + PE_PIPELINE_DEPTH } else { 0 };
+
+        let mut energy = EnergyLedger::new();
+        energy.charge_dram_streaming(em, stats.dram_bytes);
+        let reads = (stats.top_fetches + stats.subtree_visits) as u64;
+        energy.charge_sram_search(em, reads * NODE_BYTES as u64);
+        energy.charge_sram_aggregation(em, agg.grants * POINT_BYTES as u64 + agg.requests * 4);
+        energy.charge_leakage(em, slot);
+
+        self.busy_cycles += latency;
+        self.wavefronts += 1;
+        let report = WavefrontReport {
+            queries: n,
+            neighbors: tagged.iter().map(|(_, seg)| seg.iter().map(Vec::len).sum::<usize>()).sum(),
+            compute_cycles: compute,
+            agg_cycles: agg.rounds,
+            dma_cycles: dma,
+            slot_cycles: slot,
+            latency_cycles: latency,
+            search: stats,
+            energy,
+        };
+        (tagged, report)
+    }
+}
+
+/// A fleet of [`ServiceInstance`]s with deterministic earliest-free
+/// selection (ties broken by lowest index).
+#[derive(Debug, Default)]
+pub struct Fleet {
+    instances: Vec<ServiceInstance>,
+}
+
+impl Fleet {
+    /// Creates `size` idle instances.
+    pub fn new(size: usize) -> Self {
+        Fleet { instances: (0..size).map(|_| ServiceInstance::new()).collect() }
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Whether the fleet has no instances.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// The instances, for read-only inspection.
+    pub fn instances(&self) -> &[ServiceInstance] {
+        &self.instances
+    }
+
+    /// Index and free time of the instance that frees up first; ties go
+    /// to the lowest index so dispatch is deterministic. `None` on an
+    /// empty fleet.
+    pub fn earliest_free(&self) -> Option<(usize, u64)> {
+        self.instances
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, inst)| (inst.free_at, i))
+            .map(|(i, inst)| (i, inst.free_at))
+    }
+
+    /// Mutable access to one instance for dispatch.
+    pub fn instance_mut(&mut self, index: usize) -> &mut ServiceInstance {
+        &mut self.instances[index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crescent_pointcloud::{Point3, PointCloud};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_cloud(n: usize, seed: u64) -> PointCloud {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Point3::new(
+                    rng.random::<f32>() * 2.0,
+                    rng.random::<f32>() * 2.0,
+                    rng.random::<f32>() * 2.0,
+                )
+            })
+            .collect()
+    }
+
+    fn random_queries(n: usize, seed: u64) -> Vec<Point3> {
+        random_cloud(n, seed).into_points()
+    }
+
+    fn search() -> StreamSearchConfig {
+        StreamSearchConfig {
+            radius: 0.3,
+            max_neighbors: Some(16),
+            elision_depth: 0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn wavefront_matches_the_stream_drivers_search_physics() {
+        // a one-segment wavefront must agree with the single-stream
+        // driver on results, slot timing, and search/agg energy
+        let cloud = random_cloud(3000, 11);
+        let queries = random_queries(96, 12);
+        let tree = KdTree::build(&cloud);
+        let cfg = AcceleratorConfig::default();
+        let knobs = CrescentKnobs::default();
+
+        let mut batch = TaggedBatch::new();
+        batch.push_segment(0, &queries);
+        let mut inst = ServiceInstance::new();
+        let (tagged, wf) = inst.run_wavefront(&tree, &batch, &search(), knobs, &cfg);
+
+        let frames: Vec<(&PointCloud, &[Point3])> = vec![(&cloud, queries.as_slice())];
+        let (stream_results, report) =
+            crate::streaming::run_frame_stream(&frames, &search(), knobs, &cfg);
+        let frame = &report.frames[0];
+
+        assert_eq!(tagged[0].1, stream_results[0], "identical neighbor sets");
+        assert_eq!(wf.compute_cycles, frame.compute_cycles);
+        assert_eq!(wf.agg_cycles, frame.agg_cycles);
+        assert_eq!(wf.dma_cycles, frame.dma_cycles);
+        assert_eq!(wf.slot_cycles, frame.slot_cycles);
+        assert_eq!(wf.latency_cycles, frame.slot_cycles + PE_PIPELINE_DEPTH);
+        // the wavefront carries no build charges; everything else matches
+        assert_eq!(wf.energy.tree_build, 0.0);
+        assert_eq!(wf.energy.sram_search, frame.energy.sram_search);
+        assert_eq!(wf.energy.sram_aggregation, frame.energy.sram_aggregation);
+        assert_eq!(inst.busy_cycles, wf.latency_cycles);
+        assert_eq!(inst.wavefronts, 1);
+    }
+
+    #[test]
+    fn empty_wavefront_costs_nothing() {
+        let cloud = random_cloud(500, 13);
+        let tree = KdTree::build(&cloud);
+        let mut inst = ServiceInstance::new();
+        let (tagged, wf) = inst.run_wavefront(
+            &tree,
+            &TaggedBatch::new(),
+            &search(),
+            CrescentKnobs::default(),
+            &AcceleratorConfig::default(),
+        );
+        assert!(tagged.is_empty());
+        assert_eq!(wf.latency_cycles, 0, "no work, no fill");
+        assert_eq!(wf.neighbors, 0);
+    }
+
+    #[test]
+    fn fleet_picks_the_earliest_instance_with_stable_ties() {
+        let mut fleet = Fleet::new(3);
+        assert_eq!(fleet.len(), 3);
+        assert!(!fleet.is_empty());
+        assert_eq!(fleet.earliest_free(), Some((0, 0)), "ties break to the lowest index");
+        fleet.instance_mut(0).free_at = 100;
+        fleet.instance_mut(1).free_at = 40;
+        fleet.instance_mut(2).free_at = 40;
+        assert_eq!(fleet.earliest_free(), Some((1, 40)));
+        assert!(Fleet::new(0).earliest_free().is_none());
+        assert!(Fleet::new(0).is_empty());
+        assert!(fleet.instances()[0].free_at == 100);
+    }
+}

@@ -10,6 +10,7 @@
 //! repro sweep --quick --check    # exact gate vs bench/baseline.json
 //! repro sweep --quick --shard 2/3 --json shard-2.json   # one shard
 //! repro sweep-merge --check shard-*.json         # reassemble + gate
+//! repro serve --quick --check    # multi-tenant service gate vs bench/serve-baseline.json
 //! ```
 //!
 //! `--quick` shrinks the workloads (seconds instead of minutes); the
@@ -18,7 +19,7 @@
 
 use std::time::Instant;
 
-use crescent_bench::{run_figure, MergeArgs, Scale, SweepArgs, ALL_FIGURES};
+use crescent_bench::{run_figure, MergeArgs, Scale, ServeArgs, SweepArgs, ALL_FIGURES};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -37,6 +38,21 @@ fn main() {
             }
         };
         std::process::exit(crescent_bench::run_sweep_command(&parsed));
+    }
+
+    if args.first().map(String::as_str) == Some("serve") {
+        let parsed = match ServeArgs::parse(&args[1..]) {
+            Ok(parsed) => parsed,
+            Err(err) => {
+                eprintln!("{err}");
+                eprintln!(
+                    "usage: repro serve [--quick] [--json <path>] [--check] \
+                     [--baseline <path>] [--workers <n>] [--timings <path>]"
+                );
+                std::process::exit(2);
+            }
+        };
+        std::process::exit(crescent_bench::run_serve_command(&parsed));
     }
 
     if args.first().map(String::as_str) == Some("sweep-merge") {
@@ -59,7 +75,9 @@ fn main() {
     let ids: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
 
     if ids.is_empty() || ids.contains(&"help") {
-        eprintln!("usage: repro [--quick] <all|list|fig ids...|sweep ...|sweep-merge ...>");
+        eprintln!(
+            "usage: repro [--quick] <all|list|fig ids...|sweep ...|sweep-merge ...|serve ...>"
+        );
         eprintln!("figures: {}", ALL_FIGURES.join(" "));
         return;
     }

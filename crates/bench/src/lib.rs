@@ -11,9 +11,11 @@ pub mod accuracy;
 pub mod common;
 pub mod motivation;
 pub mod performance;
+pub mod serve;
 pub mod sweep;
 
 pub use common::{FigRow, Figure, Scale};
+pub use serve::{run_serve_command, ServeArgs};
 pub use sweep::{run_sweep_command, run_sweep_merge_command, MergeArgs, SweepArgs};
 
 /// Runs one figure by id; `None` if the id is unknown.

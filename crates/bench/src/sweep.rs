@@ -290,7 +290,13 @@ pub fn run_sweep_merge_command(args: &MergeArgs) -> i32 {
             return 1;
         }
     };
-    println!("# merged {} shard report(s)", shards.len());
+    // name the resolved input order: the merge is order-insensitive by
+    // construction, and printing the order is what lets the acceptance
+    // test (and a suspicious operator) verify that claim end to end
+    println!("# merged {} shard report(s):", shards.len());
+    for shard in &shards {
+        println!("#   {}", shard.name);
+    }
     // a merge reassembles bytes — no setup/point phases — so the
     // wall-clock line covers reading + verifying + reassembling
     eprintln!("# wall-clock: merge {:.3}s", secs(merge_start.elapsed().as_nanos() as u64));

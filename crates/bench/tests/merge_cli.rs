@@ -1,0 +1,107 @@
+//! CLI acceptance for `repro sweep-merge`: the command layer — not just
+//! the library merger — must be order-insensitive, and it must *print*
+//! the resolved input order so a CI log (or this test) can verify which
+//! files actually fed a gate.
+//!
+//! The library-level contract (any partition reassembles byte-exactly)
+//! lives in `tests/sweep_shard.rs`; this test drives the installed
+//! binary end to end: shard files on disk, argv in both orders, merged
+//! reports compared byte for byte, stdout checked for the announced
+//! file list.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use crescent_explorer::{run_sweep, run_sweep_shard, SweepSpec};
+
+/// The same pruned quick spec `tests/sweep_shard.rs` uses: one
+/// architecture point per scenario × policy cell, debug-affordable.
+fn shard_spec() -> SweepSpec {
+    let mut spec = SweepSpec::quick();
+    spec.label = "quick-shard".to_string();
+    spec.num_pes = vec![4];
+    spec.tree_banks = vec![4];
+    spec.elision_depths = vec![4];
+    spec
+}
+
+/// A scratch directory under the target dir, unique per test run.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("merge-cli-{tag}"));
+    std::fs::create_dir_all(&dir).expect("can create scratch dir");
+    dir
+}
+
+#[test]
+fn merge_cli_is_order_insensitive_and_prints_the_resolved_order() {
+    let spec = shard_spec();
+    let dir = scratch("order");
+
+    // three real shard runs, written to disk like CI artifacts
+    let mut shard_paths = Vec::new();
+    for index in 1..=3usize {
+        let (report, _) = run_sweep_shard(&spec, index, 3, 2).expect("shard spec is valid");
+        let path = dir.join(format!("sweep-shard-{index}.json"));
+        std::fs::write(&path, report.to_json()).expect("can write shard report");
+        shard_paths.push(path);
+    }
+    let reference = run_sweep(&spec, 2).expect("shard spec is valid").to_json();
+
+    let forward: Vec<String> = shard_paths.iter().map(|p| p.display().to_string()).collect();
+    let reversed: Vec<String> = forward.iter().rev().cloned().collect();
+    let out_fwd = dir.join("merged-forward.json");
+    let out_rev = dir.join("merged-reversed.json");
+
+    for (inputs, out) in [(&forward, &out_fwd), (&reversed, &out_rev)] {
+        let result = Command::new(env!("CARGO_BIN_EXE_repro"))
+            .arg("sweep-merge")
+            .arg("--json")
+            .arg(out)
+            .args(inputs.iter())
+            .output()
+            .expect("can spawn repro");
+        let stdout = String::from_utf8(result.stdout).expect("stdout is utf-8");
+        assert!(
+            result.status.success(),
+            "sweep-merge failed for {inputs:?}:\n{stdout}\n{}",
+            String::from_utf8_lossy(&result.stderr)
+        );
+        // the command names the files it merged, in the order it
+        // resolved them — greppable evidence in any CI log
+        assert!(stdout.contains("# merged 3 shard report(s):"), "missing merge header:\n{stdout}");
+        let mut cursor = 0;
+        for input in inputs {
+            let line = format!("#   {input}");
+            let at = stdout[cursor..].find(&line).unwrap_or_else(|| {
+                panic!("stdout must list {input} after byte {cursor}:\n{stdout}")
+            });
+            cursor += at + line.len();
+        }
+    }
+
+    // order-insensitive at the CLI layer: both merges byte-identical,
+    // and identical to the single-process reference run
+    let fwd = std::fs::read_to_string(&out_fwd).expect("forward merge written");
+    let rev = std::fs::read_to_string(&out_rev).expect("reversed merge written");
+    assert_eq!(fwd, rev, "argv order leaked into the merged report bytes");
+    assert_eq!(fwd, reference, "CLI merge drifted from the single-process sweep");
+}
+
+#[test]
+fn merge_cli_rejects_an_incomplete_partition() {
+    let spec = shard_spec();
+    let dir = scratch("partial");
+    // only shard 1 of 3: merge must fail loudly, not gate on a subset
+    let (report, _) = run_sweep_shard(&spec, 1, 3, 2).expect("shard spec is valid");
+    let path = dir.join("sweep-shard-1.json");
+    std::fs::write(&path, report.to_json()).expect("can write shard report");
+
+    let result = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("sweep-merge")
+        .arg(&path)
+        .output()
+        .expect("can spawn repro");
+    assert!(!result.status.success(), "an incomplete partition must not merge");
+    let stderr = String::from_utf8_lossy(&result.stderr);
+    assert!(stderr.contains("sweep-merge failed"), "names the failing stage:\n{stderr}");
+}

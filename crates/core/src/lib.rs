@@ -42,10 +42,12 @@
 #![warn(missing_docs)]
 
 pub mod facade;
+pub mod tenant;
 pub mod testgen;
 pub mod workload;
 
 pub use facade::{format_table, Crescent};
+pub use tenant::{mixed_tenants, TenantSpec};
 pub use workload::{
     EgoMotion, Frame, FrameStream, FrameStreamConfig, StreamOutcome, StreamScenario,
 };

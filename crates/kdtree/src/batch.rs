@@ -451,6 +451,105 @@ impl SplitTree<'_> {
     }
 }
 
+/// A tenant-tagged view over one concatenated query wavefront.
+///
+/// A multi-tenant scheduler batches the ready queries of several tenants
+/// into a single [`SplitTree::search_batch`] call so the top-tree
+/// wavefront amortizes across tenants. The batch itself is tag-blind —
+/// it sees one flat query slice — so the tags live beside the queries in
+/// this view and [`TaggedBatch::split_results`] demultiplexes the flat
+/// result vector back into per-segment slices afterwards. Because the
+/// search never sees the tags, tagging cannot perturb results or timing:
+/// at `h_e = 0` every tenant's neighbor lists are bit-identical to a
+/// solo run of that tenant on the same tree, whatever the co-tenants.
+#[derive(Clone, Debug, Default)]
+pub struct TaggedBatch {
+    queries: Vec<Point3>,
+    /// `(tag, query count)` per pushed segment, in push order.
+    segments: Vec<(u64, usize)>,
+}
+
+impl TaggedBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        TaggedBatch::default()
+    }
+
+    /// Clears the batch for reuse, keeping its allocations.
+    pub fn clear(&mut self) {
+        self.queries.clear();
+        self.segments.clear();
+    }
+
+    /// Appends one tenant's ready queries as a tagged segment. Segments
+    /// keep their push order; the same tag may appear more than once
+    /// (e.g. two frames of one tenant riding the same wavefront).
+    pub fn push_segment(&mut self, tag: u64, queries: &[Point3]) {
+        self.queries.extend_from_slice(queries);
+        self.segments.push((tag, queries.len()));
+    }
+
+    /// The flat concatenated query slice — what the search engine sees.
+    pub fn queries(&self) -> &[Point3] {
+        &self.queries
+    }
+
+    /// The `(tag, query count)` segments in push order.
+    pub fn segments(&self) -> &[(u64, usize)] {
+        &self.segments
+    }
+
+    /// Total query count across all segments.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the batch holds no queries. Note a batch of empty
+    /// segments is empty while still carrying segment tags.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Splits a flat per-query result vector (as returned by
+    /// [`SplitTree::search_batch`] on [`Self::queries`]) back into
+    /// `(tag, per-query results)` per segment, in push order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat.len()` differs from [`Self::len`].
+    pub fn split_results<T>(&self, mut flat: Vec<T>) -> Vec<(u64, Vec<T>)> {
+        assert_eq!(flat.len(), self.len(), "one result per tagged query");
+        let mut out = Vec::with_capacity(self.segments.len());
+        // split from the back so each segment is a cheap off-the-end split
+        for &(tag, len) in self.segments.iter().rev() {
+            let seg = flat.split_off(flat.len() - len);
+            out.push((tag, seg));
+        }
+        out.reverse();
+        out
+    }
+}
+
+/// Per-segment results of a tagged batch search: one `(tag, per-query
+/// neighbor lists)` entry per segment, in push order.
+pub type TaggedResults = Vec<(u64, Vec<Vec<Neighbor>>)>;
+
+impl SplitTree<'_> {
+    /// [`SplitTree::search_batch`] over a tenant-tagged wavefront: runs
+    /// the flat concatenated batch (so the stats describe the shared
+    /// wavefront, tags included in no way), then demultiplexes the
+    /// results per segment via [`TaggedBatch::split_results`].
+    pub fn search_batch_tagged(
+        &self,
+        batch: &TaggedBatch,
+        config: &BatchSearchConfig,
+        state: &mut BatchState,
+    ) -> (TaggedResults, BatchSearchStats) {
+        let (flat, stats) = self.search_batch(batch.queries(), config, state);
+        (batch.split_results(flat), stats)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -698,6 +797,65 @@ mod tests {
         assert_eq!(stats.bank_conflicts, 0);
         assert_eq!(stats.conflict_rate(), 0.0);
         assert!(stats.subtree_visits > 0, "visits are still counted");
+    }
+
+    #[test]
+    fn tagged_batch_demuxes_the_flat_results() {
+        let cloud = random_cloud(3000, 90);
+        let tree = KdTree::build(&cloud);
+        let split = SplitTree::new(&tree, 3).unwrap();
+        let a = random_queries(40, 91);
+        let b = random_queries(17, 92);
+        let c = random_queries(25, 93);
+        let mut batch = TaggedBatch::new();
+        batch.push_segment(7, &a);
+        batch.push_segment(3, &b);
+        batch.push_segment(7, &c); // same tag twice: two frames, one wave
+        assert_eq!(batch.len(), 82);
+        assert_eq!(batch.segments(), &[(7, 40), (3, 17), (7, 25)]);
+        let cfg = BatchSearchConfig::banked(0.3, Some(16), 8, 4, 0);
+        let (tagged, tstats) = split.search_batch_tagged(&batch, &cfg, &mut BatchState::new());
+        let (flat, fstats) = split.search_batch(batch.queries(), &cfg, &mut BatchState::new());
+        assert_eq!(tstats, fstats, "tags are invisible to the engine");
+        assert_eq!(tagged.len(), 3);
+        let mut cursor = 0;
+        for ((tag, seg), &(want_tag, want_len)) in tagged.iter().zip(batch.segments()) {
+            assert_eq!(*tag, want_tag);
+            assert_eq!(seg.len(), want_len);
+            assert_eq!(seg.as_slice(), &flat[cursor..cursor + want_len]);
+            cursor += want_len;
+        }
+        batch.clear();
+        assert!(batch.is_empty() && batch.segments().is_empty());
+    }
+
+    #[test]
+    fn tagged_batch_solo_bit_identity_at_he_zero() {
+        // the multi-tenant invariant: at h_e = 0 a segment's results do
+        // not depend on its co-segments
+        let cloud = random_cloud(4096, 94);
+        let tree = KdTree::build(&cloud);
+        let split = SplitTree::new(&tree, 4).unwrap();
+        let a = random_queries(64, 95);
+        let b = random_queries(48, 96);
+        let cfg = BatchSearchConfig::banked(0.25, Some(8), 8, 4, 0);
+        let mut shared = TaggedBatch::new();
+        shared.push_segment(0, &a);
+        shared.push_segment(1, &b);
+        let (together, _) = split.search_batch_tagged(&shared, &cfg, &mut BatchState::new());
+        for (tag, queries) in [(0u64, &a), (1, &b)] {
+            let (solo, _) = split.search_batch(queries, &cfg, &mut BatchState::new());
+            let seg = &together.iter().find(|(t, _)| *t == tag).unwrap().1;
+            assert_eq!(seg, &solo, "tenant {tag} must not see its co-tenant");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one result per tagged query")]
+    fn tagged_batch_rejects_mismatched_results() {
+        let mut batch = TaggedBatch::new();
+        batch.push_segment(1, &[Point3::ZERO, Point3::ZERO]);
+        batch.split_results(vec![0u32]);
     }
 
     #[test]

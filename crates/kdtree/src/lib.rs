@@ -58,7 +58,9 @@ pub mod tree;
 pub use baselines::{
     crescent_dram_bytes, exhaustive_visits, split_exhaustive_search, BaselineReport,
 };
-pub use batch::{BatchBankModel, BatchSearchConfig, BatchSearchStats, BatchState};
+pub use batch::{
+    BatchBankModel, BatchSearchConfig, BatchSearchStats, BatchState, TaggedBatch, TaggedResults,
+};
 pub use refit::{RebuildReason, RefitConfig, RefitOutcome, RefitScratch, RefitStats};
 pub use search::{knn_search, radius_search, radius_search_traced, TraversalStats};
 pub use split::{

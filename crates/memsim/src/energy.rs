@@ -122,6 +122,36 @@ impl EnergyLedger {
         self.sram_search + self.sram_aggregation + self.sram_global
     }
 
+    /// A copy of the ledger with every category scaled by `factor`.
+    ///
+    /// The multi-tenant service uses this to attribute a shared
+    /// wavefront's energy to its tenants proportionally (by query
+    /// share): each tenant receives `wavefront.scaled(share)`. The
+    /// scaling is per-category, so attribution preserves the category
+    /// breakdown, not just the total.
+    pub fn scaled(&self, factor: f64) -> EnergyLedger {
+        EnergyLedger {
+            dram_random: self.dram_random * factor,
+            dram_streaming: self.dram_streaming * factor,
+            sram_search: self.sram_search * factor,
+            sram_aggregation: self.sram_aggregation * factor,
+            sram_global: self.sram_global * factor,
+            compute: self.compute * factor,
+            tree_build: self.tree_build * factor,
+            leakage: self.leakage * factor,
+        }
+    }
+
+    /// Sums a sequence of ledgers into one — the fleet/service rollup
+    /// form of [`EnergyLedger::merge`].
+    pub fn merged<'a, I: IntoIterator<Item = &'a EnergyLedger>>(ledgers: I) -> EnergyLedger {
+        let mut out = EnergyLedger::new();
+        for ledger in ledgers {
+            out.merge(ledger);
+        }
+        out
+    }
+
     /// Adds another ledger's entries.
     pub fn merge(&mut self, other: &EnergyLedger) {
         self.dram_random += other.dram_random;
@@ -247,6 +277,37 @@ mod tests {
         a.merge(&b);
         assert!((a.compute - 1.5).abs() < 1e-9);
         assert!((a.sram_global - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_preserves_the_category_breakdown() {
+        let m = EnergyModel::default();
+        let mut l = EnergyLedger::new();
+        l.charge_dram_streaming(&m, 300);
+        l.charge_sram_search(&m, 40);
+        l.charge_leakage(&m, 1000);
+        let half = l.scaled(0.5);
+        for ((name, v), (hname, hv)) in l.category_rows().iter().zip(half.category_rows()) {
+            assert_eq!(*name, hname);
+            assert!((v * 0.5 - hv).abs() < 1e-12, "{name}");
+        }
+        assert!((half.total() - l.total() * 0.5).abs() < 1e-12);
+        assert_eq!(l.scaled(0.0).total(), 0.0);
+    }
+
+    #[test]
+    fn merged_sums_a_fleet_of_ledgers() {
+        let m = EnergyModel::default();
+        let mut a = EnergyLedger::new();
+        a.charge_macs(&m, 10);
+        let mut b = EnergyLedger::new();
+        b.charge_sram_global(&m, 4);
+        b.charge_tree_build(&m, 7);
+        let rollup = EnergyLedger::merged([&a, &b]);
+        let mut reference = a;
+        reference.merge(&b);
+        assert_eq!(rollup.category_rows(), reference.category_rows());
+        assert_eq!(EnergyLedger::merged(std::iter::empty::<&EnergyLedger>()).total(), 0.0);
     }
 
     #[test]

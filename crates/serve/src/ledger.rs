@@ -1,0 +1,354 @@
+//! The service ledger: per-tenant frame outcomes, tail-latency
+//! percentiles, deadline accounting, and fleet-wide energy rollups —
+//! every number modeled, so the whole ledger is byte-stable.
+
+use crescent_memsim::EnergyLedger;
+use crescent_pointcloud::Neighbor;
+
+/// Nearest-rank percentile over an ascending-sorted latency slice:
+/// the smallest value with at least `pct`% of the samples at or below
+/// it (`sorted[ceil(pct·n/100) − 1]`). `0` for an empty slice. The
+/// definition the ledger's p50/p95/p99 use everywhere — integral,
+/// deterministic, no interpolation.
+pub fn percentile(sorted: &[u64], pct: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len() as u64;
+    let rank = (pct * n).div_ceil(100).max(1);
+    sorted[(rank - 1).min(n - 1) as usize]
+}
+
+/// Outcome of one tenant frame at the service.
+#[derive(Clone, Debug)]
+pub struct FrameOutcome {
+    /// Tenant frame index (== service tick of its arrival).
+    pub frame: usize,
+    /// Arrival cycle (`frame · period + phase`).
+    pub arrival: u64,
+    /// Whether admission control accepted the frame. A rejected frame
+    /// has no schedule, no results, and zeroed cycle fields; it counts
+    /// in `rejected`, never in the latency distribution.
+    pub admitted: bool,
+    /// The wavefront that served the frame (admitted frames only).
+    pub wavefront: Option<usize>,
+    /// The fleet instance that executed that wavefront.
+    pub instance: Option<usize>,
+    /// Dispatch cycle of the wavefront.
+    pub start: u64,
+    /// Completion cycle (wavefront start + slot + pipeline fill).
+    pub completion: u64,
+    /// `completion − arrival`: queueing + batching + execution.
+    pub latency: u64,
+    /// Queries the frame contributed to its wavefront.
+    pub queries: usize,
+    /// Neighbors returned to this frame.
+    pub neighbors: usize,
+    /// Whether `latency` exceeded the tenant's deadline (the frame is
+    /// still answered; misses are graded, not enforced by dropping).
+    pub missed: bool,
+}
+
+/// One tenant's view of the service run.
+#[derive(Clone, Debug)]
+pub struct TenantLedger {
+    /// Tenant name (from the [`crescent::tenant::TenantSpec`]).
+    pub name: String,
+    /// Scenario label of the tenant's workload.
+    pub scenario: String,
+    /// Arrival phase within the service period, echoed for the report.
+    pub arrival_phase: u64,
+    /// The tenant's per-frame latency budget.
+    pub deadline_cycles: u64,
+    /// Per-frame outcomes, in frame order.
+    pub frames: Vec<FrameOutcome>,
+    /// Energy attributed to this tenant: its proportional (by query
+    /// share) slice of every wavefront it rode.
+    pub energy: EnergyLedger,
+}
+
+impl TenantLedger {
+    /// Admitted frame count.
+    pub fn admitted(&self) -> usize {
+        self.frames.iter().filter(|f| f.admitted).count()
+    }
+
+    /// Rejected frame count.
+    pub fn rejected(&self) -> usize {
+        self.frames.len() - self.admitted()
+    }
+
+    /// Deadline misses among admitted frames.
+    pub fn deadline_misses(&self) -> usize {
+        self.frames.iter().filter(|f| f.missed).count()
+    }
+
+    /// Ascending latencies of the admitted frames.
+    pub fn latencies(&self) -> Vec<u64> {
+        let mut v: Vec<u64> =
+            self.frames.iter().filter(|f| f.admitted).map(|f| f.latency).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Nearest-rank latency percentile over the admitted frames.
+    pub fn latency_percentile(&self, pct: u64) -> u64 {
+        percentile(&self.latencies(), pct)
+    }
+
+    /// Total queries answered for this tenant.
+    pub fn queries(&self) -> usize {
+        self.frames.iter().map(|f| f.queries).sum()
+    }
+
+    /// Total neighbors returned to this tenant.
+    pub fn neighbors(&self) -> usize {
+        self.frames.iter().map(|f| f.neighbors).sum()
+    }
+}
+
+/// Per-instance rollup of the fleet.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InstanceReport {
+    /// Wavefronts the instance executed.
+    pub wavefronts: usize,
+    /// Cycles the instance spent occupied (slots + fills).
+    pub busy_cycles: u64,
+    /// When the instance went idle for good.
+    pub free_at: u64,
+}
+
+/// The full service run ledger: per-tenant outcomes plus fleet-wide
+/// scheduling and energy totals.
+#[derive(Clone, Debug, Default)]
+pub struct ServiceLedger {
+    /// Per-tenant ledgers, in tenant-mix order.
+    pub tenants: Vec<TenantLedger>,
+    /// Per-instance rollups, in fleet order.
+    pub instances: Vec<InstanceReport>,
+    /// Total wavefronts dispatched.
+    pub wavefronts: usize,
+    /// Wavefronts that batched more than one tenant (the cross-tenant
+    /// amortization actually firing).
+    pub shared_wavefronts: usize,
+    /// Amortized top-tree fetches across all wavefronts.
+    pub top_fetches: u64,
+    /// What per-query routing would have fetched.
+    pub top_fetches_unamortized: u64,
+    /// Completion cycle of the last wavefront.
+    pub makespan: u64,
+    /// Energy of shared map maintenance (builds/refits + their DMA and
+    /// leakage), charged fleet-wide — no tenant owns the map.
+    pub map_energy: EnergyLedger,
+    /// Exact sum of every wavefront's energy (the per-tenant ledgers
+    /// are a proportional attribution of this same quantity).
+    pub search_energy: EnergyLedger,
+    /// FNV-1a digest over every tenant's neighbor sets in (tenant,
+    /// frame, query) order — the one-number result identity the CI
+    /// baseline locks down.
+    pub digest: u64,
+}
+
+impl ServiceLedger {
+    /// Admitted frames across all tenants.
+    pub fn admitted(&self) -> usize {
+        self.tenants.iter().map(TenantLedger::admitted).sum()
+    }
+
+    /// Rejected frames across all tenants.
+    pub fn rejected(&self) -> usize {
+        self.tenants.iter().map(TenantLedger::rejected).sum()
+    }
+
+    /// Deadline misses across all tenants.
+    pub fn deadline_misses(&self) -> usize {
+        self.tenants.iter().map(TenantLedger::deadline_misses).sum()
+    }
+
+    /// Ascending latencies of every admitted frame, fleet-wide.
+    pub fn fleet_latencies(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .tenants
+            .iter()
+            .flat_map(|t| t.frames.iter().filter(|f| f.admitted).map(|f| f.latency))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Fleet-wide nearest-rank latency percentile.
+    pub fn latency_percentile(&self, pct: u64) -> u64 {
+        percentile(&self.fleet_latencies(), pct)
+    }
+
+    /// Map maintenance + search energy: everything the service spent.
+    pub fn total_energy(&self) -> EnergyLedger {
+        EnergyLedger::merged([&self.map_energy, &self.search_energy])
+    }
+
+    /// Cross-tenant top-tree amortization factor (unamortized /
+    /// amortized fetches; `1.0` when no fetches happened).
+    pub fn amortization_factor(&self) -> f64 {
+        if self.top_fetches == 0 {
+            1.0
+        } else {
+            self.top_fetches_unamortized as f64 / self.top_fetches as f64
+        }
+    }
+
+    /// Mean fraction of the makespan the fleet's instances were busy.
+    pub fn utilization(&self) -> f64 {
+        if self.makespan == 0 || self.instances.is_empty() {
+            return 0.0;
+        }
+        let busy: u64 = self.instances.iter().map(|i| i.busy_cycles).sum();
+        busy as f64 / (self.makespan as f64 * self.instances.len() as f64)
+    }
+}
+
+/// FNV-1a digest of per-tenant service results: eats, per tenant, per
+/// frame, either a rejection marker or every query's neighbor count,
+/// indices, and distance bits. Two runs produce the same digest iff
+/// they returned bit-identical neighbor sets with identical admission
+/// outcomes.
+pub fn digest_results(results: &[Vec<Option<Vec<Vec<Neighbor>>>>]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    fn eat(h: &mut u64, v: u64) {
+        for byte in v.to_le_bytes() {
+            *h ^= byte as u64;
+            *h = h.wrapping_mul(PRIME);
+        }
+    }
+    let mut h = OFFSET;
+    for (tenant, frames) in results.iter().enumerate() {
+        eat(&mut h, tenant as u64);
+        for frame in frames {
+            match frame {
+                None => eat(&mut h, u64::MAX),
+                Some(queries) => {
+                    eat(&mut h, queries.len() as u64);
+                    for hits in queries {
+                        eat(&mut h, hits.len() as u64);
+                        for n in hits {
+                            eat(&mut h, n.index as u64);
+                            eat(&mut h, n.dist2.to_bits() as u64);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let v = [10u64, 20, 30, 40];
+        assert_eq!(percentile(&v, 50), 20);
+        assert_eq!(percentile(&v, 95), 40);
+        assert_eq!(percentile(&v, 99), 40);
+        assert_eq!(percentile(&v, 100), 40);
+        assert_eq!(percentile(&v, 1), 10);
+        assert_eq!(percentile(&v, 0), 10, "pct 0 clamps to the first sample");
+        assert_eq!(percentile(&[], 50), 0);
+        assert_eq!(percentile(&[7], 99), 7);
+        // 100 samples: p99 is the 99th value, not the max
+        let big: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&big, 50), 50);
+        assert_eq!(percentile(&big, 99), 99);
+    }
+
+    fn frame(admitted: bool, latency: u64, missed: bool) -> FrameOutcome {
+        FrameOutcome {
+            frame: 0,
+            arrival: 0,
+            admitted,
+            wavefront: admitted.then_some(0),
+            instance: admitted.then_some(0),
+            start: 0,
+            completion: latency,
+            latency,
+            queries: if admitted { 4 } else { 0 },
+            neighbors: if admitted { 9 } else { 0 },
+            missed,
+        }
+    }
+
+    fn tenant(frames: Vec<FrameOutcome>) -> TenantLedger {
+        TenantLedger {
+            name: "t00-sweep".into(),
+            scenario: "sweep".into(),
+            arrival_phase: 0,
+            deadline_cycles: 100,
+            frames,
+            energy: EnergyLedger::new(),
+        }
+    }
+
+    #[test]
+    fn tenant_ledger_counts_and_percentiles() {
+        let t = tenant(vec![
+            frame(true, 50, false),
+            frame(true, 200, true),
+            frame(false, 0, false),
+            frame(true, 80, false),
+        ]);
+        assert_eq!(t.admitted(), 3);
+        assert_eq!(t.rejected(), 1);
+        assert_eq!(t.deadline_misses(), 1);
+        assert_eq!(t.latencies(), vec![50, 80, 200]);
+        assert_eq!(t.latency_percentile(50), 80);
+        assert_eq!(t.latency_percentile(99), 200);
+        assert_eq!(t.queries(), 12);
+        assert_eq!(t.neighbors(), 27);
+    }
+
+    #[test]
+    fn service_ledger_rolls_up_tenants() {
+        let ledger = ServiceLedger {
+            tenants: vec![
+                tenant(vec![frame(true, 10, false), frame(false, 0, false)]),
+                tenant(vec![frame(true, 90, true)]),
+            ],
+            instances: vec![InstanceReport { wavefronts: 2, busy_cycles: 50, free_at: 100 }],
+            wavefronts: 2,
+            shared_wavefronts: 1,
+            top_fetches: 10,
+            top_fetches_unamortized: 40,
+            makespan: 100,
+            ..ServiceLedger::default()
+        };
+        assert_eq!(ledger.admitted(), 2);
+        assert_eq!(ledger.rejected(), 1);
+        assert_eq!(ledger.deadline_misses(), 1);
+        assert_eq!(ledger.fleet_latencies(), vec![10, 90]);
+        assert_eq!(ledger.latency_percentile(50), 10);
+        assert_eq!(ledger.latency_percentile(99), 90);
+        assert!((ledger.amortization_factor() - 4.0).abs() < 1e-12);
+        assert!((ledger.utilization() - 0.5).abs() < 1e-12);
+        assert_eq!(ServiceLedger::default().amortization_factor(), 1.0);
+        assert_eq!(ServiceLedger::default().utilization(), 0.0);
+    }
+
+    #[test]
+    fn digest_separates_rejections_results_and_order() {
+        let hit = Neighbor { index: 3, dist2: 0.25 };
+        let a = vec![vec![Some(vec![vec![hit]])]];
+        let b = vec![vec![None]];
+        let c = vec![vec![Some(vec![vec![]])]];
+        let d = vec![vec![Some(vec![vec![Neighbor { index: 3, dist2: 0.5 }]])]];
+        let digests =
+            [digest_results(&a), digest_results(&b), digest_results(&c), digest_results(&d)];
+        for i in 0..digests.len() {
+            for j in i + 1..digests.len() {
+                assert_ne!(digests[i], digests[j], "cases {i} and {j} must differ");
+            }
+        }
+        assert_eq!(digest_results(&a), digest_results(&a), "digest is deterministic");
+    }
+}

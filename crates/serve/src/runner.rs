@@ -1,0 +1,214 @@
+//! The parallel serve executor: builds the shared [`ServiceContext`]
+//! once (map trees, canonical tenant mix, per-tick queries), then fans
+//! the service grid points out over a `std::thread::scope` worker pool.
+//!
+//! # Determinism
+//!
+//! The report is a pure function of the spec, whatever the worker
+//! count: each grid point runs its own complete, single-threaded
+//! scheduler simulation over the shared read-only context, workers
+//! claim points by atomic index but write each row into its own
+//! pre-allocated slot, and the report is assembled in grid order. Two
+//! runs — or a 1-worker and an N-worker run — therefore serialize to
+//! byte-identical JSON, which is what lets the CI serve gate compare
+//! reports with an exact comparator.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::report::{ServeReport, ServeRow};
+use crate::scheduler::{run_service, ServiceContext};
+use crate::spec::ServeSpec;
+use crate::timings::ServeTimings;
+
+/// A reasonable worker count for the local machine, capped so the quick
+/// serve run does not oversubscribe CI runners.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+}
+
+/// Execution statistics of one serve run — operational facts about the
+/// run itself, deliberately kept OUT of the report bytes (the report is
+/// a pure function of the spec; these are not).
+#[derive(Clone, Copy, Debug)]
+pub struct ServeRunStats {
+    /// Grid points simulated.
+    pub points: usize,
+    /// The **effective** worker count: the requested pool clamped to
+    /// the point count.
+    pub workers: usize,
+    /// Tenants in the canonical mix the context was built with (the
+    /// largest tenant-count axis value).
+    pub tenants_built: usize,
+    /// Total **wall-clock** nanoseconds spent building the shared
+    /// context. Measured — it lives here and in the `--timings` sidecar
+    /// precisely because it can never live in the report bytes.
+    pub context_nanos: u64,
+    /// Total **wall-clock** nanoseconds spent simulating grid points,
+    /// summed across workers. Measured, never part of the report.
+    pub point_nanos: u64,
+}
+
+/// Runs the full serve grid on `workers` OS threads and returns the
+/// report.
+///
+/// Fails (with a message naming the offending knob) if the spec does
+/// not validate; never panics on a validated spec.
+pub fn run_serve(spec: &ServeSpec, workers: usize) -> Result<ServeReport, String> {
+    run_serve_with_stats(spec, workers).map(|(report, _)| report)
+}
+
+/// [`run_serve`], also returning the run's execution statistics.
+pub fn run_serve_with_stats(
+    spec: &ServeSpec,
+    workers: usize,
+) -> Result<(ServeReport, ServeRunStats), String> {
+    run_serve_timed(spec, workers).map(|(report, stats, _)| (report, stats))
+}
+
+/// [`run_serve_with_stats`], also returning the run's wall-clock
+/// measurements ([`ServeTimings`]) — the `repro serve --timings`
+/// sidecar's data source. The report bytes are identical to the untimed
+/// variants': timing is observed, never fed back.
+pub fn run_serve_timed(
+    spec: &ServeSpec,
+    workers: usize,
+) -> Result<(ServeReport, ServeRunStats, ServeTimings), String> {
+    spec.validate()?;
+    let run_start = Instant::now();
+    // The context — map stream, tree maintenance, tenant mix, query
+    // generation — is a pure function of the spec and independent of
+    // every grid axis, so it is built once at the largest tenant count
+    // and shared read-only; a grid point selects a tenant prefix.
+    let context_start = Instant::now();
+    let ctx = ServiceContext::build(spec);
+    let context_nanos = context_start.elapsed().as_nanos() as u64;
+
+    let points = spec.expand();
+    let workers = workers.clamp(1, points.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<ServeRow>>> = points.iter().map(|_| Mutex::new(None)).collect();
+    let point_clocks: Vec<AtomicU64> = points.iter().map(|_| AtomicU64::new(0)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(point) = points.get(i) else { break };
+                let point_start = Instant::now();
+                let outcome = run_service(&ctx, point.tenants, point.fleet, point.elision_depth);
+                let row = ServeRow::from_ledger(*point, &outcome.ledger);
+                point_clocks[i].store(point_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                *slots[i].lock().expect("row slot poisoned") = Some(row);
+            });
+        }
+    });
+
+    let rows: Vec<ServeRow> = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner().expect("row slot poisoned").expect("every claimed point completed")
+        })
+        .collect();
+    let timings = ServeTimings {
+        total_nanos: run_start.elapsed().as_nanos() as u64,
+        context_nanos,
+        points: points
+            .iter()
+            .zip(&point_clocks)
+            .map(|(point, clock)| (point.index, clock.load(Ordering::Relaxed)))
+            .collect(),
+    };
+    let stats = ServeRunStats {
+        points: points.len(),
+        workers,
+        tenants_built: ctx.tenants.len(),
+        context_nanos,
+        point_nanos: timings.point_nanos(),
+    };
+    Ok((ServeReport { spec: spec.clone(), rows }, stats, timings))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 4-point spec small enough for debug-profile unit tests (the
+    /// full quick grid is exercised by `tests/serve_baseline.rs` at the
+    /// workspace root in release mode).
+    fn tiny_spec() -> ServeSpec {
+        let mut spec = ServeSpec::quick();
+        spec.label = "tiny".to_string();
+        spec.map.scene.total_points = 1_500;
+        spec.map.num_frames = 4;
+        spec.tenant_base.scene.total_points = 600;
+        spec.tenant_base.num_frames = 4;
+        spec.tenant_base.queries_per_frame = 24;
+        spec.tenant_counts = vec![2, 4];
+        spec.fleet_sizes = vec![1];
+        spec.elision_depths = vec![0, 4];
+        spec
+    }
+
+    #[test]
+    fn report_is_byte_identical_across_runs_and_worker_counts() {
+        let spec = tiny_spec();
+        let a = run_serve(&spec, 1).expect("serve runs");
+        let b = run_serve(&spec, 1).expect("serve runs");
+        let c = run_serve(&spec, 4).expect("serve runs");
+        assert_eq!(a.to_json(), b.to_json(), "two runs must match");
+        assert_eq!(a.to_json(), c.to_json(), "worker count must not leak into the report");
+    }
+
+    #[test]
+    fn rows_are_in_grid_order_with_real_metrics() {
+        let report = run_serve(&tiny_spec(), 2).expect("serve runs");
+        assert_eq!(report.rows.len(), 4);
+        for (i, row) in report.rows.iter().enumerate() {
+            assert_eq!(row.index, i);
+            assert!(row.admitted > 0);
+            assert!(row.wavefronts > 0);
+            assert!(row.makespan > 0);
+            assert!(row.p50 > 0 && row.p50 <= row.p95 && row.p95 <= row.p99);
+            assert!(row.energy.total() > 0.0);
+            assert_eq!(row.per_tenant.len(), row.tenants);
+        }
+        // h_e = 0 and h_e = 4 rows of the same mix may differ only in
+        // results, not in admission (the schedule depends on latency,
+        // which elision can move — but both must serve all frames here)
+        assert_eq!(report.rows[0].admitted + report.rows[0].rejected, 2 * 4);
+    }
+
+    #[test]
+    fn timings_cover_every_point_without_touching_the_report() {
+        let spec = tiny_spec();
+        let (report, stats, timings) = run_serve_timed(&spec, 2).expect("serve runs");
+        assert_eq!(timings.points.len(), report.rows.len());
+        for ((index, _), row) in timings.points.iter().zip(&report.rows) {
+            assert_eq!(*index, row.index);
+        }
+        assert_eq!(stats.context_nanos, timings.context_nanos);
+        assert_eq!(stats.point_nanos, timings.point_nanos());
+        assert!(timings.total_nanos >= timings.context_nanos);
+        assert_eq!(stats.tenants_built, 4);
+        let untimed = run_serve(&spec, 2).expect("serve runs");
+        assert_eq!(report.to_json(), untimed.to_json(), "clocks must not perturb the bytes");
+    }
+
+    #[test]
+    fn stats_report_the_effective_worker_count() {
+        let spec = tiny_spec();
+        let (report, stats) = run_serve_with_stats(&spec, 64).expect("serve runs");
+        assert_eq!(stats.points, report.rows.len());
+        assert_eq!(stats.workers, report.rows.len(), "pool clamps to the point count");
+        let (_, one) = run_serve_with_stats(&spec, 1).expect("serve runs");
+        assert_eq!(one.workers, 1);
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected_not_panicked() {
+        let mut spec = tiny_spec();
+        spec.fleet_sizes = vec![0];
+        assert!(run_serve(&spec, 2).is_err());
+    }
+}

@@ -1,0 +1,460 @@
+//! The deterministic multi-tenant scheduler: admission control,
+//! deadline-aware (EDF) dispatch, and cross-tenant wavefront batching
+//! over a modeled accelerator fleet.
+//!
+//! # Service model
+//!
+//! The service hosts one **shared world map** — its own seeded
+//! [`FrameStream`] — whose K-d tree is maintained once per service tick
+//! through [`maintain_tree_sequence`] (the same honest build/refit cost
+//! model the single-stream driver uses). Tick `t` covers modeled cycles
+//! `[t·period, (t+1)·period)` and every wavefront dispatched for tick
+//! `t` searches tree `t` (maintenance is modeled as double-buffered:
+//! its cycles and energy are charged fleet-wide, but the tick's tree is
+//! ready at the tick boundary).
+//!
+//! Each **tenant** is a seeded [`FrameStream`] acting as a query
+//! generator: frame `k` of tenant `i` arrives at `k·period + phase_i`
+//! and contributes its queries. The scheduler:
+//!
+//! 1. **admits** a frame iff fewer than `max_backlog` admitted frames
+//!    are still queued (rejected frames are recorded, never silently
+//!    dropped);
+//! 2. picks the pending frame with the **earliest absolute deadline**
+//!    (ties: arrival, then tenant, then frame index — fully ordered, so
+//!    dispatch is deterministic);
+//! 3. batches **every queued frame of the same tick that has already
+//!    arrived** into one tenant-tagged wavefront
+//!    ([`TaggedBatch`]) on the earliest-free instance — this is where
+//!    cross-tenant top-tree amortization happens;
+//! 4. grades each served frame against its tenant's deadline.
+//!
+//! Because the engine is tag-blind ([`SplitTree::search_batch_tagged`]
+//! runs the flat concatenated batch), results at `h_e = 0` are
+//! bit-identical to running each tenant alone — co-tenants move
+//! *cycles*, never *answers*. The whole simulation is a pure function
+//! of `(context, tenants, fleet, h_e)`: no wall-clock, no map ordering,
+//! no randomness.
+//!
+//! [`SplitTree::search_batch_tagged`]: crescent_kdtree::SplitTree::search_batch_tagged
+
+use crescent::tenant::{mixed_tenants, TenantSpec};
+use crescent::workload::FrameStream;
+use crescent_accel::{
+    maintain_tree_sequence, AcceleratorConfig, CrescentKnobs, Fleet, MaintainedTree,
+    StreamSearchConfig,
+};
+use crescent_kdtree::TaggedBatch;
+use crescent_memsim::EnergyLedger;
+use crescent_pointcloud::{Neighbor, Point3, PointCloud};
+
+use crate::ledger::{digest_results, FrameOutcome, InstanceReport, ServiceLedger, TenantLedger};
+use crate::spec::ServeSpec;
+
+/// Everything about a serve spec that does **not** vary across grid
+/// points: the maintained map tree sequence, the canonical tenant mix
+/// at its largest size, and every tenant's per-tick query sets. Built
+/// once ([`ServiceContext::build`]) and shared by reference across the
+/// whole grid — a grid point only picks how many tenants, how many
+/// instances, and which `h_e`.
+#[derive(Debug)]
+pub struct ServiceContext {
+    /// One maintained map tree per service tick.
+    pub trees: Vec<MaintainedTree>,
+    /// The canonical tenant mix (a grid point uses a prefix).
+    pub tenants: Vec<TenantSpec>,
+    /// Per-tenant, per-tick query sets.
+    pub queries: Vec<Vec<Vec<Point3>>>,
+    /// Modeled cycles per service tick.
+    pub frame_period: u64,
+    /// Admission bound (queued frames).
+    pub max_backlog: usize,
+    /// Granted top-tree height `h_t`.
+    pub top_height: usize,
+    /// Search radius (from the tenant base workload).
+    pub radius: f32,
+    /// Per-query neighbor cap (from the tenant base workload).
+    pub max_neighbors: Option<usize>,
+}
+
+impl ServiceContext {
+    /// Builds the context for `spec` at its largest tenant count.
+    pub fn build(spec: &ServeSpec) -> ServiceContext {
+        ServiceContext::build_for(spec, spec.max_tenants())
+    }
+
+    /// Builds the context with exactly `tenant_count` tenants.
+    pub fn build_for(spec: &ServeSpec, tenant_count: usize) -> ServiceContext {
+        let map_frames: Vec<_> = FrameStream::new(&spec.map).collect();
+        let clouds: Vec<&PointCloud> = map_frames.iter().map(|f| &f.cloud).collect();
+        let trees = maintain_tree_sequence(&clouds, spec.map.maintenance, spec.top_height);
+        let mut base = spec.tenant_base;
+        base.num_frames = spec.map.num_frames;
+        let tenants = mixed_tenants(tenant_count, &base, spec.frame_period, spec.base_deadline);
+        let queries = tenants
+            .iter()
+            .map(|t| FrameStream::new(&t.workload).map(|f| f.queries).collect())
+            .collect();
+        ServiceContext {
+            trees,
+            tenants,
+            queries,
+            frame_period: spec.frame_period,
+            max_backlog: spec.max_backlog,
+            top_height: spec.top_height,
+            radius: spec.tenant_base.radius,
+            max_neighbors: spec.tenant_base.max_neighbors,
+        }
+    }
+
+    /// Number of service ticks.
+    pub fn ticks(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+/// Result of one service run: the ledger plus every tenant's raw
+/// neighbor sets (`None` for rejected frames), in tenant-mix order.
+#[derive(Debug)]
+pub struct ServiceOutcome {
+    /// The graded service ledger.
+    pub ledger: ServiceLedger,
+    /// `results[tenant][frame]`: per-query neighbor lists of each
+    /// admitted frame, `None` where admission control rejected it.
+    pub results: Vec<Vec<Option<Vec<Vec<Neighbor>>>>>,
+}
+
+/// One tenant frame queued at the service.
+struct Job {
+    tenant: usize,
+    /// Frame index == service tick of its arrival.
+    frame: usize,
+    arrival: u64,
+    deadline_at: u64,
+}
+
+/// Runs the service for the first `tenants` tenants of `ctx` on a
+/// fleet of `fleet_size` instances at elision depth `elision_depth`.
+///
+/// Deterministic by construction: a pure function of its arguments.
+///
+/// # Panics
+///
+/// Panics if `tenants` exceeds the context's mix or `fleet_size` is 0.
+pub fn run_service(
+    ctx: &ServiceContext,
+    tenants: usize,
+    fleet_size: usize,
+    elision_depth: usize,
+) -> ServiceOutcome {
+    assert!(tenants <= ctx.tenants.len(), "context holds only {} tenants", ctx.tenants.len());
+    assert!(fleet_size >= 1, "a service needs at least one instance");
+    let ticks = ctx.ticks();
+    let period = ctx.frame_period;
+
+    // ---- arrival schedule ----
+    let mut events: Vec<Job> = Vec::with_capacity(tenants * ticks);
+    for (ti, t) in ctx.tenants[..tenants].iter().enumerate() {
+        for frame in 0..ctx.queries[ti].len().min(ticks) {
+            events.push(Job {
+                tenant: ti,
+                frame,
+                arrival: t.arrival_at(frame, period),
+                deadline_at: t.deadline_at(frame, period),
+            });
+        }
+    }
+    events.sort_by_key(|j| (j.arrival, j.tenant, j.frame));
+
+    // ---- engine configuration ----
+    // The wavefront path reads banking, PE count, DRAM bandwidth, and
+    // the aggregation-elision flag; search elision comes from the
+    // batch config's depth-from-leaves h_e, so `search_elision` stays
+    // unset. Aggregation elision on = the ANS+BCE service operating
+    // point.
+    let config = AcceleratorConfig::builder()
+        .aggregation_elision(true)
+        .build()
+        .expect("the default-based service config is valid");
+    let knobs = CrescentKnobs { top_height: ctx.top_height, ..CrescentKnobs::default() };
+    let search = StreamSearchConfig {
+        radius: ctx.radius,
+        max_neighbors: ctx.max_neighbors,
+        elision_depth,
+        ..StreamSearchConfig::default()
+    };
+
+    // ---- shared map maintenance (charged fleet-wide) ----
+    let mut map_energy = EnergyLedger::new();
+    for tree in &ctx.trees {
+        let build_dma = config.dram.stream_cycles(tree.build_dram_bytes);
+        let build_slot = tree.build_cycles.max(build_dma);
+        map_energy.charge_dram_streaming(&config.energy, tree.build_dram_bytes);
+        map_energy.charge_tree_build(&config.energy, tree.build_cycles);
+        map_energy.charge_leakage(&config.energy, build_slot);
+    }
+
+    // ---- the scheduler loop ----
+    let mut fleet = Fleet::new(fleet_size);
+    let mut results: Vec<Vec<Option<Vec<Vec<Neighbor>>>>> =
+        (0..tenants).map(|ti| vec![None; ctx.queries[ti].len().min(ticks)]).collect();
+    let mut outcomes: Vec<Vec<Option<FrameOutcome>>> =
+        results.iter().map(|f| vec![None; f.len()]).collect();
+    let mut tenant_energy = vec![EnergyLedger::new(); tenants];
+    let mut search_energy = EnergyLedger::new();
+    let (mut wavefronts, mut shared_wavefronts) = (0usize, 0usize);
+    let (mut top_fetches, mut top_fetches_unamortized) = (0u64, 0u64);
+    let mut makespan = 0u64;
+
+    let mut pending: Vec<Job> = Vec::new();
+    let mut batch = TaggedBatch::new();
+    let mut arrivals = events.into_iter().peekable();
+
+    loop {
+        // Dispatch while a wavefront would start before the next
+        // arrival; otherwise process that arrival first (it may still
+        // join the wave, and its admission check must see the backlog
+        // as of its arrival time).
+        let next_arrival = arrivals.peek().map(|j| j.arrival);
+        let mut dispatched = false;
+        if !pending.is_empty() {
+            let (inst_idx, free) = fleet.earliest_free().expect("fleet is non-empty");
+            // deadline-aware dispatch: earliest absolute deadline leads
+            let lead = pending
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, j)| (j.deadline_at, j.arrival, j.tenant, j.frame))
+                .map(|(i, _)| i)
+                .expect("pending is non-empty");
+            let tick = pending[lead].frame;
+            let start = free.max(pending[lead].arrival);
+            let starts_before_next = match next_arrival {
+                None => true,
+                Some(a) => start < a,
+            };
+            if starts_before_next {
+                // the wavefront: every queued same-tick frame that has
+                // arrived by the start cycle, in EDF order
+                let mut wave: Vec<Job> = Vec::new();
+                let mut i = 0;
+                while i < pending.len() {
+                    if pending[i].frame == tick && pending[i].arrival <= start {
+                        wave.push(pending.swap_remove(i));
+                    } else {
+                        i += 1;
+                    }
+                }
+                wave.sort_by_key(|j| (j.deadline_at, j.arrival, j.tenant, j.frame));
+                batch.clear();
+                for job in &wave {
+                    batch.push_segment(job.tenant as u64, &ctx.queries[job.tenant][job.frame]);
+                }
+                let instance = fleet.instance_mut(inst_idx);
+                let (tagged, wf) =
+                    instance.run_wavefront(&ctx.trees[tick].tree, &batch, &search, knobs, &config);
+                let done = start + wf.latency_cycles;
+                instance.free_at = done;
+                makespan = makespan.max(done);
+
+                let wave_id = wavefronts;
+                wavefronts += 1;
+                if wave.len() > 1 {
+                    shared_wavefronts += 1;
+                }
+                top_fetches += wf.search.top_fetches as u64;
+                top_fetches_unamortized += wf.search.top_fetches_unamortized as u64;
+                search_energy.merge(&wf.energy);
+                let total_queries = wf.queries.max(1);
+                for (job, (tag, seg)) in wave.iter().zip(tagged) {
+                    debug_assert_eq!(tag, job.tenant as u64);
+                    let share = seg.len() as f64 / total_queries as f64;
+                    tenant_energy[job.tenant].merge(&wf.energy.scaled(share));
+                    outcomes[job.tenant][job.frame] = Some(FrameOutcome {
+                        frame: job.frame,
+                        arrival: job.arrival,
+                        admitted: true,
+                        wavefront: Some(wave_id),
+                        instance: Some(inst_idx),
+                        start,
+                        completion: done,
+                        latency: done - job.arrival,
+                        queries: seg.len(),
+                        neighbors: seg.iter().map(Vec::len).sum(),
+                        missed: done > job.deadline_at,
+                    });
+                    results[job.tenant][job.frame] = Some(seg);
+                }
+                dispatched = true;
+            }
+        }
+        if !dispatched {
+            match arrivals.next() {
+                Some(job) => {
+                    if pending.len() >= ctx.max_backlog {
+                        // rejected at arrival: recorded, never served
+                        outcomes[job.tenant][job.frame] = Some(FrameOutcome {
+                            frame: job.frame,
+                            arrival: job.arrival,
+                            admitted: false,
+                            wavefront: None,
+                            instance: None,
+                            start: 0,
+                            completion: 0,
+                            latency: 0,
+                            queries: 0,
+                            neighbors: 0,
+                            missed: false,
+                        });
+                    } else {
+                        pending.push(job);
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+    debug_assert!(pending.is_empty(), "the drain loop must serve every admitted frame");
+
+    // ---- ledger assembly ----
+    let digest = digest_results(&results);
+    let tenant_ledgers: Vec<TenantLedger> = ctx.tenants[..tenants]
+        .iter()
+        .enumerate()
+        .map(|(ti, t)| TenantLedger {
+            name: t.name.clone(),
+            scenario: t.workload.scenario.label().to_string(),
+            arrival_phase: t.arrival_phase,
+            deadline_cycles: t.deadline_cycles,
+            frames: outcomes[ti]
+                .iter()
+                .cloned()
+                .map(|o| o.expect("every frame is either served or rejected"))
+                .collect(),
+            energy: tenant_energy[ti],
+        })
+        .collect();
+    let instances = fleet
+        .instances()
+        .iter()
+        .map(|i| InstanceReport {
+            wavefronts: i.wavefronts,
+            busy_cycles: i.busy_cycles,
+            free_at: i.free_at,
+        })
+        .collect();
+    ServiceOutcome {
+        ledger: ServiceLedger {
+            tenants: tenant_ledgers,
+            instances,
+            wavefronts,
+            shared_wavefronts,
+            top_fetches,
+            top_fetches_unamortized,
+            makespan,
+            map_energy,
+            search_energy,
+            digest,
+        },
+        results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_ctx() -> ServiceContext {
+        let mut spec = ServeSpec::quick();
+        // shrink for debug-profile unit tests
+        spec.map.scene.total_points = 1_500;
+        spec.map.num_frames = 4;
+        spec.tenant_base.scene.total_points = 600;
+        spec.tenant_base.num_frames = 4;
+        spec.tenant_base.queries_per_frame = 24;
+        ServiceContext::build(&spec)
+    }
+
+    #[test]
+    fn service_is_deterministic_and_conserves_frames() {
+        let ctx = quick_ctx();
+        let a = run_service(&ctx, 4, 2, 0);
+        let b = run_service(&ctx, 4, 2, 0);
+        assert_eq!(a.ledger.digest, b.ledger.digest, "same context, same digest");
+        assert_eq!(a.results, b.results);
+        // conservation: every frame either served once or rejected
+        let total_frames: usize = a.ledger.tenants.iter().map(|t| t.frames.len()).sum();
+        assert_eq!(total_frames, 4 * ctx.ticks());
+        assert_eq!(a.ledger.admitted() + a.ledger.rejected(), total_frames);
+        for (t, tr) in a.ledger.tenants.iter().zip(&a.results) {
+            for (f, r) in t.frames.iter().zip(tr) {
+                assert_eq!(f.admitted, r.is_some(), "results track admission");
+                if let Some(r) = r {
+                    assert_eq!(f.queries, r.len(), "one answer per admitted query");
+                }
+            }
+        }
+        assert!(a.ledger.wavefronts > 0);
+        assert!(a.ledger.makespan > 0);
+    }
+
+    #[test]
+    fn colocated_tenants_share_wavefronts_and_amortize() {
+        let ctx = quick_ctx();
+        let multi = run_service(&ctx, 8, 1, 0);
+        assert!(
+            multi.ledger.shared_wavefronts > 0,
+            "an 8-tenant mix on one instance must batch cross-tenant"
+        );
+        assert!(multi.ledger.amortization_factor() > 1.0);
+    }
+
+    #[test]
+    fn he_zero_results_match_solo_runs() {
+        let ctx = quick_ctx();
+        let together = run_service(&ctx, 4, 1, 0);
+        // the solo reference: each admitted frame re-run through the same
+        // wavefront machinery with only its own tenant in the batch
+        let config = AcceleratorConfig::builder().aggregation_elision(true).build().unwrap();
+        let knobs = CrescentKnobs { top_height: ctx.top_height, ..CrescentKnobs::default() };
+        let search = StreamSearchConfig {
+            radius: ctx.radius,
+            max_neighbors: ctx.max_neighbors,
+            elision_depth: 0,
+            ..StreamSearchConfig::default()
+        };
+        let mut solo = crescent_accel::ServiceInstance::new();
+        let mut batch = TaggedBatch::new();
+        let mut compared = 0usize;
+        for (ti, per_frame) in together.results.iter().enumerate() {
+            for (frame, res) in per_frame.iter().enumerate() {
+                let Some(res) = res else { continue };
+                batch.clear();
+                batch.push_segment(ti as u64, &ctx.queries[ti][frame]);
+                let (tagged, _) =
+                    solo.run_wavefront(&ctx.trees[frame].tree, &batch, &search, knobs, &config);
+                assert_eq!(&tagged[0].1, res, "h_e = 0: co-tenants must not change answers");
+                compared += 1;
+            }
+        }
+        assert!(compared > 0, "the mix must admit at least one frame");
+    }
+
+    #[test]
+    fn more_fleet_never_raises_tail_latency() {
+        let ctx = quick_ctx();
+        let one = run_service(&ctx, 8, 1, 0);
+        let two = run_service(&ctx, 8, 2, 0);
+        assert!(
+            two.ledger.latency_percentile(99) <= one.ledger.latency_percentile(99),
+            "adding an instance must not hurt p99 under this deterministic schedule"
+        );
+        assert_eq!(one.ledger.digest, two.ledger.digest, "fleet size moves cycles, not answers");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instance")]
+    fn zero_fleet_is_rejected() {
+        let ctx = quick_ctx();
+        run_service(&ctx, 1, 0, 0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Declarative serve specifications: a grid over service-level knobs
+//! (tenant count, fleet size, elision depth) around one shared map
+//! workload and one tenant workload base.
+//!
+//! Like the explorer's `SweepSpec`, expansion order is fixed and
+//! documented so a report row index identifies the same service
+//! configuration forever — the property the checked-in
+//! `bench/serve-baseline.json` relies on.
+
+use serde::{Deserialize, Serialize};
+
+use crescent::workload::{FrameStreamConfig, StreamScenario};
+use crescent_accel::TreeMaintenance;
+use crescent_pointcloud::datasets::LidarSceneConfig;
+
+/// A serve grid: every combination of `tenant_counts` × `fleet_sizes` ×
+/// `elision_depths` runs the same multi-tenant service scenario (shared
+/// map, canonical tenant mix, one scheduler) and produces one report
+/// row.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ServeSpec {
+    /// Human-readable name (`"quick"`, `"full"`), echoed in the report.
+    pub label: String,
+    /// The shared world-map stream the service maintains one tree per
+    /// tick for. Its `scenario`/`maintenance` are honored (the canonical
+    /// specs use a registered map with refit maintenance); its
+    /// `queries_per_frame` should be 0 — the map answers queries, it
+    /// does not ask them.
+    pub map: FrameStreamConfig,
+    /// Base workload for the tenant mix
+    /// ([`crescent::tenant::mixed_tenants`] overrides `scenario` and
+    /// `scene.seed` per tenant and the context forces `num_frames` to
+    /// the map's tick count). `radius` / `max_neighbors` of the service
+    /// search come from here.
+    pub tenant_base: FrameStreamConfig,
+    /// Modeled cycles between service ticks (frame arrivals repeat every
+    /// period, map trees advance every period).
+    pub frame_period: u64,
+    /// Base per-frame latency budget; tenants get tier multiples of it
+    /// (see [`crescent::tenant::mixed_tenants`]).
+    pub base_deadline: u64,
+    /// Admission bound: a frame arriving while this many admitted frames
+    /// are still queued (not yet dispatched) is rejected.
+    pub max_backlog: usize,
+    /// Top-tree height `h_t` granted to every wavefront (clamped
+    /// per-tree like the stream driver).
+    pub top_height: usize,
+    /// Tenant-count axis (outermost).
+    pub tenant_counts: Vec<usize>,
+    /// Fleet-size axis.
+    pub fleet_sizes: Vec<usize>,
+    /// Streaming elision-depth axis `h_e` (innermost); `0` rows are the
+    /// exact reference the approximate rows are judged against.
+    pub elision_depths: Vec<usize>,
+}
+
+/// One expanded grid point, in expansion order.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ServePoint {
+    /// Position in the expanded grid (== report row index).
+    pub index: usize,
+    /// Number of admitted tenants (a prefix of the canonical mix).
+    pub tenants: usize,
+    /// Accelerator instances in the fleet.
+    pub fleet: usize,
+    /// Streaming elision depth `h_e`.
+    pub elision_depth: usize,
+}
+
+impl ServeSpec {
+    /// The CI-scale spec behind `bench/serve-baseline.json`: a 6-tick
+    /// registered map under refit maintenance, tenant mixes of 2 / 4 / 8
+    /// (the 8-tenant mix covers 8 distinct canonical scenarios), fleets
+    /// of 1 and 2, and `h_e ∈ {0, 4}` — 12 points, seconds to run.
+    pub fn quick() -> Self {
+        let defaults = FrameStreamConfig::default();
+        let map = FrameStreamConfig {
+            scene: LidarSceneConfig { total_points: 6_000, seed: 0x5EED_5E4E, ..defaults.scene },
+            num_frames: 6,
+            queries_per_frame: 0,
+            scenario: StreamScenario::Registered,
+            maintenance: TreeMaintenance::refit(),
+            ..defaults
+        };
+        let tenant_base = FrameStreamConfig {
+            scene: LidarSceneConfig { total_points: 2_000, seed: 0x5EED_7E4A, ..defaults.scene },
+            num_frames: 6,
+            queries_per_frame: 48,
+            ..defaults
+        };
+        ServeSpec {
+            label: "quick".to_string(),
+            map,
+            tenant_base,
+            frame_period: 6_000,
+            base_deadline: 9_000,
+            max_backlog: 10,
+            top_height: 4,
+            tenant_counts: vec![2, 4, 8],
+            fleet_sizes: vec![1, 2],
+            elision_depths: vec![0, 4],
+        }
+    }
+
+    /// The offline spec the weekly timings job runs: a denser map,
+    /// longer stream, tenant mixes up to 16 (wrapping the canonical
+    /// scenario matrix), fleets up to 4, three elision depths — 45
+    /// points.
+    pub fn full() -> Self {
+        let mut spec = ServeSpec::quick();
+        spec.label = "full".to_string();
+        spec.map.scene.total_points = 12_000;
+        spec.map.num_frames = 8;
+        spec.tenant_base.scene.total_points = 3_000;
+        spec.tenant_base.num_frames = 8;
+        spec.tenant_base.queries_per_frame = 64;
+        spec.frame_period = 8_000;
+        spec.base_deadline = 20_000;
+        spec.max_backlog = 24;
+        spec.tenant_counts = vec![2, 4, 8, 12, 16];
+        spec.fleet_sizes = vec![1, 2, 4];
+        spec.elision_depths = vec![0, 2, 4];
+        spec
+    }
+
+    /// Number of grid points.
+    pub fn num_points(&self) -> usize {
+        self.tenant_counts.len() * self.fleet_sizes.len() * self.elision_depths.len()
+    }
+
+    /// The largest tenant count on the axis (the canonical mix is built
+    /// once at this size; smaller points use a prefix).
+    pub fn max_tenants(&self) -> usize {
+        self.tenant_counts.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Expands the grid in fixed order: tenants (outermost) → fleet →
+    /// elision depth (innermost).
+    pub fn expand(&self) -> Vec<ServePoint> {
+        let mut points = Vec::with_capacity(self.num_points());
+        for &tenants in &self.tenant_counts {
+            for &fleet in &self.fleet_sizes {
+                for &elision_depth in &self.elision_depths {
+                    points.push(ServePoint { index: points.len(), tenants, fleet, elision_depth });
+                }
+            }
+        }
+        points
+    }
+
+    /// Validates the spec before an expensive run.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.label.is_empty() {
+            return Err("spec label must not be empty".into());
+        }
+        if self.map.num_frames == 0 {
+            return Err("map must have at least one tick".into());
+        }
+        if self.frame_period == 0 {
+            return Err("frame period must be >= 1 cycle".into());
+        }
+        if self.max_backlog == 0 {
+            return Err("max backlog must admit at least one frame".into());
+        }
+        if self.tenant_base.queries_per_frame == 0 {
+            return Err("tenants must issue at least one query per frame".into());
+        }
+        for (name, empty) in [
+            ("tenant_counts", self.tenant_counts.is_empty()),
+            ("fleet_sizes", self.fleet_sizes.is_empty()),
+            ("elision_depths", self.elision_depths.is_empty()),
+        ] {
+            if empty {
+                return Err(format!("{name} axis must not be empty"));
+            }
+        }
+        if self.tenant_counts.contains(&0) {
+            return Err("tenant counts must be >= 1".into());
+        }
+        if self.fleet_sizes.contains(&0) {
+            return Err("fleet sizes must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_specs_validate_and_expand_in_fixed_order() {
+        for spec in [ServeSpec::quick(), ServeSpec::full()] {
+            spec.validate().expect("canonical specs are valid");
+            let points = spec.expand();
+            assert_eq!(points.len(), spec.num_points());
+            for (i, p) in points.iter().enumerate() {
+                assert_eq!(p.index, i);
+            }
+        }
+        let quick = ServeSpec::quick().expand();
+        assert_eq!(quick.len(), 12);
+        // innermost axis is h_e
+        assert_eq!((quick[0].tenants, quick[0].fleet, quick[0].elision_depth), (2, 1, 0));
+        assert_eq!((quick[1].tenants, quick[1].fleet, quick[1].elision_depth), (2, 1, 4));
+        assert_eq!((quick[2].tenants, quick[2].fleet, quick[2].elision_depth), (2, 2, 0));
+        assert_eq!(quick[11].tenants, 8, "last point is the 8-tenant mix");
+        assert_eq!(ServeSpec::quick().max_tenants(), 8);
+        assert_eq!(ServeSpec::full().max_tenants(), 16);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_specs() {
+        let mut s = ServeSpec::quick();
+        s.tenant_counts.clear();
+        assert!(s.validate().is_err());
+        let mut s = ServeSpec::quick();
+        s.fleet_sizes = vec![0];
+        assert!(s.validate().is_err());
+        let mut s = ServeSpec::quick();
+        s.frame_period = 0;
+        assert!(s.validate().is_err());
+        let mut s = ServeSpec::quick();
+        s.max_backlog = 0;
+        assert!(s.validate().is_err());
+        let mut s = ServeSpec::quick();
+        s.tenant_base.queries_per_frame = 0;
+        assert!(s.validate().is_err());
+        let mut s = ServeSpec::quick();
+        s.label.clear();
+        assert!(s.validate().is_err());
+        let mut s = ServeSpec::quick();
+        s.map.num_frames = 0;
+        assert!(s.validate().is_err());
+        let mut s = ServeSpec::quick();
+        s.tenant_counts = vec![0];
+        assert!(s.validate().is_err());
+    }
+}

@@ -1,0 +1,79 @@
+//! In-repo edition of the CI serve gate: run the quick service grid and
+//! assert the rendered report is **byte-identical** to the checked-in
+//! `bench/serve-baseline.json` — the same exactness the `serve-gate`
+//! workflow enforces through `repro serve --quick --check`, available
+//! to plain `cargo test --release` with no subprocess and no network.
+//!
+//! Everything in the serve ledger is modeled — admission decisions,
+//! EDF dispatch order, wavefront latencies, deadline grades, energy
+//! attribution — so any byte of drift is a real behavioural change in
+//! the scheduler or the engine underneath it. On intended drift,
+//! refresh the baseline (`repro serve --quick --json
+//! bench/serve-baseline.json`), commit it, and the schema-versioned
+//! header documents the change.
+
+use crescent_serve::{default_workers, run_serve, ServeSpec};
+
+#[cfg_attr(
+    debug_assertions,
+    ignore = "quick service grid is slow unoptimized; run with --release (CI does)"
+)]
+#[test]
+fn quick_serve_reproduces_the_checked_in_baseline_bytes() {
+    let baseline_path = concat!(env!("CARGO_MANIFEST_DIR"), "/bench/serve-baseline.json");
+    let baseline = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read {baseline_path}: {e}"));
+    let report = run_serve(&ServeSpec::quick(), default_workers()).expect("quick spec is valid");
+    let fresh = report.to_json();
+    if let Some(drift) = crescent_explorer::diff_reports(&baseline, &fresh) {
+        panic!(
+            "quick serve drifted from bench/serve-baseline.json:\n{drift}\n\
+             if intended, refresh with `cargo run --release -p crescent-bench --bin repro -- \
+             serve --quick --json bench/serve-baseline.json` and commit the diff"
+        );
+    }
+    // diff_reports is field-aware; the gate is stricter — bytes
+    assert_eq!(baseline, fresh, "comparator passed but bytes differ (renderer drift?)");
+}
+
+/// The timings sidecar must never be able to reach the gated bytes:
+/// the report renderer has no timing fields, so the words cannot occur.
+#[test]
+fn serve_report_bytes_carry_no_wall_clock() {
+    let mut spec = ServeSpec::quick();
+    spec.label = "no-wall-clock".to_string();
+    spec.map.scene.total_points = 1_200;
+    spec.map.num_frames = 3;
+    spec.tenant_base.scene.total_points = 500;
+    spec.tenant_base.num_frames = 3;
+    spec.tenant_base.queries_per_frame = 16;
+    spec.tenant_counts = vec![2];
+    spec.fleet_sizes = vec![1];
+    spec.elision_depths = vec![0];
+    let report = run_serve(&spec, 1).expect("valid spec");
+    let json = report.to_json();
+    assert!(!json.contains("timings"), "report bytes must not carry a timings section");
+    assert!(!json.contains("nanos"), "report bytes must not carry wall-clock fields");
+}
+
+/// The quick grid must exercise every ledger regime the schema
+/// promises: shared wavefronts (cross-tenant batching firing), deadline
+/// misses, at least one rejection, and full admission somewhere — so
+/// the gated baseline actually locks down admission control and
+/// deadline grading, not just the happy path.
+#[cfg_attr(
+    debug_assertions,
+    ignore = "quick service grid is slow unoptimized; run with --release (CI does)"
+)]
+#[test]
+fn quick_grid_covers_misses_rejections_and_sharing() {
+    let report = run_serve(&ServeSpec::quick(), default_workers()).expect("quick spec is valid");
+    assert!(report.rows.iter().any(|r| r.shared_wavefronts > 0), "no cross-tenant batching");
+    assert!(report.rows.iter().any(|r| r.deadline_misses > 0), "no deadline pressure anywhere");
+    assert!(report.rows.iter().any(|r| r.rejected > 0), "admission control never fired");
+    assert!(report.rows.iter().any(|r| r.rejected == 0), "every point over capacity");
+    for row in &report.rows {
+        assert!(row.p50 <= row.p95 && row.p95 <= row.p99, "row {}: percentile order", row.index);
+        assert!(row.amortization >= 1.0, "row {}: amortization below 1", row.index);
+    }
+}
