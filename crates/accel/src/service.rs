@@ -99,6 +99,24 @@ impl ServiceInstance {
         knobs: CrescentKnobs,
         config: &AcceleratorConfig,
     ) -> (TaggedResults, WavefrontReport) {
+        self.run_wavefront_at(tree, batch, search, search.elision_depth, knobs, config)
+    }
+
+    /// [`Self::run_wavefront`] with a per-dispatch elision-depth
+    /// override: the wavefront runs at `elision_depth` instead of
+    /// `search.elision_depth`. This is the actuator of `crescent-serve`'s
+    /// SLO controller — the controller moves `h_e` dispatch by dispatch
+    /// while every other search parameter stays pinned by the spec.
+    /// `run_wavefront(..)` ≡ `run_wavefront_at(.., search.elision_depth, ..)`.
+    pub fn run_wavefront_at(
+        &mut self,
+        tree: &KdTree,
+        batch: &TaggedBatch,
+        search: &StreamSearchConfig,
+        elision_depth: usize,
+        knobs: CrescentKnobs,
+        config: &AcceleratorConfig,
+    ) -> (TaggedResults, WavefrontReport) {
         let em = &config.energy;
         // same clamp as the stream driver: a degenerate tree grants h_t = 0
         let ht =
@@ -110,7 +128,7 @@ impl ServiceInstance {
             search.max_neighbors,
             config.num_pes,
             config.tree_buffer.num_banks,
-            search.elision_depth,
+            elision_depth,
         )
         .with_descendant_reuse(search.descendant_reuse);
         let (tagged, stats) = split.search_batch_tagged(batch, &batch_cfg, &mut self.state);
@@ -275,6 +293,32 @@ mod tests {
         assert_eq!(wf.energy.sram_aggregation, frame.energy.sram_aggregation);
         assert_eq!(inst.busy_cycles, wf.latency_cycles);
         assert_eq!(inst.wavefronts, 1);
+    }
+
+    #[test]
+    fn per_dispatch_elision_override_matches_the_config_path() {
+        // run_wavefront_at(h_e) must be indistinguishable from baking
+        // the same h_e into the search config — the controller's
+        // actuator cannot be a second timing model
+        let cloud = random_cloud(2_000, 17);
+        let queries = random_queries(64, 18);
+        let tree = KdTree::build(&cloud);
+        let cfg = AcceleratorConfig::default();
+        let knobs = CrescentKnobs::default();
+        let mut batch = TaggedBatch::new();
+        batch.push_segment(0, &queries);
+        for h_e in [0usize, 2, 4] {
+            let baked = StreamSearchConfig { elision_depth: h_e, ..search() };
+            let mut a = ServiceInstance::new();
+            let (res_a, wf_a) = a.run_wavefront(&tree, &batch, &baked, knobs, &cfg);
+            let mut b = ServiceInstance::new();
+            let (res_b, wf_b) = b.run_wavefront_at(&tree, &batch, &search(), h_e, knobs, &cfg);
+            assert_eq!(res_a, res_b, "override must not change answers at h_e = {h_e}");
+            assert_eq!(wf_a.slot_cycles, wf_b.slot_cycles);
+            assert_eq!(wf_a.latency_cycles, wf_b.latency_cycles);
+            assert_eq!(wf_a.search.conflicts_elided, wf_b.search.conflicts_elided);
+            assert_eq!(wf_a.energy.total(), wf_b.energy.total());
+        }
     }
 
     #[test]

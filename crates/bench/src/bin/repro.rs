@@ -47,7 +47,7 @@ fn main() {
                 eprintln!("{err}");
                 eprintln!(
                     "usage: repro serve [--quick] [--json <path>] [--check] \
-                     [--baseline <path>] [--workers <n>] [--timings <path>]"
+                     [--baseline <path>] [--workers <n>] [--timings <path>] [--slo-ms <ms>]"
                 );
                 std::process::exit(2);
             }

@@ -48,6 +48,11 @@ pub struct ServeArgs {
     /// A *separate* file from the report: measured time is never part
     /// of the gated report bytes and never diffed by `--check`.
     pub timings: Option<PathBuf>,
+    /// Override the spec's base per-frame deadline, in milliseconds of
+    /// the modeled 1 GHz clock (`--slo-ms 0.012` → 12 000 cycles).
+    /// Changes the spec fingerprint, so `--check` against the default
+    /// baseline correctly reports a *different spec*, not drift.
+    pub slo_ms: Option<f64>,
 }
 
 impl ServeArgs {
@@ -61,6 +66,7 @@ impl ServeArgs {
             baseline: PathBuf::from(DEFAULT_SERVE_BASELINE),
             workers: default_workers(),
             timings: None,
+            slo_ms: None,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -87,6 +93,14 @@ impl ServeArgs {
                         return Err("--workers must be >= 1".to_string());
                     }
                 }
+                "--slo-ms" => {
+                    let ms = it.next().ok_or("--slo-ms needs a budget in milliseconds")?;
+                    let ms = ms.parse::<f64>().map_err(|_| format!("bad --slo-ms value: {ms}"))?;
+                    if !ms.is_finite() || ms <= 0.0 {
+                        return Err("--slo-ms must be a positive number".to_string());
+                    }
+                    parsed.slo_ms = Some(ms);
+                }
                 other => return Err(format!("unknown serve flag: {other}")),
             }
         }
@@ -97,7 +111,12 @@ impl ServeArgs {
 /// Runs the serve subcommand end to end; returns the process exit code
 /// (0 = success / no drift, 1 = drift or error).
 pub fn run_serve_command(args: &ServeArgs) -> i32 {
-    let spec = if args.quick { ServeSpec::quick() } else { ServeSpec::full() };
+    let mut spec = if args.quick { ServeSpec::quick() } else { ServeSpec::full() };
+    if let Some(ms) = args.slo_ms {
+        // modeled clock is 1 GHz: 1 ms == 1e6 cycles
+        spec.base_deadline = (ms * 1e6).round() as u64;
+        println!("# SLO override: base deadline {ms} ms = {} cycles", spec.base_deadline);
+    }
     let workers = args.workers.clamp(1, spec.num_points().max(1));
     println!(
         "# streaming service: {} ({} points, {workers} workers)",
@@ -177,6 +196,8 @@ pub fn render_summary(report: &ServeReport) -> String {
                 format!("{}", r.tenants),
                 format!("{}", r.fleet),
                 format!("{}", r.elision_depth),
+                r.controller.clone(),
+                format!("{}", r.h_e_final),
                 format!("{}/{}", r.admitted, r.admitted + r.rejected),
                 format!("{}", r.deadline_misses),
                 format!("{}", r.p50),
@@ -198,6 +219,8 @@ pub fn render_summary(report: &ServeReport) -> String {
             "tenants",
             "fleet",
             "h_e",
+            "ctl",
+            "h_e_fin",
             "admitted",
             "miss",
             "p50",
@@ -273,6 +296,18 @@ mod tests {
         let b = ServeArgs::parse(&strings(&["--quick", "--check", "--timings", "t.json"])).unwrap();
         assert!(b.check);
         assert!(ServeArgs::parse(&strings(&["--timings"])).is_err(), "path is mandatory");
+    }
+
+    #[test]
+    fn parses_the_slo_override() {
+        let a = ServeArgs::parse(&strings(&["--quick", "--slo-ms", "0.012"])).unwrap();
+        assert_eq!(a.slo_ms, Some(0.012));
+        assert_eq!(ServeArgs::parse(&strings(&["--quick"])).unwrap().slo_ms, None);
+        assert!(ServeArgs::parse(&strings(&["--slo-ms"])).is_err(), "budget is mandatory");
+        assert!(ServeArgs::parse(&strings(&["--slo-ms", "0"])).is_err());
+        assert!(ServeArgs::parse(&strings(&["--slo-ms", "-1"])).is_err());
+        assert!(ServeArgs::parse(&strings(&["--slo-ms", "NaN"])).is_err());
+        assert!(ServeArgs::parse(&strings(&["--slo-ms", "soon"])).is_err());
     }
 
     #[test]

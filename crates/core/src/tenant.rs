@@ -73,7 +73,12 @@ pub const DEADLINE_TIERS: [u64; 3] = [1, 2, 4];
 /// Tenant `i` (zero-based):
 ///
 /// * runs scenario `canonical_matrix()[i % 10]` — a ≥ 10-tenant mix
-///   covers every canonical workload shape;
+///   covers every canonical workload shape — except that in mixes of
+///   2..=9 tenants the **last** tenant runs
+///   [`StreamScenario::DescendantReuse`] instead, so every multi-tenant
+///   mix exercises the banked arbiter's reuse-salvage path (which the
+///   matrix otherwise parks at index 9, out of reach of the canonical
+///   8-tenant serve mixes);
 /// * reseeds the base scene with `splitmix(i + 1)` so no two tenants
 ///   share a point cloud or query sequence;
 /// * arrives at phase `i · frame_period / count`, spreading the mix
@@ -92,7 +97,11 @@ pub fn mixed_tenants(
     let matrix = StreamScenario::canonical_matrix();
     (0..count)
         .map(|i| {
-            let scenario = matrix[i % matrix.len()];
+            let scenario = if i + 1 == count && (2..matrix.len()).contains(&count) {
+                StreamScenario::DescendantReuse { clusters: 4 }
+            } else {
+                matrix[i % matrix.len()]
+            };
             let mut workload = *base;
             workload.scenario = scenario;
             workload.scene.seed = base.scene.seed ^ splitmix(i as u64 + 1);
@@ -125,6 +134,30 @@ mod tests {
             assert_eq!(x.deadline_cycles, y.deadline_cycles);
             assert_eq!(x.workload.scene.seed, y.workload.scene.seed);
         }
+    }
+
+    #[test]
+    fn small_mixes_end_with_a_descendant_reuse_tenant() {
+        // mixes of 2..=9 swap their last tenant to DescendantReuse so
+        // batched dispatch exercises the reuse-salvage path; 1-tenant
+        // and >= 10-tenant mixes follow the matrix untouched
+        for count in 2..10 {
+            let tenants = mixed_tenants(count, &base(), 6_000, 12_000);
+            let last = &tenants[count - 1];
+            assert_eq!(
+                last.name,
+                format!("t{:02}-descendant_reuse", count - 1),
+                "mix of {count} must cover reuse"
+            );
+            assert!(last.workload.scenario.descendant_reuse());
+            assert!(
+                tenants[..count - 1].iter().all(|t| !t.workload.scenario.descendant_reuse()),
+                "only the last tenant is overridden"
+            );
+        }
+        assert_eq!(mixed_tenants(1, &base(), 6_000, 12_000)[0].name, "t00-sweep");
+        let ten = mixed_tenants(10, &base(), 6_000, 12_000);
+        assert_eq!(ten[9].name, "t09-descendant_reuse", "index 9 is reuse by the matrix itself");
     }
 
     #[test]

@@ -19,6 +19,30 @@ pub fn percentile(sorted: &[u64], pct: u64) -> u64 {
     sorted[(rank - 1).min(n - 1) as usize]
 }
 
+/// Deadline grading, in one place for the scheduler, the controller's
+/// observation stream, and the edge-case tests: a frame misses iff its
+/// latency strictly exceeds its budget — `latency == budget` is a hit,
+/// `budget + 1` is a miss.
+pub fn deadline_missed(latency: u64, budget: u64) -> bool {
+    latency > budget
+}
+
+/// One fleet-wide knob decision: the `h_e` a wavefront was dispatched
+/// at, with enough schedule context to reconstruct the controller's
+/// whole trajectory (and the time spent at each `h_e`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KnobPoint {
+    /// Wavefront index (dispatch order).
+    pub wavefront: usize,
+    /// Dispatch cycle.
+    pub start: u64,
+    /// The `h_e` the wavefront ran at.
+    pub h_e: usize,
+    /// The wavefront's dispatch-to-completion latency — the cycles the
+    /// fleet actually spent *at* this `h_e`.
+    pub latency: u64,
+}
+
 /// Outcome of one tenant frame at the service.
 #[derive(Clone, Debug)]
 pub struct FrameOutcome {
@@ -46,7 +70,11 @@ pub struct FrameOutcome {
     pub neighbors: usize,
     /// Whether `latency` exceeded the tenant's deadline (the frame is
     /// still answered; misses are graded, not enforced by dropping).
+    /// Graded by [`deadline_missed`].
     pub missed: bool,
+    /// The `h_e` the frame's wavefront ran at (0 for rejected frames) —
+    /// the per-tenant half of the knob trajectory.
+    pub h_e: usize,
 }
 
 /// One tenant's view of the service run.
@@ -105,6 +133,13 @@ impl TenantLedger {
     pub fn neighbors(&self) -> usize {
         self.frames.iter().map(|f| f.neighbors).sum()
     }
+
+    /// The deepest `h_e` any of this tenant's admitted frames was served
+    /// at — the tenant-level recall-exposure headline (0 = every answer
+    /// exact).
+    pub fn max_h_e(&self) -> usize {
+        self.frames.iter().filter(|f| f.admitted).map(|f| f.h_e).max().unwrap_or(0)
+    }
 }
 
 /// Per-instance rollup of the fleet.
@@ -143,6 +178,26 @@ pub struct ServiceLedger {
     /// Exact sum of every wavefront's energy (the per-tenant ledgers
     /// are a proportional attribution of this same quantity).
     pub search_energy: EnergyLedger,
+    /// The fleet-wide knob trajectory: one entry per wavefront in
+    /// dispatch order — constant under a static run, the controller's
+    /// decision record under SLO control.
+    pub knob_trajectory: Vec<KnobPoint>,
+    /// Conflicted banked-SRAM fetches elided across all wavefronts —
+    /// with [`Self::nodes_skipped`], the recall proxy that prices the
+    /// controller's latency savings.
+    pub conflicts_elided: u64,
+    /// Tree nodes made unreachable by those elisions (each one a
+    /// potential neighbor never examined).
+    pub nodes_skipped: u64,
+    /// Elided fetches the banked arbiter salvaged through descendant
+    /// reuse (only possible at `h_e > 0`).
+    pub conflict_reuses: u64,
+    /// Map-maintenance slot cycles actually charged, after the
+    /// controller's per-tick policy choice.
+    pub map_build_cycles: u64,
+    /// Ticks whose maintenance the controller re-pointed at the
+    /// alternate (cheaper) policy.
+    pub alt_maintenance_ticks: usize,
     /// FNV-1a digest over every tenant's neighbor sets in (tenant,
     /// frame, query) order — the one-number result identity the CI
     /// baseline locks down.
@@ -194,6 +249,23 @@ impl ServiceLedger {
         } else {
             self.top_fetches_unamortized as f64 / self.top_fetches as f64
         }
+    }
+
+    /// The `h_e` in force at the end of the run: the last knob decision,
+    /// or 0 if no wavefront was dispatched.
+    pub fn final_h_e(&self) -> usize {
+        self.knob_trajectory.last().map(|k| k.h_e).unwrap_or(0)
+    }
+
+    /// Fleet cycles spent at each `h_e`, as ascending `(h_e, cycles)`
+    /// pairs — the time-at-each-`h_e` histogram of the knob trajectory
+    /// (a static run has exactly one entry).
+    pub fn time_at_h_e(&self) -> Vec<(usize, u64)> {
+        let mut hist = std::collections::BTreeMap::new();
+        for k in &self.knob_trajectory {
+            *hist.entry(k.h_e).or_insert(0u64) += k.latency;
+        }
+        hist.into_iter().collect()
     }
 
     /// Mean fraction of the makespan the fleet's instances were busy.
@@ -276,6 +348,7 @@ mod tests {
             queries: if admitted { 4 } else { 0 },
             neighbors: if admitted { 9 } else { 0 },
             missed,
+            h_e: 0,
         }
     }
 
@@ -288,6 +361,62 @@ mod tests {
             frames,
             energy: EnergyLedger::new(),
         }
+    }
+
+    #[test]
+    fn single_and_two_sample_percentiles() {
+        // nearest-rank on degenerate tenants: 1 sample answers every
+        // percentile; 2 samples put p50 on the first and p95/p99 on the
+        // second
+        let one = tenant(vec![frame(true, 42, false)]);
+        assert_eq!(one.latencies(), vec![42]);
+        for pct in [50, 95, 99] {
+            assert_eq!(one.latency_percentile(pct), 42, "p{pct} of one sample is that sample");
+        }
+        let two = tenant(vec![frame(true, 70, false), frame(true, 30, false)]);
+        assert_eq!(two.latencies(), vec![30, 70], "latencies sort ascending");
+        assert_eq!(two.latency_percentile(50), 30, "rank ceil(50·2/100) = 1");
+        assert_eq!(two.latency_percentile(95), 70, "rank ceil(95·2/100) = 2");
+        assert_eq!(two.latency_percentile(99), 70);
+    }
+
+    #[test]
+    fn deadline_grading_at_the_exact_boundary() {
+        // latency == budget is a hit; one cycle over is a miss
+        assert!(!deadline_missed(9_000, 9_000));
+        assert!(deadline_missed(9_001, 9_000));
+        assert!(!deadline_missed(0, 0));
+        assert!(deadline_missed(1, 0));
+        assert!(!deadline_missed(u64::MAX, u64::MAX));
+    }
+
+    #[test]
+    fn knob_trajectory_histogram_and_final_h_e() {
+        let knob = |wavefront, start, h_e, latency| KnobPoint { wavefront, start, h_e, latency };
+        let ledger = ServiceLedger {
+            knob_trajectory: vec![
+                knob(0, 0, 0, 100),
+                knob(1, 100, 1, 250),
+                knob(2, 350, 1, 150),
+                knob(3, 500, 0, 80),
+            ],
+            ..ServiceLedger::default()
+        };
+        assert_eq!(ledger.final_h_e(), 0);
+        assert_eq!(ledger.time_at_h_e(), vec![(0, 180), (1, 400)]);
+        assert_eq!(ServiceLedger::default().final_h_e(), 0, "no dispatches, exact by default");
+        assert!(ServiceLedger::default().time_at_h_e().is_empty());
+    }
+
+    #[test]
+    fn max_h_e_covers_only_admitted_frames() {
+        let mut deep = frame(true, 10, false);
+        deep.h_e = 3;
+        let mut rejected_deep = frame(false, 0, false);
+        rejected_deep.h_e = 7; // never happens in the scheduler, but must not leak
+        let t = tenant(vec![frame(true, 10, false), deep, rejected_deep]);
+        assert_eq!(t.max_h_e(), 3);
+        assert_eq!(tenant(vec![]).max_h_e(), 0);
     }
 
     #[test]

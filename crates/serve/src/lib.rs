@@ -28,12 +28,15 @@
 //! --quick --check`); wall-clock lives only in the `--timings` sidecar.
 //!
 //! Module map:
-//! - [`spec`]: the serve grid (tenant counts × fleet sizes × `h_e`)
-//!   around one map workload and one tenant base.
+//! - [`spec`]: the serve grid (tenant counts × fleet sizes × `h_e` ×
+//!   controller mode) around one map workload and one tenant base.
+//! - [`controller`]: the deterministic SLO feedback controller stepping
+//!   `h_e` per wavefront from observed misses and backlog.
 //! - [`scheduler`]: the event-driven admission/EDF/batching loop over
-//!   [`Fleet`](crescent_accel::Fleet).
+//!   [`Fleet`](crescent_accel::Fleet), with the controller's
+//!   observe → decide → act hook before each dispatch.
 //! - [`ledger`]: per-tenant frame outcomes, nearest-rank percentiles,
-//!   deadline and energy accounting.
+//!   deadline and energy accounting, knob trajectories.
 //! - [`report`]: schema-versioned JSON in the explorer's exact-diff
 //!   house style.
 //! - [`runner`]: the worker-pool executor.
@@ -41,6 +44,7 @@
 
 #![warn(missing_docs)]
 
+pub mod controller;
 pub mod ledger;
 pub mod report;
 pub mod runner;
@@ -48,13 +52,17 @@ pub mod scheduler;
 pub mod spec;
 pub mod timings;
 
+pub use controller::{h_e_in_effect, ControlMode, Controller, ControllerConfig};
 pub use ledger::{
-    digest_results, percentile, FrameOutcome, InstanceReport, ServiceLedger, TenantLedger,
+    deadline_missed, digest_results, percentile, FrameOutcome, InstanceReport, KnobPoint,
+    ServiceLedger, TenantLedger,
 };
 pub use report::{serve_fingerprint, ServeReport, ServeRow, TenantRow, SCHEMA};
 pub use runner::{
     default_workers, run_serve, run_serve_timed, run_serve_with_stats, ServeRunStats,
 };
-pub use scheduler::{run_service, ServiceContext, ServiceOutcome};
+pub use scheduler::{
+    run_service, run_service_controlled, MaintenanceCost, ServiceContext, ServiceOutcome,
+};
 pub use spec::{ServePoint, ServeSpec};
 pub use timings::{ServeTimings, TIMINGS_SCHEMA};

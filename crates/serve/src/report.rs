@@ -11,13 +11,19 @@ use crescent_memsim::EnergyLedger;
 use crate::ledger::ServiceLedger;
 use crate::spec::{ServePoint, ServeSpec};
 
-/// Schema identifier embedded in every serve report. Bump the `/v1`
+/// Schema identifier embedded in every serve report. Bump the version
 /// suffix on any change to the layout, key set, or metric semantics —
 /// the serve gate's comparator is exact, so an unversioned layout
 /// change would read as inexplicable metric drift instead of an obvious
 /// schema break. Field-by-field documentation lives in
 /// [`docs/SERVE_SCHEMA.md`](../../../docs/SERVE_SCHEMA.md).
-pub const SCHEMA: &str = "crescent-serve/v1";
+///
+/// `v2` added the SLO controller: a `controller` grid axis + config
+/// echo, per-row knob-trajectory columns (`controller`, `h_e_final`,
+/// `h_e_cycles`), recall-proxy columns (`elided`, `nodes_skipped`,
+/// `reuses`), the maintenance bill (`map_cycles`, `maint_alt_ticks`),
+/// and per-tenant `h_e_max`.
+pub const SCHEMA: &str = "crescent-serve/v2";
 
 /// One tenant's summary inside a serve row. A compressed view of its
 /// [`TenantLedger`](crate::ledger::TenantLedger): counts, tail
@@ -47,6 +53,9 @@ pub struct TenantRow {
     pub queries: usize,
     /// Neighbors returned.
     pub neighbors: usize,
+    /// The deepest `h_e` any of the tenant's admitted frames was served
+    /// at (0 = every answer exact) — the tenant-level recall exposure.
+    pub h_e_max: usize,
     /// Total energy attributed to the tenant (query-share slice of its
     /// wavefronts).
     pub energy: f64,
@@ -66,6 +75,7 @@ impl TenantRow {
             ("p99", Json::U64(self.p99)),
             ("queries", Json::U64(self.queries as u64)),
             ("neighbors", Json::U64(self.neighbors as u64)),
+            ("h_e_max", Json::U64(self.h_e_max as u64)),
             ("energy", Json::F64(self.energy)),
         ])
     }
@@ -84,8 +94,28 @@ pub struct ServeRow {
     /// Accelerator instances in the fleet.
     pub fleet: usize,
     /// Streaming elision depth `h_e` (0 = exact, the bit-identity
-    /// reference).
+    /// reference; the controller's starting point on SLO rows).
     pub elision_depth: usize,
+    /// Knob policy of the row (`"static"` / `"slo"`).
+    pub controller: String,
+    /// The `h_e` in force at the end of the run (== `elision_depth` on
+    /// static rows).
+    pub h_e_final: usize,
+    /// Fleet cycles spent at each `h_e`, ascending `(h_e, cycles)`
+    /// pairs — the time-at-each-`h_e` histogram of the knob trajectory.
+    pub h_e_cycles: Vec<(usize, u64)>,
+    /// Conflicted banked-SRAM fetches elided fleet-wide — with
+    /// `nodes_skipped`, the recall proxy pricing the latency savings.
+    pub conflicts_elided: u64,
+    /// Tree nodes made unreachable by those elisions.
+    pub nodes_skipped: u64,
+    /// Elided fetches salvaged by descendant reuse.
+    pub conflict_reuses: u64,
+    /// Map-maintenance slot cycles charged after the controller's
+    /// per-tick policy choice.
+    pub map_build_cycles: u64,
+    /// Ticks re-pointed at the alternate maintenance policy.
+    pub alt_maintenance_ticks: usize,
     /// Admitted frames across all tenants.
     pub admitted: usize,
     /// Frames rejected by admission control.
@@ -146,6 +176,7 @@ impl ServeRow {
                 p99: t.latency_percentile(99),
                 queries: t.queries(),
                 neighbors: t.neighbors(),
+                h_e_max: t.max_h_e(),
                 energy: t.energy.total(),
             })
             .collect();
@@ -154,6 +185,14 @@ impl ServeRow {
             tenants: point.tenants,
             fleet: point.fleet,
             elision_depth: point.elision_depth,
+            controller: point.controller.label().to_string(),
+            h_e_final: ledger.final_h_e(),
+            h_e_cycles: ledger.time_at_h_e(),
+            conflicts_elided: ledger.conflicts_elided,
+            nodes_skipped: ledger.nodes_skipped,
+            conflict_reuses: ledger.conflict_reuses,
+            map_build_cycles: ledger.map_build_cycles,
+            alt_maintenance_ticks: ledger.alt_maintenance_ticks,
             admitted: ledger.admitted(),
             rejected: ledger.rejected(),
             deadline_misses: ledger.deadline_misses(),
@@ -189,6 +228,24 @@ impl ServeRow {
             ("tenants", Json::U64(self.tenants as u64)),
             ("fleet", Json::U64(self.fleet as u64)),
             ("h_e", Json::U64(self.elision_depth as u64)),
+            ("controller", Json::Str(self.controller.clone())),
+            ("h_e_final", Json::U64(self.h_e_final as u64)),
+            (
+                "h_e_cycles",
+                Json::Array(
+                    self.h_e_cycles
+                        .iter()
+                        .map(|&(h_e, cycles)| {
+                            Json::Array(vec![Json::U64(h_e as u64), Json::U64(cycles)])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("elided", Json::U64(self.conflicts_elided)),
+            ("nodes_skipped", Json::U64(self.nodes_skipped)),
+            ("reuses", Json::U64(self.conflict_reuses)),
+            ("map_cycles", Json::U64(self.map_build_cycles)),
+            ("maint_alt_ticks", Json::U64(self.alt_maintenance_ticks as u64)),
             ("admitted", Json::U64(self.admitted as u64)),
             ("rejected", Json::U64(self.rejected as u64)),
             ("deadline_misses", Json::U64(self.deadline_misses as u64)),
@@ -267,6 +324,15 @@ fn workload_json(spec: &ServeSpec) -> Json {
         ("base_deadline", Json::U64(spec.base_deadline)),
         ("max_backlog", Json::U64(spec.max_backlog as u64)),
         ("h_t", Json::U64(spec.top_height as u64)),
+        (
+            "controller",
+            Json::Object(vec![
+                ("h_e_max", Json::U64(spec.controller.h_e_max as u64)),
+                ("window", Json::U64(spec.controller.window as u64)),
+                ("miss_budget", Json::U64(spec.controller.miss_budget as u64)),
+                ("backlog_unit", Json::U64(spec.controller.backlog_unit as u64)),
+            ]),
+        ),
     ])
 }
 
@@ -276,6 +342,10 @@ fn grid_json(spec: &ServeSpec) -> Json {
         ("tenants", Json::Array(spec.tenant_counts.iter().map(|&v| Json::U64(v as u64)).collect())),
         ("fleet", Json::Array(spec.fleet_sizes.iter().map(|&v| Json::U64(v as u64)).collect())),
         ("h_e", Json::Array(spec.elision_depths.iter().map(|&v| Json::U64(v as u64)).collect())),
+        (
+            "controller",
+            Json::Array(spec.controller_modes.iter().map(|m| Json::from(m.label())).collect()),
+        ),
     ])
 }
 
@@ -311,7 +381,8 @@ impl ServeReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ledger::{FrameOutcome, InstanceReport, TenantLedger};
+    use crate::controller::ControlMode;
+    use crate::ledger::{FrameOutcome, InstanceReport, KnobPoint, TenantLedger};
 
     fn ledger() -> ServiceLedger {
         let frame = |admitted: bool, latency: u64, missed: bool| FrameOutcome {
@@ -326,6 +397,7 @@ mod tests {
             queries: if admitted { 4 } else { 0 },
             neighbors: if admitted { 9 } else { 0 },
             missed,
+            h_e: 0,
         };
         ServiceLedger {
             tenants: vec![
@@ -354,14 +426,27 @@ mod tests {
             makespan: 120,
             map_energy: EnergyLedger::new(),
             search_energy: EnergyLedger::new(),
+            knob_trajectory: vec![
+                KnobPoint { wavefront: 0, start: 0, h_e: 0, latency: 50 },
+                KnobPoint { wavefront: 1, start: 50, h_e: 1, latency: 40 },
+                KnobPoint { wavefront: 2, start: 90, h_e: 1, latency: 30 },
+            ],
+            conflicts_elided: 6,
+            nodes_skipped: 18,
+            conflict_reuses: 2,
+            map_build_cycles: 700,
+            alt_maintenance_ticks: 1,
             digest: 0xfeed_f00d,
         }
     }
 
+    fn point(index: usize) -> ServePoint {
+        ServePoint { index, tenants: 2, fleet: 1, elision_depth: 0, controller: ControlMode::Slo }
+    }
+
     #[test]
     fn row_grades_the_ledger() {
-        let point = ServePoint { index: 5, tenants: 2, fleet: 1, elision_depth: 0 };
-        let row = ServeRow::from_ledger(point, &ledger());
+        let row = ServeRow::from_ledger(point(5), &ledger());
         assert_eq!(row.index, 5);
         assert_eq!((row.admitted, row.rejected, row.deadline_misses), (3, 1, 1));
         assert_eq!((row.p50, row.p95, row.p99), (80, 120, 120));
@@ -371,20 +456,34 @@ mod tests {
         assert_eq!(row.per_tenant[0].p99, 120);
         assert_eq!(row.per_tenant[1].rejected, 1);
         assert!((row.amortization - 2.0).abs() < 1e-12);
+        // v2: knob-trajectory + recall-proxy columns come from the ledger
+        assert_eq!(row.controller, "slo");
+        assert_eq!(row.h_e_final, 1);
+        assert_eq!(row.h_e_cycles, vec![(0, 50), (1, 70)]);
+        assert_eq!((row.conflicts_elided, row.nodes_skipped, row.conflict_reuses), (6, 18, 2));
+        assert_eq!((row.map_build_cycles, row.alt_maintenance_ticks), (700, 1));
     }
 
     #[test]
     fn json_has_schema_one_row_per_line_and_is_reproducible() {
-        let point = ServePoint { index: 0, tenants: 2, fleet: 1, elision_depth: 0 };
         let report = ServeReport {
             spec: ServeSpec::quick(),
-            rows: vec![ServeRow::from_ledger(point, &ledger())],
+            rows: vec![ServeRow::from_ledger(point(0), &ledger())],
         };
         let json = report.to_json();
-        assert!(json.starts_with("{\n  \"schema\": \"crescent-serve/v1\",\n"));
+        assert!(json.starts_with("{\n  \"schema\": \"crescent-serve/v2\",\n"));
         assert!(json.contains("\n  \"fingerprint\": \""));
         assert!(json.contains("\n  \"workload\": {\"map\":"));
+        assert!(json.contains(
+            "\"controller\":{\"h_e_max\":4,\"window\":8,\"miss_budget\":0,\"backlog_unit\":4}"
+        ));
         assert!(json.contains("\n  \"grid\": {\"tenants\":[2,4,8]"));
+        assert!(json.contains("\"controller\":[\"static\",\"slo\"]"));
+        assert!(json.contains("\"controller\":\"slo\""));
+        assert!(json.contains("\"h_e_cycles\":[[0,50],[1,70]]"));
+        assert!(json.contains("\"elided\":6"));
+        assert!(json.contains("\"reuses\":2"));
+        assert!(json.contains("\"h_e_max\":0,\"energy\":"), "per-tenant h_e exposure");
         let row_lines: Vec<&str> =
             json.lines().filter(|l| l.trim_start().starts_with("{\"row\":")).collect();
         assert_eq!(row_lines.len(), 1, "one row per line for line-level diffs");
@@ -408,14 +507,23 @@ mod tests {
         let mut retuned = ServeSpec::quick();
         retuned.base_deadline += 1;
         assert_ne!(serve_fingerprint(&ServeSpec::quick()), serve_fingerprint(&retuned));
+        let mut recontrolled = ServeSpec::quick();
+        recontrolled.controller.window += 1;
+        assert_ne!(
+            serve_fingerprint(&ServeSpec::quick()),
+            serve_fingerprint(&recontrolled),
+            "retuning the controller is a spec change, not metric drift"
+        );
+        let mut remoded = ServeSpec::quick();
+        remoded.controller_modes = vec![ControlMode::Static];
+        assert_ne!(serve_fingerprint(&ServeSpec::quick()), serve_fingerprint(&remoded));
     }
 
     #[test]
     fn serve_reports_work_with_the_explorer_comparator() {
-        let point = ServePoint { index: 0, tenants: 2, fleet: 1, elision_depth: 0 };
         let report = ServeReport {
             spec: ServeSpec::quick(),
-            rows: vec![ServeRow::from_ledger(point, &ledger())],
+            rows: vec![ServeRow::from_ledger(point(0), &ledger())],
         };
         let base = report.to_json();
         assert!(crescent_explorer::diff_reports(&base, &base).is_none());

@@ -17,8 +17,9 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use crate::controller::ControlMode;
 use crate::report::{ServeReport, ServeRow};
-use crate::scheduler::{run_service, ServiceContext};
+use crate::scheduler::{run_service, run_service_controlled, ServiceContext};
 use crate::spec::ServeSpec;
 use crate::timings::ServeTimings;
 
@@ -96,7 +97,18 @@ pub fn run_serve_timed(
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(point) = points.get(i) else { break };
                 let point_start = Instant::now();
-                let outcome = run_service(&ctx, point.tenants, point.fleet, point.elision_depth);
+                let outcome = match point.controller {
+                    ControlMode::Static => {
+                        run_service(&ctx, point.tenants, point.fleet, point.elision_depth)
+                    }
+                    ControlMode::Slo => run_service_controlled(
+                        &ctx,
+                        point.tenants,
+                        point.fleet,
+                        point.elision_depth,
+                        &spec.controller,
+                    ),
+                };
                 let row = ServeRow::from_ledger(*point, &outcome.ledger);
                 point_clocks[i].store(point_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 *slots[i].lock().expect("row slot poisoned") = Some(row);
@@ -133,9 +145,10 @@ pub fn run_serve_timed(
 mod tests {
     use super::*;
 
-    /// A 4-point spec small enough for debug-profile unit tests (the
+    /// An 8-point spec small enough for debug-profile unit tests (the
     /// full quick grid is exercised by `tests/serve_baseline.rs` at the
-    /// workspace root in release mode).
+    /// workspace root in release mode). Keeps both controller modes so
+    /// the runner's per-point dispatch is covered.
     fn tiny_spec() -> ServeSpec {
         let mut spec = ServeSpec::quick();
         spec.label = "tiny".to_string();
@@ -163,7 +176,7 @@ mod tests {
     #[test]
     fn rows_are_in_grid_order_with_real_metrics() {
         let report = run_serve(&tiny_spec(), 2).expect("serve runs");
-        assert_eq!(report.rows.len(), 4);
+        assert_eq!(report.rows.len(), 8);
         for (i, row) in report.rows.iter().enumerate() {
             assert_eq!(row.index, i);
             assert!(row.admitted > 0);
@@ -172,7 +185,12 @@ mod tests {
             assert!(row.p50 > 0 && row.p50 <= row.p95 && row.p95 <= row.p99);
             assert!(row.energy.total() > 0.0);
             assert_eq!(row.per_tenant.len(), row.tenants);
+            // mode axis is innermost: even rows static, odd rows slo
+            assert_eq!(row.controller, if i % 2 == 0 { "static" } else { "slo" });
+            assert!(row.h_e_cycles.iter().map(|&(_, c)| c).sum::<u64>() > 0);
         }
+        // a static row's final h_e echoes its pinned depth
+        assert_eq!(report.rows[2].h_e_final, report.rows[2].elision_depth);
         // h_e = 0 and h_e = 4 rows of the same mix may differ only in
         // results, not in admission (the schedule depends on latency,
         // which elision can move — but both must serve all frames here)

@@ -1,6 +1,8 @@
 //! The deterministic multi-tenant scheduler: admission control,
-//! deadline-aware (EDF) dispatch, and cross-tenant wavefront batching
-//! over a modeled accelerator fleet.
+//! deadline-aware (EDF) dispatch, cross-tenant wavefront batching
+//! over a modeled accelerator fleet — and, since `crescent-serve/v2`,
+//! the observe→decide→act hook where the SLO controller
+//! ([`crate::controller`]) steps `h_e` per wavefront.
 //!
 //! # Service model
 //!
@@ -23,44 +25,96 @@
 //! 2. picks the pending frame with the **earliest absolute deadline**
 //!    (ties: arrival, then tenant, then frame index — fully ordered, so
 //!    dispatch is deterministic);
-//! 3. batches **every queued frame of the same tick that has already
+//! 3. consults the knob policy: a static run pins `h_e`; an SLO run
+//!    **observes** every frame graded by the dispatch cycle, then
+//!    **decides** the wavefront's `h_e` from miss/backlog/storm
+//!    pressure ([`Controller::decide`]);
+//! 4. batches **every queued frame of the same tick that has already
 //!    arrived** into one tenant-tagged wavefront
 //!    ([`TaggedBatch`]) on the earliest-free instance — this is where
-//!    cross-tenant top-tree amortization happens;
-//! 4. grades each served frame against its tenant's deadline.
+//!    cross-tenant top-tree amortization happens — **acting** the
+//!    decision through the per-dispatch override
+//!    [`ServiceInstance::run_wavefront_at`](crescent_accel::ServiceInstance::run_wavefront_at);
+//! 5. grades each served frame against its tenant's deadline
+//!    ([`deadline_missed`]).
+//!
+//! A wavefront runs with descendant reuse enabled iff one of its riders
+//! is a reuse-scenario tenant — inert at `h_e = 0`, so the exactness
+//! invariant below survives.
+//!
+//! After the drain, each tick's maintenance bill is settled: a static
+//! run always pays the spec policy, while an SLO run that was holding
+//! `h_e > 0` as a tick began pays whichever policy (spec or its
+//! alternate) has the cheaper slot — shedding maintenance cost during
+//! the same pressure that ramped elision. Either way the **tree content
+//! is identical** (a clean refit provably reproduces the fresh build),
+//! so the policy choice moves cycles and energy, never answers.
 //!
 //! Because the engine is tag-blind ([`SplitTree::search_batch_tagged`]
 //! runs the flat concatenated batch), results at `h_e = 0` are
 //! bit-identical to running each tenant alone — co-tenants move
 //! *cycles*, never *answers*. The whole simulation is a pure function
-//! of `(context, tenants, fleet, h_e)`: no wall-clock, no map ordering,
-//! no randomness.
+//! of `(context, tenants, fleet, h_e, controller)`: no wall-clock, no
+//! map ordering, no randomness.
 //!
 //! [`SplitTree::search_batch_tagged`]: crescent_kdtree::SplitTree::search_batch_tagged
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use crescent::tenant::{mixed_tenants, TenantSpec};
 use crescent::workload::FrameStream;
 use crescent_accel::{
     maintain_tree_sequence, AcceleratorConfig, CrescentKnobs, Fleet, MaintainedTree,
-    StreamSearchConfig,
+    StreamSearchConfig, TreeMaintenance,
 };
 use crescent_kdtree::TaggedBatch;
 use crescent_memsim::EnergyLedger;
 use crescent_pointcloud::{Neighbor, Point3, PointCloud};
 
-use crate::ledger::{digest_results, FrameOutcome, InstanceReport, ServiceLedger, TenantLedger};
+use crate::controller::{h_e_in_effect, Controller, ControllerConfig};
+use crate::ledger::{
+    deadline_missed, digest_results, FrameOutcome, InstanceReport, KnobPoint, ServiceLedger,
+    TenantLedger,
+};
 use crate::spec::ServeSpec;
+
+/// Sustained DRAM streaming bandwidth of the service operating point,
+/// in bytes per cycle (an HBM-class part, 8× the explorer's default
+/// LPDDR-class 20.48 B/cycle). The serve layer pins this deliberately:
+/// under the default bandwidth every quick-grid wavefront is DMA-bound,
+/// so the elision knob `h_e` cannot move latency at all and the SLO
+/// controller would have nothing to trade. At this operating point the
+/// wavefronts are compute-bound and elision buys real slot cycles.
+pub const SERVICE_STREAM_BYTES_PER_CYCLE: f64 = 163.84;
+
+/// Per-tick cost of one maintenance policy (the fields of
+/// [`MaintainedTree`] that price it; the tree content is policy-
+/// independent by the refit invariant).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MaintenanceCost {
+    /// Modeled maintenance cycles (full build or refit work).
+    pub build_cycles: u64,
+    /// DRAM bytes the maintenance streamed.
+    pub build_dram_bytes: u64,
+}
 
 /// Everything about a serve spec that does **not** vary across grid
 /// points: the maintained map tree sequence, the canonical tenant mix
 /// at its largest size, and every tenant's per-tick query sets. Built
 /// once ([`ServiceContext::build`]) and shared by reference across the
 /// whole grid — a grid point only picks how many tenants, how many
-/// instances, and which `h_e`.
+/// instances, which `h_e`, and which knob policy.
 #[derive(Debug)]
 pub struct ServiceContext {
-    /// One maintained map tree per service tick.
+    /// One maintained map tree per service tick (built under the spec's
+    /// maintenance policy, which also prices the default bill).
     pub trees: Vec<MaintainedTree>,
+    /// Per-tick cost of the *alternate* maintenance policy (refit if
+    /// the spec rebuilds, rebuild if the spec refits) — the option the
+    /// controller may switch a tick to under pressure. Same trees
+    /// either way; only the bill differs.
+    pub alt_maintenance: Vec<MaintenanceCost>,
     /// The canonical tenant mix (a grid point uses a prefix).
     pub tenants: Vec<TenantSpec>,
     /// Per-tenant, per-tick query sets.
@@ -88,6 +142,17 @@ impl ServiceContext {
         let map_frames: Vec<_> = FrameStream::new(&spec.map).collect();
         let clouds: Vec<&PointCloud> = map_frames.iter().map(|f| &f.cloud).collect();
         let trees = maintain_tree_sequence(&clouds, spec.map.maintenance, spec.top_height);
+        let alt_policy = match spec.map.maintenance {
+            TreeMaintenance::RebuildEveryFrame => TreeMaintenance::refit(),
+            TreeMaintenance::Refit { .. } => TreeMaintenance::RebuildEveryFrame,
+        };
+        let alt_maintenance = maintain_tree_sequence(&clouds, alt_policy, spec.top_height)
+            .into_iter()
+            .map(|t| MaintenanceCost {
+                build_cycles: t.build_cycles,
+                build_dram_bytes: t.build_dram_bytes,
+            })
+            .collect();
         let mut base = spec.tenant_base;
         base.num_frames = spec.map.num_frames;
         let tenants = mixed_tenants(tenant_count, &base, spec.frame_period, spec.base_deadline);
@@ -97,6 +162,7 @@ impl ServiceContext {
             .collect();
         ServiceContext {
             trees,
+            alt_maintenance,
             tenants,
             queries,
             frame_period: spec.frame_period,
@@ -134,7 +200,8 @@ struct Job {
 }
 
 /// Runs the service for the first `tenants` tenants of `ctx` on a
-/// fleet of `fleet_size` instances at elision depth `elision_depth`.
+/// fleet of `fleet_size` instances at the **pinned** elision depth
+/// `elision_depth` — the `crescent-serve/v1` static path, byte-for-byte.
 ///
 /// Deterministic by construction: a pure function of its arguments.
 ///
@@ -146,6 +213,39 @@ pub fn run_service(
     tenants: usize,
     fleet_size: usize,
     elision_depth: usize,
+) -> ServiceOutcome {
+    run_service_impl(ctx, tenants, fleet_size, elision_depth, None)
+}
+
+/// Runs the service under the SLO feedback controller: `h_e` starts at
+/// `initial_h_e` (clamped into `cfg`'s band) and is re-decided before
+/// every wavefront dispatch; tree maintenance may be re-pointed at the
+/// cheaper policy for ticks that began under pressure. As deterministic
+/// as [`run_service`] — the controller is pure integer state.
+///
+/// # Panics
+///
+/// Panics on the same inputs as [`run_service`], and if `cfg` fails
+/// [`ControllerConfig::validate`].
+pub fn run_service_controlled(
+    ctx: &ServiceContext,
+    tenants: usize,
+    fleet_size: usize,
+    initial_h_e: usize,
+    cfg: &ControllerConfig,
+) -> ServiceOutcome {
+    if let Err(err) = cfg.validate() {
+        panic!("invalid controller config: {err}");
+    }
+    run_service_impl(ctx, tenants, fleet_size, initial_h_e, Some(*cfg))
+}
+
+fn run_service_impl(
+    ctx: &ServiceContext,
+    tenants: usize,
+    fleet_size: usize,
+    elision_depth: usize,
+    control: Option<ControllerConfig>,
 ) -> ServiceOutcome {
     assert!(tenants <= ctx.tenants.len(), "context holds only {} tenants", ctx.tenants.len());
     assert!(fleet_size >= 1, "a service needs at least one instance");
@@ -169,11 +269,11 @@ pub fn run_service(
     // ---- engine configuration ----
     // The wavefront path reads banking, PE count, DRAM bandwidth, and
     // the aggregation-elision flag; search elision comes from the
-    // batch config's depth-from-leaves h_e, so `search_elision` stays
-    // unset. Aggregation elision on = the ANS+BCE service operating
-    // point.
+    // per-dispatch h_e override, so `search_elision` stays unset.
+    // Aggregation elision on = the ANS+BCE service operating point.
     let config = AcceleratorConfig::builder()
         .aggregation_elision(true)
+        .dram_stream_bytes_per_cycle(SERVICE_STREAM_BYTES_PER_CYCLE)
         .build()
         .expect("the default-based service config is valid");
     let knobs = CrescentKnobs { top_height: ctx.top_height, ..CrescentKnobs::default() };
@@ -184,17 +284,18 @@ pub fn run_service(
         ..StreamSearchConfig::default()
     };
 
-    // ---- shared map maintenance (charged fleet-wide) ----
-    let mut map_energy = EnergyLedger::new();
-    for tree in &ctx.trees {
-        let build_dma = config.dram.stream_cycles(tree.build_dram_bytes);
-        let build_slot = tree.build_cycles.max(build_dma);
-        map_energy.charge_dram_streaming(&config.energy, tree.build_dram_bytes);
-        map_energy.charge_tree_build(&config.energy, tree.build_cycles);
-        map_energy.charge_leakage(&config.energy, build_slot);
-    }
+    // Per-tick maintenance slots under the spec policy: the storm
+    // signal (a tick whose maintenance fills a whole period) the
+    // controller reads at decide time. Signal only — the bill is
+    // settled after the drain, once the knob trajectory is known.
+    let spec_slots: Vec<u64> = ctx
+        .trees
+        .iter()
+        .map(|t| t.build_cycles.max(config.dram.stream_cycles(t.build_dram_bytes)))
+        .collect();
 
     // ---- the scheduler loop ----
+    let mut controller = control.map(|cfg| Controller::new(cfg, elision_depth));
     let mut fleet = Fleet::new(fleet_size);
     let mut results: Vec<Vec<Option<Vec<Vec<Neighbor>>>>> =
         (0..tenants).map(|ti| vec![None; ctx.queries[ti].len().min(ticks)]).collect();
@@ -204,11 +305,16 @@ pub fn run_service(
     let mut search_energy = EnergyLedger::new();
     let (mut wavefronts, mut shared_wavefronts) = (0usize, 0usize);
     let (mut top_fetches, mut top_fetches_unamortized) = (0u64, 0u64);
+    let (mut conflicts_elided, mut nodes_skipped, mut conflict_reuses) = (0u64, 0u64, 0u64);
+    let mut knob_trajectory: Vec<KnobPoint> = Vec::new();
     let mut makespan = 0u64;
 
     let mut pending: Vec<Job> = Vec::new();
     let mut batch = TaggedBatch::new();
     let mut arrivals = events.into_iter().peekable();
+    // frames graded but not yet observed by the controller, ordered by
+    // completion (ties: tenant, then frame — fully deterministic)
+    let mut graded: BinaryHeap<Reverse<(u64, usize, usize, bool)>> = BinaryHeap::new();
 
     loop {
         // Dispatch while a wavefront would start before the next
@@ -233,6 +339,24 @@ pub fn run_service(
                 Some(a) => start < a,
             };
             if starts_before_next {
+                // observe → decide: absorb every frame whose wavefront
+                // completed by this dispatch cycle (strictly causal),
+                // then step h_e from miss/backlog/storm pressure. A
+                // static run skips straight to the pinned depth.
+                let h_e = match controller.as_mut() {
+                    None => elision_depth,
+                    Some(c) => {
+                        while let Some(&Reverse((done, _, _, missed))) = graded.peek() {
+                            if done > start {
+                                break;
+                            }
+                            graded.pop();
+                            c.observe(missed);
+                        }
+                        let storm = spec_slots[tick] >= period;
+                        c.decide(pending.len(), storm)
+                    }
+                };
                 // the wavefront: every queued same-tick frame that has
                 // arrived by the start cycle, in EDF order
                 let mut wave: Vec<Job> = Vec::new();
@@ -249,9 +373,21 @@ pub fn run_service(
                 for job in &wave {
                     batch.push_segment(job.tenant as u64, &ctx.queries[job.tenant][job.frame]);
                 }
+                // act: the decided h_e rides the per-dispatch override;
+                // descendant reuse switches on iff a reuse-scenario
+                // tenant is aboard (inert at h_e = 0)
+                let reuse =
+                    wave.iter().any(|j| ctx.tenants[j.tenant].workload.scenario.descendant_reuse());
+                let wf_search = StreamSearchConfig { descendant_reuse: reuse, ..search };
                 let instance = fleet.instance_mut(inst_idx);
-                let (tagged, wf) =
-                    instance.run_wavefront(&ctx.trees[tick].tree, &batch, &search, knobs, &config);
+                let (tagged, wf) = instance.run_wavefront_at(
+                    &ctx.trees[tick].tree,
+                    &batch,
+                    &wf_search,
+                    h_e,
+                    knobs,
+                    &config,
+                );
                 let done = start + wf.latency_cycles;
                 instance.free_at = done;
                 makespan = makespan.max(done);
@@ -263,12 +399,25 @@ pub fn run_service(
                 }
                 top_fetches += wf.search.top_fetches as u64;
                 top_fetches_unamortized += wf.search.top_fetches_unamortized as u64;
+                conflicts_elided += wf.search.conflicts_elided as u64;
+                nodes_skipped += wf.search.nodes_skipped as u64;
+                conflict_reuses += wf.search.conflict_reuses as u64;
+                knob_trajectory.push(KnobPoint {
+                    wavefront: wave_id,
+                    start,
+                    h_e,
+                    latency: wf.latency_cycles,
+                });
                 search_energy.merge(&wf.energy);
                 let total_queries = wf.queries.max(1);
                 for (job, (tag, seg)) in wave.iter().zip(tagged) {
                     debug_assert_eq!(tag, job.tenant as u64);
                     let share = seg.len() as f64 / total_queries as f64;
                     tenant_energy[job.tenant].merge(&wf.energy.scaled(share));
+                    let latency = done - job.arrival;
+                    let missed = deadline_missed(latency, ctx.tenants[job.tenant].deadline_cycles);
+                    debug_assert_eq!(missed, done > job.deadline_at);
+                    graded.push(Reverse((done, job.tenant, job.frame, missed)));
                     outcomes[job.tenant][job.frame] = Some(FrameOutcome {
                         frame: job.frame,
                         arrival: job.arrival,
@@ -277,10 +426,11 @@ pub fn run_service(
                         instance: Some(inst_idx),
                         start,
                         completion: done,
-                        latency: done - job.arrival,
+                        latency,
                         queries: seg.len(),
                         neighbors: seg.iter().map(Vec::len).sum(),
-                        missed: done > job.deadline_at,
+                        missed,
+                        h_e,
                     });
                     results[job.tenant][job.frame] = Some(seg);
                 }
@@ -304,6 +454,7 @@ pub fn run_service(
                             queries: 0,
                             neighbors: 0,
                             missed: false,
+                            h_e: 0,
                         });
                     } else {
                         pending.push(job);
@@ -314,6 +465,35 @@ pub fn run_service(
         }
     }
     debug_assert!(pending.is_empty(), "the drain loop must serve every admitted frame");
+
+    // ---- shared map maintenance (charged fleet-wide) ----
+    // Settled after the drain so the controlled path can re-choose a
+    // tick's policy from the knob trajectory: a tick that began while
+    // the controller held h_e > 0 pays whichever policy has the cheaper
+    // slot. Strictly causal (only decisions dispatched before the tick
+    // boundary count) and a no-op for static runs, which always pay the
+    // spec policy — in the same per-tick order as v1, so the energy
+    // sums are bit-identical.
+    let traj_pairs: Vec<(u64, usize)> = knob_trajectory.iter().map(|k| (k.start, k.h_e)).collect();
+    let mut map_energy = EnergyLedger::new();
+    let mut map_build_cycles = 0u64;
+    let mut alt_maintenance_ticks = 0usize;
+    for (t, tree) in ctx.trees.iter().enumerate() {
+        let alt = ctx.alt_maintenance[t];
+        let alt_slot = alt.build_cycles.max(config.dram.stream_cycles(alt.build_dram_bytes));
+        let under_pressure =
+            controller.is_some() && h_e_in_effect(&traj_pairs, t as u64 * period).unwrap_or(0) > 0;
+        let (cycles, bytes, slot) = if under_pressure && alt_slot < spec_slots[t] {
+            alt_maintenance_ticks += 1;
+            (alt.build_cycles, alt.build_dram_bytes, alt_slot)
+        } else {
+            (tree.build_cycles, tree.build_dram_bytes, spec_slots[t])
+        };
+        map_energy.charge_dram_streaming(&config.energy, bytes);
+        map_energy.charge_tree_build(&config.energy, cycles);
+        map_energy.charge_leakage(&config.energy, slot);
+        map_build_cycles += slot;
+    }
 
     // ---- ledger assembly ----
     let digest = digest_results(&results);
@@ -353,6 +533,12 @@ pub fn run_service(
             makespan,
             map_energy,
             search_energy,
+            knob_trajectory,
+            conflicts_elided,
+            nodes_skipped,
+            conflict_reuses,
+            map_build_cycles,
+            alt_maintenance_ticks,
             digest,
         },
         results,
@@ -371,6 +557,12 @@ mod tests {
         spec.tenant_base.scene.total_points = 600;
         spec.tenant_base.num_frames = 4;
         spec.tenant_base.queries_per_frame = 24;
+        // a tempo that queues on one instance (slots are a few hundred
+        // cycles at this cloud size) with a backlog deep enough that
+        // admission stays fleet-invariant for the digest comparisons
+        spec.frame_period = 1_200;
+        spec.base_deadline = 1_800;
+        spec.max_backlog = 32;
         ServiceContext::build(&spec)
     }
 
@@ -395,6 +587,10 @@ mod tests {
         }
         assert!(a.ledger.wavefronts > 0);
         assert!(a.ledger.makespan > 0);
+        // the static knob trajectory is one pinned entry per wavefront
+        assert_eq!(a.ledger.knob_trajectory.len(), a.ledger.wavefronts);
+        assert!(a.ledger.knob_trajectory.iter().all(|k| k.h_e == 0));
+        assert_eq!(a.ledger.alt_maintenance_ticks, 0, "static runs always pay the spec policy");
     }
 
     #[test]
@@ -416,16 +612,17 @@ mod tests {
         // wavefront machinery with only its own tenant in the batch
         let config = AcceleratorConfig::builder().aggregation_elision(true).build().unwrap();
         let knobs = CrescentKnobs { top_height: ctx.top_height, ..CrescentKnobs::default() };
-        let search = StreamSearchConfig {
-            radius: ctx.radius,
-            max_neighbors: ctx.max_neighbors,
-            elision_depth: 0,
-            ..StreamSearchConfig::default()
-        };
         let mut solo = crescent_accel::ServiceInstance::new();
         let mut batch = TaggedBatch::new();
         let mut compared = 0usize;
         for (ti, per_frame) in together.results.iter().enumerate() {
+            let search = StreamSearchConfig {
+                radius: ctx.radius,
+                max_neighbors: ctx.max_neighbors,
+                elision_depth: 0,
+                descendant_reuse: ctx.tenants[ti].workload.scenario.descendant_reuse(),
+                ..StreamSearchConfig::default()
+            };
             for (frame, res) in per_frame.iter().enumerate() {
                 let Some(res) = res else { continue };
                 batch.clear();
@@ -449,6 +646,67 @@ mod tests {
             "adding an instance must not hurt p99 under this deterministic schedule"
         );
         assert_eq!(one.ledger.digest, two.ledger.digest, "fleet size moves cycles, not answers");
+    }
+
+    #[test]
+    fn controller_with_a_zero_band_is_a_no_op() {
+        // band [0, 0] forces every decision to h_e = 0, so the whole
+        // run — answers, schedule, energy, maintenance bill — must be
+        // bit-identical to the static h_e = 0 path, even though it
+        // flows through the controller machinery
+        let ctx = quick_ctx();
+        let cfg = ControllerConfig { h_e_max: 0, ..ControllerConfig::default() };
+        let off = run_service_controlled(&ctx, 4, 1, 4, &cfg);
+        let reference = run_service(&ctx, 4, 1, 0);
+        assert_eq!(off.results, reference.results);
+        assert_eq!(off.ledger.digest, reference.ledger.digest);
+        assert_eq!(off.ledger.makespan, reference.ledger.makespan);
+        assert_eq!(off.ledger.knob_trajectory, reference.ledger.knob_trajectory);
+        assert_eq!(off.ledger.map_build_cycles, reference.ledger.map_build_cycles);
+        assert_eq!(off.ledger.alt_maintenance_ticks, 0);
+        assert_eq!(off.ledger.map_energy.total(), reference.ledger.map_energy.total());
+        assert_eq!(off.ledger.search_energy.total(), reference.ledger.search_energy.total());
+    }
+
+    #[test]
+    fn controlled_run_is_deterministic_and_stays_in_band() {
+        let ctx = quick_ctx();
+        let cfg = ControllerConfig { h_e_max: 3, ..ControllerConfig::default() };
+        let a = run_service_controlled(&ctx, 8, 1, 0, &cfg);
+        let b = run_service_controlled(&ctx, 8, 1, 0, &cfg);
+        assert_eq!(a.ledger.knob_trajectory, b.ledger.knob_trajectory, "pure function");
+        assert_eq!(a.ledger.digest, b.ledger.digest);
+        assert!(a.ledger.knob_trajectory.iter().all(|k| k.h_e <= 3), "band is respected");
+        // the per-frame h_e mirror matches the wavefront trajectory
+        for t in &a.ledger.tenants {
+            for f in t.frames.iter().filter(|f| f.admitted) {
+                let k = a.ledger.knob_trajectory[f.wavefront.unwrap()];
+                assert_eq!(f.h_e, k.h_e);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_reuse_tenant_fires_conflict_reuses() {
+        // satellite: the canonical mix's DescendantReuse tenant must
+        // actually exercise the salvage path under batched dispatch
+        let ctx = quick_ctx();
+        let deep = run_service(&ctx, 8, 1, 4);
+        assert!(
+            deep.ledger.conflict_reuses > 0,
+            "8-tenant mix at h_e = 4 must salvage elided fetches fleet-wide"
+        );
+        let exact = run_service(&ctx, 8, 1, 0);
+        assert_eq!(exact.ledger.conflict_reuses, 0, "reuse is provably inert at h_e = 0");
+        assert_eq!(exact.ledger.conflicts_elided, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid controller config")]
+    fn invalid_controller_config_is_rejected() {
+        let ctx = quick_ctx();
+        let cfg = ControllerConfig { backlog_unit: 0, ..ControllerConfig::default() };
+        run_service_controlled(&ctx, 1, 1, 0, &cfg);
     }
 
     #[test]

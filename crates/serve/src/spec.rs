@@ -13,10 +13,12 @@ use crescent::workload::{FrameStreamConfig, StreamScenario};
 use crescent_accel::TreeMaintenance;
 use crescent_pointcloud::datasets::LidarSceneConfig;
 
+use crate::controller::{ControlMode, ControllerConfig};
+
 /// A serve grid: every combination of `tenant_counts` × `fleet_sizes` ×
-/// `elision_depths` runs the same multi-tenant service scenario (shared
-/// map, canonical tenant mix, one scheduler) and produces one report
-/// row.
+/// `elision_depths` × `controller_modes` runs the same multi-tenant
+/// service scenario (shared map, canonical tenant mix, one scheduler)
+/// and produces one report row.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ServeSpec {
     /// Human-readable name (`"quick"`, `"full"`), echoed in the report.
@@ -49,9 +51,20 @@ pub struct ServeSpec {
     pub tenant_counts: Vec<usize>,
     /// Fleet-size axis.
     pub fleet_sizes: Vec<usize>,
-    /// Streaming elision-depth axis `h_e` (innermost); `0` rows are the
-    /// exact reference the approximate rows are judged against.
+    /// Streaming elision-depth axis `h_e`; `0` rows are the exact
+    /// reference the approximate rows are judged against. Under
+    /// [`ControlMode::Slo`] this is the controller's *initial* `h_e`.
     pub elision_depths: Vec<usize>,
+    /// Knob-policy axis (innermost): [`ControlMode::Static`] pins `h_e`,
+    /// [`ControlMode::Slo`] lets the feedback controller step it per
+    /// wavefront. Adjacent rows of the expansion therefore differ only
+    /// in the controller — the comparison the closed-loop story is
+    /// graded on.
+    pub controller_modes: Vec<ControlMode>,
+    /// Tuning of the SLO controller (shared by every
+    /// [`ControlMode::Slo`] point; ignored by static points but still
+    /// fingerprinted, so retuning is visible as a spec change).
+    pub controller: ControllerConfig,
 }
 
 /// One expanded grid point, in expansion order.
@@ -63,15 +76,19 @@ pub struct ServePoint {
     pub tenants: usize,
     /// Accelerator instances in the fleet.
     pub fleet: usize,
-    /// Streaming elision depth `h_e`.
+    /// Streaming elision depth `h_e` (the controller's starting point
+    /// under [`ControlMode::Slo`]).
     pub elision_depth: usize,
+    /// Knob policy of this point.
+    pub controller: ControlMode,
 }
 
 impl ServeSpec {
     /// The CI-scale spec behind `bench/serve-baseline.json`: a 6-tick
     /// registered map under refit maintenance, tenant mixes of 2 / 4 / 8
     /// (the 8-tenant mix covers 8 distinct canonical scenarios), fleets
-    /// of 1 and 2, and `h_e ∈ {0, 4}` — 12 points, seconds to run.
+    /// of 1 and 2, `h_e ∈ {0, 4}`, and both knob policies (static and
+    /// SLO-controlled) — 24 points, seconds to run.
     pub fn quick() -> Self {
         let defaults = FrameStreamConfig::default();
         let map = FrameStreamConfig {
@@ -92,20 +109,22 @@ impl ServeSpec {
             label: "quick".to_string(),
             map,
             tenant_base,
-            frame_period: 6_000,
-            base_deadline: 9_000,
+            frame_period: 3000,
+            base_deadline: 4500,
             max_backlog: 10,
             top_height: 4,
             tenant_counts: vec![2, 4, 8],
             fleet_sizes: vec![1, 2],
             elision_depths: vec![0, 4],
+            controller_modes: vec![ControlMode::Static, ControlMode::Slo],
+            controller: ControllerConfig::default(),
         }
     }
 
     /// The offline spec the weekly timings job runs: a denser map,
     /// longer stream, tenant mixes up to 16 (wrapping the canonical
-    /// scenario matrix), fleets up to 4, three elision depths — 45
-    /// points.
+    /// scenario matrix), fleets up to 4, three elision depths, both
+    /// knob policies — 90 points.
     pub fn full() -> Self {
         let mut spec = ServeSpec::quick();
         spec.label = "full".to_string();
@@ -114,8 +133,8 @@ impl ServeSpec {
         spec.tenant_base.scene.total_points = 3_000;
         spec.tenant_base.num_frames = 8;
         spec.tenant_base.queries_per_frame = 64;
-        spec.frame_period = 8_000;
-        spec.base_deadline = 20_000;
+        spec.frame_period = 2_000;
+        spec.base_deadline = 5_000;
         spec.max_backlog = 24;
         spec.tenant_counts = vec![2, 4, 8, 12, 16];
         spec.fleet_sizes = vec![1, 2, 4];
@@ -125,7 +144,10 @@ impl ServeSpec {
 
     /// Number of grid points.
     pub fn num_points(&self) -> usize {
-        self.tenant_counts.len() * self.fleet_sizes.len() * self.elision_depths.len()
+        self.tenant_counts.len()
+            * self.fleet_sizes.len()
+            * self.elision_depths.len()
+            * self.controller_modes.len()
     }
 
     /// The largest tenant count on the axis (the canonical mix is built
@@ -135,13 +157,22 @@ impl ServeSpec {
     }
 
     /// Expands the grid in fixed order: tenants (outermost) → fleet →
-    /// elision depth (innermost).
+    /// elision depth → controller mode (innermost, so a static row and
+    /// its controller-on twin are adjacent).
     pub fn expand(&self) -> Vec<ServePoint> {
         let mut points = Vec::with_capacity(self.num_points());
         for &tenants in &self.tenant_counts {
             for &fleet in &self.fleet_sizes {
                 for &elision_depth in &self.elision_depths {
-                    points.push(ServePoint { index: points.len(), tenants, fleet, elision_depth });
+                    for &controller in &self.controller_modes {
+                        points.push(ServePoint {
+                            index: points.len(),
+                            tenants,
+                            fleet,
+                            elision_depth,
+                            controller,
+                        });
+                    }
                 }
             }
         }
@@ -165,10 +196,12 @@ impl ServeSpec {
         if self.tenant_base.queries_per_frame == 0 {
             return Err("tenants must issue at least one query per frame".into());
         }
+        self.controller.validate()?;
         for (name, empty) in [
             ("tenant_counts", self.tenant_counts.is_empty()),
             ("fleet_sizes", self.fleet_sizes.is_empty()),
             ("elision_depths", self.elision_depths.is_empty()),
+            ("controller_modes", self.controller_modes.is_empty()),
         ] {
             if empty {
                 return Err(format!("{name} axis must not be empty"));
@@ -199,14 +232,19 @@ mod tests {
             }
         }
         let quick = ServeSpec::quick().expand();
-        assert_eq!(quick.len(), 12);
-        // innermost axis is h_e
-        assert_eq!((quick[0].tenants, quick[0].fleet, quick[0].elision_depth), (2, 1, 0));
-        assert_eq!((quick[1].tenants, quick[1].fleet, quick[1].elision_depth), (2, 1, 4));
-        assert_eq!((quick[2].tenants, quick[2].fleet, quick[2].elision_depth), (2, 2, 0));
-        assert_eq!(quick[11].tenants, 8, "last point is the 8-tenant mix");
+        assert_eq!(quick.len(), 24);
+        // innermost axis is the controller mode: static/slo twins are adjacent
+        let key = |p: &ServePoint| (p.tenants, p.fleet, p.elision_depth, p.controller);
+        assert_eq!(key(&quick[0]), (2, 1, 0, ControlMode::Static));
+        assert_eq!(key(&quick[1]), (2, 1, 0, ControlMode::Slo));
+        assert_eq!(key(&quick[2]), (2, 1, 4, ControlMode::Static));
+        assert_eq!(key(&quick[4]), (2, 2, 0, ControlMode::Static));
+        assert_eq!(key(&quick[16]), (8, 1, 0, ControlMode::Static), "the overload corner");
+        assert_eq!(key(&quick[17]), (8, 1, 0, ControlMode::Slo), "its controller-on twin");
+        assert_eq!(quick[23].tenants, 8, "last point is the 8-tenant mix");
         assert_eq!(ServeSpec::quick().max_tenants(), 8);
         assert_eq!(ServeSpec::full().max_tenants(), 16);
+        assert_eq!(ServeSpec::full().num_points(), 90);
     }
 
     #[test]
@@ -235,5 +273,11 @@ mod tests {
         let mut s = ServeSpec::quick();
         s.tenant_counts = vec![0];
         assert!(s.validate().is_err());
+        let mut s = ServeSpec::quick();
+        s.controller_modes.clear();
+        assert!(s.validate().is_err());
+        let mut s = ServeSpec::quick();
+        s.controller.window = 0;
+        assert!(s.validate().is_err(), "controller tuning is validated with the spec");
     }
 }

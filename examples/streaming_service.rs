@@ -40,7 +40,9 @@ fn main() {
     // order move latency, never neighbor sets. The digest also covers
     // admission outcomes (a rejected frame digests as a rejection), so
     // the comparison needs rows whose admission decisions agree: pairs
-    // where neither side rejected anything.
+    // where neither side rejected anything. Static rows only: the SLO
+    // controller raises h_e under pressure, deliberately trading
+    // answers for deadlines.
     let mut compared = 0;
     for a in &report.rows {
         for b in &report.rows {
@@ -49,6 +51,8 @@ fn main() {
                 && a.elision_depth == b.elision_depth
                 && a.fleet != b.fleet
                 && a.elision_depth == 0
+                && a.controller == "static"
+                && b.controller == "static"
                 && a.rejected == 0
                 && b.rejected == 0
             {
@@ -93,4 +97,31 @@ fn main() {
     let clean = report.rows.iter().filter(|r| r.deadline_misses == 0).count();
     assert!(strained > 0 && clean > 0, "the grid must straddle the deadline boundary");
     println!("{strained} strained rows, {clean} clean rows — the ledger separates the regimes");
+
+    // the closed loop earns its keep at the overload corner: the SLO
+    // controller twin of the 8-tenant / fleet-1 / h_e-start-0 row must
+    // beat its static counterpart on misses, paying in elided conflicts
+    let corner = report
+        .rows
+        .iter()
+        .find(|r| {
+            r.tenants == 8 && r.fleet == 1 && r.elision_depth == 0 && r.controller == "static"
+        })
+        .expect("the overload corner is on the quick grid");
+    let twin = report
+        .rows
+        .iter()
+        .find(|r| r.tenants == 8 && r.fleet == 1 && r.elision_depth == 0 && r.controller == "slo")
+        .expect("its controller-on twin is on the quick grid");
+    assert!(
+        twin.deadline_misses < corner.deadline_misses,
+        "controller must strictly cut misses at the overload corner ({} vs {})",
+        twin.deadline_misses,
+        corner.deadline_misses
+    );
+    assert!(twin.conflicts_elided > 0, "the recall trade must be ledgered, not hidden");
+    println!(
+        "SLO controller cuts overload-corner misses {} -> {} (final h_e {}, {} conflicts elided)",
+        corner.deadline_misses, twin.deadline_misses, twin.h_e_final, twin.conflicts_elided
+    );
 }

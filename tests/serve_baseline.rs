@@ -72,8 +72,29 @@ fn quick_grid_covers_misses_rejections_and_sharing() {
     assert!(report.rows.iter().any(|r| r.deadline_misses > 0), "no deadline pressure anywhere");
     assert!(report.rows.iter().any(|r| r.rejected > 0), "admission control never fired");
     assert!(report.rows.iter().any(|r| r.rejected == 0), "every point over capacity");
+    // the controller axis is live in the gated bytes: some SLO row
+    // moved its knob (a multi-entry h_e histogram), ledgered the recall
+    // trade, and the mix's DescendantReuse tenant salvaged fetches
+    let slo = |r: &&crescent_serve::ServeRow| r.controller == "slo";
+    assert!(
+        report.rows.iter().filter(slo).any(|r| r.h_e_cycles.len() > 1),
+        "no SLO row ever moved its knob"
+    );
+    assert!(
+        report.rows.iter().filter(slo).any(|r| r.conflicts_elided > 0),
+        "controller pressure never ledgered a recall trade"
+    );
+    assert!(
+        report.rows.iter().any(|r| r.conflict_reuses > 0),
+        "the DescendantReuse tenant never salvaged an elided fetch fleet-wide"
+    );
     for row in &report.rows {
         assert!(row.p50 <= row.p95 && row.p95 <= row.p99, "row {}: percentile order", row.index);
         assert!(row.amortization >= 1.0, "row {}: amortization below 1", row.index);
+        // static rows pin their knob for the whole run
+        if row.controller == "static" {
+            assert_eq!(row.h_e_final, row.elision_depth, "row {}: static knob moved", row.index);
+            assert_eq!(row.h_e_cycles.len(), 1, "row {}: static histogram", row.index);
+        }
     }
 }

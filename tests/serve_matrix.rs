@@ -23,7 +23,9 @@ use std::collections::BTreeSet;
 use crescent::testgen::ScenarioGen;
 use crescent_accel::{AcceleratorConfig, CrescentKnobs, ServiceInstance, StreamSearchConfig};
 use crescent_kdtree::TaggedBatch;
-use crescent_serve::{run_serve, run_service, ServeSpec, ServiceContext, ServiceOutcome};
+use crescent_serve::{
+    run_serve, run_service, ControlMode, ServeSpec, ServiceContext, ServiceOutcome,
+};
 use proptest::strategy::Strategy;
 use proptest::test_runner::TestRng;
 use proptest::ProptestConfig;
@@ -46,6 +48,15 @@ fn eight_tenant_spec() -> ServeSpec {
     spec.tenant_counts = vec![8];
     spec.fleet_sizes = vec![1, 2];
     spec.elision_depths = vec![0];
+    // static-only: these tests index rows by the fleet axis alone
+    spec.controller_modes = vec![ControlMode::Static];
+    // a tempo that queues on one instance but not on two (slots are a
+    // few hundred cycles at this cloud size), with a backlog deep
+    // enough that admission decisions stay fleet-invariant — the digest
+    // comparison below covers rejections too
+    spec.frame_period = 1_200;
+    spec.base_deadline = 1_800;
+    spec.max_backlog = 32;
     spec
 }
 
